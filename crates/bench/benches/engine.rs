@@ -1,0 +1,85 @@
+//! Criterion benches for the simulation engine itself: how fast the
+//! discrete-event core chews through the paper's workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwrperf::{DvsStrategy, Experiment, Workload};
+use workloads::FtClass;
+
+fn bench_ft_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_ft");
+    group.sample_size(20);
+    for (label, workload) in [
+        ("test_4", Workload::ft_test(4)),
+        ("class_b_8", Workload::ft_b8()),
+        ("class_c_8", Workload::ft_c8()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &workload, |b, w| {
+            b.iter(|| {
+                Experiment::new(w.clone(), DvsStrategy::StaticMhz(1400)).run()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_strategy");
+    group.sample_size(20);
+    for strategy in [
+        DvsStrategy::StaticMhz(600),
+        DvsStrategy::Cpuspeed,
+        DvsStrategy::DynamicBaseMhz(1400),
+        DvsStrategy::OnDemand,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, s| {
+                b.iter(|| Experiment::new(Workload::ft_b8(), *s).run());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_transpose");
+    group.sample_size(20);
+    group.bench_function("15_ranks_2_iters", |b| {
+        b.iter(|| Experiment::new(Workload::transpose_paper(), DvsStrategy::StaticMhz(1400)).run())
+    });
+    group.finish();
+}
+
+fn bench_rank_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_rank_scaling");
+    group.sample_size(20);
+    for ranks in [2usize, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ranks),
+            &ranks,
+            |b, &n| {
+                b.iter(|| {
+                    Experiment::new(
+                        Workload::Ft {
+                            class: FtClass::A,
+                            ranks: n,
+                        },
+                        DvsStrategy::StaticMhz(1400),
+                    )
+                    .run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ft_simulation,
+    bench_strategies,
+    bench_transpose,
+    bench_rank_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Run every beyond-the-paper extension and ablation study.
+fn main() {
+    pwrperf_bench::extensions::all_extensions();
+}

@@ -1,0 +1,4 @@
+//! Regenerate every table and figure in the paper's evaluation, in order.
+fn main() {
+    pwrperf_bench::figures::all();
+}

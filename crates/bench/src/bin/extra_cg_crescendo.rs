@@ -1,0 +1,4 @@
+//! Extension/ablation study; see `pwrperf_bench::extensions`.
+fn main() {
+    pwrperf_bench::extensions::extra_cg_crescendo();
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper artifact; see `pwrperf_bench::figures`.
+fn main() {
+    pwrperf_bench::figures::fig2_weighted_ed2p_curves();
+}

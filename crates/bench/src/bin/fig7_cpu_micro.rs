@@ -1,0 +1,4 @@
+//! Regenerate the paper artifact; see `pwrperf_bench::figures`.
+fn main() {
+    pwrperf_bench::figures::fig7_cpu_micro();
+}

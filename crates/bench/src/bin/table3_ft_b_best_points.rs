@@ -1,0 +1,4 @@
+//! Regenerate the paper artifact; see `pwrperf_bench::figures`.
+fn main() {
+    pwrperf_bench::figures::table3_ft_b_best_points();
+}

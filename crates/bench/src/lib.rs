@@ -1,0 +1,53 @@
+//! # pwrperf-bench — paper regenerators and performance benchmarks
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Figure/table regenerators** (`src/bin/`): one binary per table and
+//!   figure in the paper's evaluation, each printing the reproduced
+//!   rows/series next to the paper's reported numbers
+//!   (`cargo run -p pwrperf-bench --bin fig3_ft_b_crescendo`). The
+//!   `all_figures` binary runs every regenerator in sequence.
+//! * **Criterion benches** (`benches/`): performance of the simulator
+//!   itself (engine event throughput, collective lowering, fair-share
+//!   allocation, governor overhead), run with `cargo bench`.
+
+use pwrperf::calibration::PaperTarget;
+
+/// Print a paper-vs-measured comparison row.
+pub fn print_target_row(target: &PaperTarget, measured_e: f64, measured_d: f64) {
+    println!(
+        "  {:>12} @{:>5}MHz  paper E={:.3} D={:.3}  measured E={:.3} D={:.3}  (ΔE={:+.3}, ΔD={:+.3})",
+        target.strategy,
+        target.mhz,
+        target.norm_energy,
+        target.norm_delay,
+        measured_e,
+        measured_d,
+        measured_e - target.norm_energy,
+        measured_d - target.norm_delay,
+    );
+}
+
+/// Standard header for a regenerator binary.
+pub fn banner(figure: &str, description: &str) {
+    println!("==============================================================");
+    println!("{figure}: {description}");
+    println!("Ge, Feng, Cameron — IPPS 2005 reproduction (simulated cluster)");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwrperf::calibration::target;
+
+    #[test]
+    fn helpers_run_without_panicking() {
+        banner("Fig. X", "smoke test");
+        let t = target("ft_b8", "stat", 600).unwrap();
+        print_target_row(&t, 0.68, 1.09);
+    }
+}
+
+pub mod extensions;
+pub mod figures;

@@ -1,0 +1,327 @@
+//! Argument parsing for the `pwrperf` command (hand-rolled: the tool has
+//! three subcommands and a dozen flags; a parser dependency would be
+//! heavier than the parser).
+
+use powerpack::{CommMicroConfig, MicroConfig};
+use pwrperf::{DvsStrategy, Workload};
+use workloads::{CgClass, FtClass, MgClass};
+
+/// A parsed invocation.
+#[derive(Debug)]
+pub enum Command {
+    /// `pwrperf run -w <workload> -s <strategy> [--blocking-waits <ms>]`
+    Run {
+        /// Workload to execute.
+        workload: Workload,
+        /// DVS strategy.
+        strategy: DvsStrategy,
+        /// Poll-then-block window in ms (`None` = busy-poll).
+        blocking_ms: Option<u64>,
+    },
+    /// `pwrperf sweep -w <workload> [--dynamic]`
+    Sweep {
+        /// Workload to sweep over the ladder.
+        workload: Workload,
+        /// Sweep dynamic bases instead of static pins.
+        dynamic: bool,
+    },
+    /// `pwrperf best -w <workload> [--delta <d>]`
+    Best {
+        /// Workload to pick a best point for.
+        workload: Workload,
+        /// Weighted-ED²P weight factor.
+        delta: f64,
+    },
+    /// `pwrperf export -w <workload> -s <strategy> -o <dir>`
+    Export {
+        /// Workload to execute.
+        workload: Workload,
+        /// DVS strategy.
+        strategy: DvsStrategy,
+        /// Output directory for the CSV files.
+        out_dir: String,
+    },
+    /// `pwrperf list`
+    List,
+    /// `pwrperf help` (or parse failure, with a message).
+    Help(Option<String>),
+}
+
+/// Parse a workload name.
+pub fn parse_workload(name: &str) -> Result<Workload, String> {
+    let w = match name {
+        "ft-a8" => Workload::Ft { class: FtClass::A, ranks: 8 },
+        "ft-b8" => Workload::ft_b8(),
+        "ft-c8" => Workload::ft_c8(),
+        "ft-test4" => Workload::ft_test(4),
+        "cg-a8" => Workload::Cg { class: CgClass::A, ranks: 8 },
+        "cg-b8" => Workload::cg_b8(),
+        "mg-a8" => Workload::Mg { class: MgClass::A, ranks: 8 },
+        "mg-b8" => Workload::mg_b8(),
+        "transpose" => Workload::transpose_paper(),
+        "swim" => Workload::Swim,
+        "mgrid" => Workload::Mgrid,
+        "mem-micro" => Workload::MemoryMicro(MicroConfig::default()),
+        "cpu-micro" => Workload::CpuMicro(MicroConfig { passes: 400_000 }),
+        "comm-256k" => Workload::Comm(CommMicroConfig::paper_256k()),
+        "comm-4k" => Workload::Comm(CommMicroConfig::paper_4k_strided()),
+        other => return Err(format!("unknown workload '{other}' (try `pwrperf list`)")),
+    };
+    Ok(w)
+}
+
+/// Parse a strategy name.
+pub fn parse_strategy(name: &str) -> Result<DvsStrategy, String> {
+    if let Some(mhz) = name.strip_prefix("static-") {
+        let mhz: u32 = mhz.parse().map_err(|_| format!("bad frequency in '{name}'"))?;
+        return Ok(DvsStrategy::StaticMhz(mhz));
+    }
+    if let Some(mhz) = name.strip_prefix("dynamic-") {
+        let mhz: u32 = mhz.parse().map_err(|_| format!("bad frequency in '{name}'"))?;
+        return Ok(DvsStrategy::DynamicBaseMhz(mhz));
+    }
+    match name {
+        "cpuspeed" => Ok(DvsStrategy::Cpuspeed),
+        "ondemand" => Ok(DvsStrategy::OnDemand),
+        "conservative" => Ok(DvsStrategy::Conservative),
+        other => Err(format!("unknown strategy '{other}' (try `pwrperf list`)")),
+    }
+}
+
+/// Known workload names (for `list` and error hints).
+pub const WORKLOAD_NAMES: &[&str] = &[
+    "ft-a8", "ft-b8", "ft-c8", "ft-test4", "cg-a8", "cg-b8", "mg-a8", "mg-b8", "transpose", "swim", "mgrid",
+    "mem-micro", "cpu-micro", "comm-256k", "comm-4k",
+];
+
+/// Known strategy names.
+pub const STRATEGY_NAMES: &[&str] = &[
+    "static-<mhz>",
+    "dynamic-<mhz>",
+    "cpuspeed",
+    "ondemand",
+    "conservative",
+];
+
+fn take_value<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+) -> Result<&'a str, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Parse the full argument vector (without the program name).
+pub fn parse(args: &[&str]) -> Command {
+    match parse_inner(args) {
+        Ok(cmd) => cmd,
+        Err(msg) => Command::Help(Some(msg)),
+    }
+}
+
+fn parse_inner(args: &[&str]) -> Result<Command, String> {
+    let mut it = args.iter().copied();
+    let sub = it.next().unwrap_or("help");
+    match sub {
+        "run" => {
+            let mut workload = None;
+            let mut strategy = None;
+            let mut blocking_ms = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "-w" | "--workload" => {
+                        workload = Some(parse_workload(take_value(&mut it, flag)?)?)
+                    }
+                    "-s" | "--strategy" => {
+                        strategy = Some(parse_strategy(take_value(&mut it, flag)?)?)
+                    }
+                    "--blocking-waits" => {
+                        blocking_ms = Some(
+                            take_value(&mut it, flag)?
+                                .parse()
+                                .map_err(|_| "bad --blocking-waits value".to_string())?,
+                        )
+                    }
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            Ok(Command::Run {
+                workload: workload.ok_or("run needs --workload")?,
+                strategy: strategy.ok_or("run needs --strategy")?,
+                blocking_ms,
+            })
+        }
+        "sweep" => {
+            let mut workload = None;
+            let mut dynamic = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "-w" | "--workload" => {
+                        workload = Some(parse_workload(take_value(&mut it, flag)?)?)
+                    }
+                    "--dynamic" => dynamic = true,
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            Ok(Command::Sweep {
+                workload: workload.ok_or("sweep needs --workload")?,
+                dynamic,
+            })
+        }
+        "best" => {
+            let mut workload = None;
+            let mut delta = edp_metrics::DELTA_HPC;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "-w" | "--workload" => {
+                        workload = Some(parse_workload(take_value(&mut it, flag)?)?)
+                    }
+                    "--delta" => {
+                        delta = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| "bad --delta value".to_string())?;
+                        if !(-1.0..=1.0).contains(&delta) {
+                            return Err("--delta must be in [-1, 1]".to_string());
+                        }
+                    }
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            Ok(Command::Best {
+                workload: workload.ok_or("best needs --workload")?,
+                delta,
+            })
+        }
+        "export" => {
+            let mut workload = None;
+            let mut strategy = None;
+            let mut out_dir = "pwrperf-out".to_string();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "-w" | "--workload" => {
+                        workload = Some(parse_workload(take_value(&mut it, flag)?)?)
+                    }
+                    "-s" | "--strategy" => {
+                        strategy = Some(parse_strategy(take_value(&mut it, flag)?)?)
+                    }
+                    "-o" | "--out" => out_dir = take_value(&mut it, flag)?.to_string(),
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            Ok(Command::Export {
+                workload: workload.ok_or("export needs --workload")?,
+                strategy: strategy.ok_or("export needs --strategy")?,
+                out_dir,
+            })
+        }
+        "list" => Ok(Command::List),
+        "help" | "-h" | "--help" => Ok(Command::Help(None)),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_run() {
+        let cmd = parse(&["run", "-w", "ft-b8", "-s", "static-800"]);
+        match cmd {
+            Command::Run {
+                workload,
+                strategy,
+                blocking_ms,
+            } => {
+                assert_eq!(workload.label(), Workload::ft_b8().label());
+                assert_eq!(strategy, DvsStrategy::StaticMhz(800));
+                assert_eq!(blocking_ms, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_blocking_waits() {
+        let cmd = parse(&["run", "-w", "swim", "-s", "cpuspeed", "--blocking-waits", "50"]);
+        match cmd {
+            Command::Run { blocking_ms, .. } => assert_eq!(blocking_ms, Some(50)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_sweep_and_best() {
+        assert!(matches!(
+            parse(&["sweep", "-w", "transpose", "--dynamic"]),
+            Command::Sweep { dynamic: true, .. }
+        ));
+        match parse(&["best", "-w", "mgrid", "--delta", "-0.5"]) {
+            Command::Best { delta, .. } => assert!((delta + 0.5).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn best_defaults_to_hpc_delta() {
+        match parse(&["best", "-w", "swim"]) {
+            Command::Best { delta, .. } => assert_eq!(delta, edp_metrics::DELTA_HPC),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_listed_workloads_parse() {
+        for name in WORKLOAD_NAMES {
+            assert!(parse_workload(name).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn strategy_parsing_covers_all_forms() {
+        assert_eq!(parse_strategy("static-600").unwrap(), DvsStrategy::StaticMhz(600));
+        assert_eq!(
+            parse_strategy("dynamic-1400").unwrap(),
+            DvsStrategy::DynamicBaseMhz(1400)
+        );
+        assert_eq!(parse_strategy("cpuspeed").unwrap(), DvsStrategy::Cpuspeed);
+        assert_eq!(parse_strategy("ondemand").unwrap(), DvsStrategy::OnDemand);
+        assert_eq!(
+            parse_strategy("conservative").unwrap(),
+            DvsStrategy::Conservative
+        );
+        assert!(parse_strategy("warp-speed").is_err());
+    }
+
+    #[test]
+    fn errors_become_help_with_message() {
+        assert!(matches!(parse(&["run", "-w", "nope"]), Command::Help(Some(_))));
+        assert!(matches!(parse(&["run"]), Command::Help(Some(_))));
+        assert!(matches!(parse(&["frobnicate"]), Command::Help(Some(_))));
+        assert!(matches!(
+            parse(&["best", "-w", "swim", "--delta", "3"]),
+            Command::Help(Some(_))
+        ));
+    }
+
+    #[test]
+    fn parses_export() {
+        match parse(&["export", "-w", "swim", "-s", "static-600", "-o", "/tmp/x"]) {
+            Command::Export { out_dir, strategy, .. } => {
+                assert_eq!(out_dir, "/tmp/x");
+                assert_eq!(strategy, DvsStrategy::StaticMhz(600));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Default output directory.
+        match parse(&["export", "-w", "swim", "-s", "static-600"]) {
+            Command::Export { out_dir, .. } => assert_eq!(out_dir, "pwrperf-out"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_invocation_is_help() {
+        assert!(matches!(parse(&[]), Command::Help(None)));
+        assert!(matches!(parse(&["--help"]), Command::Help(None)));
+    }
+}

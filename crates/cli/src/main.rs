@@ -1,0 +1,215 @@
+//! `pwrperf` — run, sweep, and analyze DVS experiments from the shell.
+//!
+//! ```sh
+//! pwrperf run   -w ft-b8     -s static-800
+//! pwrperf sweep -w transpose
+//! pwrperf sweep -w ft-c8 --dynamic
+//! pwrperf best  -w swim --delta 0.2
+//! pwrperf list
+//! ```
+
+mod args;
+
+use args::{Command, STRATEGY_NAMES, WORKLOAD_NAMES};
+use edp_metrics::{best_operating_point, efficiency_gain, weighted_ed2p, DELTA_HPC};
+use pwrperf::{
+    dynamic_crescendo, static_crescendo, EngineConfig, Experiment, WaitPolicy, Workload,
+};
+use sim_core::SimDuration;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = argv.iter().map(|s| s.as_str()).collect();
+    match args::parse(&refs) {
+        Command::Run {
+            workload,
+            strategy,
+            blocking_ms,
+        } => run(workload, strategy, blocking_ms),
+        Command::Sweep { workload, dynamic } => sweep(workload, dynamic),
+        Command::Export {
+            workload,
+            strategy,
+            out_dir,
+        } => export(workload, strategy, &out_dir),
+        Command::Best { workload, delta } => best(workload, delta),
+        Command::List => list(),
+        Command::Help(msg) => {
+            let failed = msg.is_some();
+            if let Some(msg) = msg {
+                eprintln!("error: {msg}\n");
+            }
+            help();
+            if failed {
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn engine_for(blocking_ms: Option<u64>) -> EngineConfig {
+    EngineConfig {
+        wait_policy: match blocking_ms {
+            None => WaitPolicy::BusyPoll,
+            Some(ms) => WaitPolicy::PollThenBlock(SimDuration::from_millis(ms)),
+        },
+        ..EngineConfig::default()
+    }
+}
+
+fn run(workload: Workload, strategy: pwrperf::DvsStrategy, blocking_ms: Option<u64>) {
+    let result = Experiment::new(workload.clone(), strategy)
+        .with_engine(engine_for(blocking_ms))
+        .run();
+    println!("workload : {}", workload.label());
+    println!("strategy : {}", strategy.label());
+    println!("time     : {:.2} s", result.duration_secs());
+    println!("energy   : {:.0} J (avg {:.1} W)", result.total_energy_j(), result.average_power_w());
+    println!(
+        "components: cpu_dyn {:.0} J | cpu_static {:.0} J | base {:.0} J | mem {:.0} J | nic {:.0} J",
+        result.total.cpu_dynamic_j,
+        result.total.cpu_static_j,
+        result.total.base_j,
+        result.total.memory_j,
+        result.total.nic_j
+    );
+    println!(
+        "transitions: {} total across {} nodes",
+        result.transitions.iter().sum::<u64>(),
+        result.transitions.len()
+    );
+    let avg_compute: f64 = result
+        .breakdown
+        .iter()
+        .map(|b| b.compute_fraction())
+        .sum::<f64>()
+        / result.breakdown.len() as f64;
+    println!("avg compute fraction: {:.1}%", avg_compute * 100.0);
+    // Cluster-aggregate time_in_state (cpufreq-style residency).
+    if let Some(first) = result.freq_residency.first() {
+        let mut totals: Vec<(u32, f64)> = first.iter().map(|(mhz, _)| (*mhz, 0.0)).collect();
+        for node in &result.freq_residency {
+            for (slot, (_, d)) in totals.iter_mut().zip(node) {
+                slot.1 += d.as_secs_f64();
+            }
+        }
+        let all: f64 = totals.iter().map(|(_, t)| t).sum();
+        if all > 0.0 {
+            print!("time in state:");
+            for (mhz, t) in totals.iter().rev() {
+                print!(" {mhz}MHz {:.1}%", 100.0 * t / all);
+            }
+            println!();
+        }
+    }
+    if let Some(life) = powerpack::battery_life_secs(&result, 72_000.0) {
+        println!(
+            "battery life at this draw: {:.0} min (72 Wh pack, hungriest node)",
+            life / 60.0
+        );
+    }
+}
+
+fn sweep(workload: Workload, dynamic: bool) {
+    let crescendo = if dynamic {
+        dynamic_crescendo(&workload)
+    } else {
+        static_crescendo(&workload)
+    };
+    println!(
+        "{} sweep of {}:",
+        if dynamic { "dynamic" } else { "static" },
+        workload.label()
+    );
+    println!(
+        "{:>6} {:>12} {:>10} {:>8} {:>8} {:>12}",
+        "MHz", "energy(J)", "delay(s)", "E/E0", "D/D0", "wED2P(HPC)"
+    );
+    for (point, (mhz, e, d)) in crescendo.points().iter().zip(crescendo.normalized()) {
+        println!(
+            "{:>6} {:>12.1} {:>10.3} {:>8.3} {:>8.3} {:>12.3}",
+            mhz,
+            point.energy_j,
+            point.delay_s,
+            e,
+            d,
+            weighted_ed2p(e, d, DELTA_HPC)
+        );
+    }
+}
+
+fn best(workload: Workload, delta: f64) {
+    let crescendo = static_crescendo(&workload);
+    let best = best_operating_point(&crescendo, delta).expect("non-empty crescendo");
+    let gain = efficiency_gain(&crescendo, delta);
+    println!("workload : {}", workload.label());
+    println!("delta    : {delta}");
+    println!("best     : {best} MHz");
+    println!("gain     : {:.1}% over static 1400 MHz", gain * 100.0);
+}
+
+fn export(workload: Workload, strategy: pwrperf::DvsStrategy, out_dir: &str) {
+    let engine = EngineConfig {
+        sample_interval: Some(SimDuration::from_millis(100)),
+        trace_capacity: 1 << 20,
+        ..EngineConfig::default()
+    };
+    let result = Experiment::new(workload.clone(), strategy)
+        .with_engine(engine)
+        .run();
+    let dir = std::path::Path::new(out_dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {out_dir}: {e}");
+        std::process::exit(1);
+    }
+    let files = [
+        ("samples.csv", powerpack::samples_to_csv(&result.samples)),
+        ("trace.csv", powerpack::trace_to_csv(&result.trace)),
+        ("summary.csv", powerpack::summary_to_csv(&result)),
+    ];
+    for (name, contents) in files {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+    println!(
+        "run: {} under {} — {:.2} s, {:.0} J",
+        workload.label(),
+        strategy.label(),
+        result.duration_secs(),
+        result.total_energy_j()
+    );
+}
+
+fn list() {
+    println!("workloads:");
+    for w in WORKLOAD_NAMES {
+        println!("  {w}");
+    }
+    println!("strategies:");
+    for s in STRATEGY_NAMES {
+        println!("  {s}");
+    }
+}
+
+fn help() {
+    println!(
+        "pwrperf — power-performance analysis on a simulated DVS cluster
+(reproduction of Ge, Feng, Cameron, IPPS 2005)
+
+USAGE:
+  pwrperf run    -w <workload> -s <strategy> [--blocking-waits <ms>]
+  pwrperf sweep  -w <workload> [--dynamic]
+  pwrperf best   -w <workload> [--delta <-1..1>]
+  pwrperf export -w <workload> -s <strategy> [-o <dir>]
+  pwrperf list
+
+EXAMPLES:
+  pwrperf run   -w ft-b8 -s static-800
+  pwrperf sweep -w transpose
+  pwrperf best  -w swim --delta 0.2"
+    );
+}

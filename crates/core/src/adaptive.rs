@@ -1,0 +1,238 @@
+//! Automatic slack-directed DVS instrumentation.
+//!
+//! The paper inserts its dynamic-control calls *by hand*, around functions
+//! the authors knew were slack-heavy (`fft()`, transpose steps 2–3). The
+//! successor systems in this paper's lineage (Adagio, GEOPM) automated
+//! that decision. This module implements the same idea on our substrate:
+//!
+//! 1. run a **pilot** at the top frequency with power sampling and phase
+//!    tracing enabled;
+//! 2. compute each named phase's **mean power**; phases drawing well
+//!    below the hottest phase are slack-heavy (their time is dominated by
+//!    waits or stalls, not switching);
+//! 3. **rewrite** the programs, wrapping the selected phases in
+//!    `SetSpeed(Lowest)` / `SetSpeed(Restore)` — exactly what the paper's
+//!    hand instrumentation did;
+//! 4. run under the dynamic governor.
+//!
+//! The result reproduces the paper's hand-tuned dynamic results without
+//! knowing anything about the application.
+
+use std::collections::BTreeSet;
+
+use mpi_sim::{EngineConfig, Op, Program, RunResult};
+use powerpack::profile_phases;
+use sim_core::SimDuration;
+
+use crate::strategy::DvsStrategy;
+use crate::workload::Workload;
+use crate::Experiment;
+
+/// Tunables for the automatic instrumenter.
+#[derive(Debug, Clone)]
+pub struct AutoTuner {
+    /// A phase is slack-heavy when its mean power is below this fraction
+    /// of the hottest phase's mean power.
+    pub power_fraction_threshold: f64,
+    /// Ignore phases shorter than this per occurrence (transition
+    /// overhead would eat the gains).
+    pub min_phase_occurrence: SimDuration,
+    /// Ignore phases that account for less than this fraction of total
+    /// rank-time (not worth the transitions).
+    pub min_time_fraction: f64,
+    /// Power sampling interval for the pilot run (fine enough to resolve
+    /// the shortest phase of interest).
+    pub pilot_sample_interval: SimDuration,
+}
+
+impl Default for AutoTuner {
+    fn default() -> Self {
+        AutoTuner {
+            // Slack-heavy phases blend their waits with some compute
+            // (FT's fft() runs at ~0.78 of the hottest phase's power);
+            // phases above this fraction are dense compute.
+            power_fraction_threshold: 0.85,
+            min_phase_occurrence: SimDuration::from_millis(10),
+            min_time_fraction: 0.02,
+            pilot_sample_interval: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// The outcome of an automatic tuning pass.
+#[derive(Debug)]
+pub struct AutoTuneOutcome {
+    /// Phases selected for down-scaling, sorted.
+    pub selected_phases: Vec<String>,
+    /// The pilot run (top frequency, sampled).
+    pub pilot: RunResult,
+    /// The tuned run (dynamic governor, auto-instrumented programs).
+    pub tuned: RunResult,
+}
+
+impl AutoTuner {
+    /// Pick slack-heavy phase names from a sampled, traced pilot run.
+    pub fn select_phases(&self, pilot: &RunResult) -> Vec<String> {
+        let profiles = profile_phases(pilot);
+        if profiles.is_empty() {
+            return Vec::new();
+        }
+        let ranks = pilot.breakdown.len().max(1) as f64;
+        let total_rank_time = pilot.duration_secs() * ranks;
+        // Mean power per phase; the hottest phase anchors the scale.
+        let mean_power = |p: &powerpack::PhaseProfile| {
+            let t = p.total_time.as_secs_f64();
+            if t <= 0.0 {
+                f64::INFINITY
+            } else {
+                p.energy_j / t
+            }
+        };
+        let hottest = profiles
+            .values()
+            .map(mean_power)
+            .filter(|p| p.is_finite())
+            .fold(0.0f64, f64::max);
+        if hottest <= 0.0 {
+            return Vec::new();
+        }
+        let mut selected: Vec<String> = profiles
+            .iter()
+            .filter(|(_, p)| {
+                let t = p.total_time.as_secs_f64();
+                let per_occurrence = t / p.occurrences.max(1) as f64;
+                mean_power(p) < self.power_fraction_threshold * hottest
+                    && per_occurrence >= self.min_phase_occurrence.as_secs_f64()
+                    && t / total_rank_time >= self.min_time_fraction
+            })
+            .map(|(name, _)| name.clone())
+            .collect();
+        selected.sort();
+        selected
+    }
+
+    /// Wrap every occurrence of the selected phases in down/restore
+    /// speed requests.
+    pub fn instrument(programs: &[Program], phases: &BTreeSet<String>) -> Vec<Program> {
+        programs
+            .iter()
+            .map(|p| {
+                let mut ops = Vec::with_capacity(p.len() + 8);
+                for op in p.ops() {
+                    match op {
+                        Op::PhaseBegin(name) if phases.contains(*name) => {
+                            ops.push(op.clone());
+                            ops.push(Op::SetSpeed(dvfs::AppSpeedRequest::Lowest));
+                        }
+                        Op::PhaseEnd(name) if phases.contains(*name) => {
+                            ops.push(Op::SetSpeed(dvfs::AppSpeedRequest::Restore));
+                            ops.push(op.clone());
+                        }
+                        other => ops.push(other.clone()),
+                    }
+                }
+                Program::from_ops(ops)
+            })
+            .collect()
+    }
+
+    /// Full pipeline: pilot → select → instrument → tuned run.
+    pub fn tune(&self, workload: &Workload) -> AutoTuneOutcome {
+        let pilot_engine = EngineConfig {
+            sample_interval: Some(self.pilot_sample_interval),
+            trace_capacity: 1 << 20,
+            ..EngineConfig::default()
+        };
+        let pilot = Experiment::new(workload.clone(), DvsStrategy::StaticMhz(1400))
+            .with_engine(pilot_engine)
+            .run();
+        let selected = self.select_phases(&pilot);
+        let phase_set: BTreeSet<String> = selected.iter().cloned().collect();
+
+        // Rewrite the *uninstrumented* programs and run them under the
+        // dynamic governor via a custom engine assembly.
+        let programs = AutoTuner::instrument(&workload.programs(false), &phase_set);
+        let cluster = cluster_sim::Cluster::paper_testbed(workload.ranks());
+        let governors = DvsStrategy::DynamicBaseMhz(1400).governors(cluster.nodes());
+        let tuned =
+            mpi_sim::Engine::new(cluster, programs, governors, EngineConfig::default()).run();
+
+        AutoTuneOutcome {
+            selected_phases: selected,
+            pilot,
+            tuned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft_a8() -> Workload {
+        Workload::Ft {
+            class: workloads::FtClass::A,
+            ranks: 8,
+        }
+    }
+
+    #[test]
+    fn selects_ft_communication_phase() {
+        let outcome = AutoTuner::default().tune(&ft_a8());
+        assert!(
+            outcome.selected_phases.iter().any(|p| p == "fft"),
+            "selected: {:?}",
+            outcome.selected_phases
+        );
+        assert!(
+            !outcome.selected_phases.iter().any(|p| p == "evolve"),
+            "evolve is hot compute, selected: {:?}",
+            outcome.selected_phases
+        );
+    }
+
+    #[test]
+    fn tuned_run_saves_energy_like_hand_instrumentation() {
+        let workload = ft_a8();
+        let outcome = AutoTuner::default().tune(&workload);
+        let hand = Experiment::new(workload, DvsStrategy::DynamicBaseMhz(1400)).run();
+        // Auto-tuned energy within a few percent of the hand-tuned run.
+        let ratio = outcome.tuned.total_energy_j() / hand.total_energy_j();
+        assert!((0.93..=1.07).contains(&ratio), "auto/hand energy ratio {ratio}");
+        assert!(outcome.tuned.total_energy_j() < outcome.pilot.total_energy_j());
+    }
+
+    #[test]
+    fn instrument_wraps_only_selected_phases() {
+        let programs = Workload::ft_test(2).programs(false);
+        let phases: BTreeSet<String> = ["fft".to_string()].into_iter().collect();
+        let rewritten = AutoTuner::instrument(&programs, &phases);
+        let count = |p: &Program, pat: fn(&Op) -> bool| p.ops().iter().filter(|o| pat(o)).count();
+        let begins = count(&rewritten[0], |o| matches!(o, Op::PhaseBegin("fft")));
+        let speeds = count(&rewritten[0], |o| matches!(o, Op::SetSpeed(_)));
+        assert_eq!(speeds, 2 * begins);
+        // Length grew exactly by the inserted requests.
+        assert_eq!(rewritten[0].len(), programs[0].len() + speeds);
+    }
+
+    #[test]
+    fn single_phase_workload_selects_nothing() {
+        // mgrid has one phase: nothing is "cooler than the hottest".
+        let tuner = AutoTuner::default();
+        let pilot_engine = EngineConfig {
+            sample_interval: Some(SimDuration::from_millis(100)),
+            trace_capacity: 1 << 16,
+            ..EngineConfig::default()
+        };
+        let pilot = Experiment::new(Workload::Mgrid, DvsStrategy::StaticMhz(1400))
+            .with_engine(pilot_engine)
+            .run();
+        assert!(tuner.select_phases(&pilot).is_empty());
+    }
+
+    #[test]
+    fn untraced_pilot_selects_nothing() {
+        let pilot = Experiment::new(Workload::ft_test(2), DvsStrategy::StaticMhz(1400)).run();
+        assert!(AutoTuner::default().select_phases(&pilot).is_empty());
+    }
+}

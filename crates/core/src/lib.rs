@@ -1,0 +1,49 @@
+//! # pwrperf — distributed power-performance analysis and optimization
+//!
+//! The top of the reproduction stack for Ge, Feng and Cameron,
+//! *"Improvement of Power-Performance Efficiency for High-End Computing"*
+//! (IPPS 2005): a framework to **measure, analyze, and optimize** the
+//! energy and time-to-solution of distributed scientific applications
+//! under dynamic voltage scaling.
+//!
+//! ```
+//! use pwrperf::{DvsStrategy, Experiment, Workload};
+//! use edp_metrics::{best_operating_point, DELTA_HPC};
+//!
+//! // Run NAS FT (tiny test class) on 4 nodes at a static 800 MHz.
+//! let experiment = Experiment::new(
+//!     Workload::ft_test(4),
+//!     DvsStrategy::StaticMhz(800),
+//! );
+//! let result = experiment.run();
+//! assert!(result.total_energy_j() > 0.0);
+//!
+//! // Sweep the whole ladder and pick the paper's "HPC best" point.
+//! let crescendo = pwrperf::static_crescendo(&Workload::ft_test(4));
+//! let best = best_operating_point(&crescendo, DELTA_HPC).unwrap();
+//! assert!(best >= 600 && best <= 1400);
+//! ```
+//!
+//! Everything underneath is reachable through the re-exported substrate
+//! crates: `cluster-sim` (hardware), `mpi-sim` (runtime + engine), `dvfs`
+//! (governors), `powerpack` (measurement), `workloads` (applications),
+//! `edp-metrics` (metrics).
+
+pub mod adaptive;
+pub mod calibration;
+pub mod experiment;
+pub mod report;
+pub mod strategy;
+pub mod workload;
+
+pub use experiment::{
+    cpuspeed_point, crescendo_of, crescendo_with, dynamic_crescendo, ladder_mhz_desc,
+    static_crescendo, Experiment,
+};
+pub use adaptive::{AutoTuneOutcome, AutoTuner};
+pub use strategy::DvsStrategy;
+pub use workload::Workload;
+
+// Convenience re-exports for downstream binaries.
+pub use edp_metrics;
+pub use mpi_sim::{EngineConfig, RunResult, WaitPolicy};

@@ -1,0 +1,114 @@
+//! The paper's three distributed DVS strategies (plus extensions).
+
+use cluster_sim::Node;
+use dvfs::{
+    AppDirectedGovernor, ConservativeGovernor, CpuspeedGovernor, Governor, OnDemandGovernor,
+    StaticGovernor,
+};
+use power_model::DvfsLadder;
+
+/// A cluster-wide DVS strategy (the paper's Section 4 taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DvsStrategy {
+    /// The stock `cpuspeed` daemon on every node, acting independently.
+    Cpuspeed,
+    /// Static control: all nodes pinned to the given frequency.
+    StaticMhz(u32),
+    /// Dynamic (application-directed) control with the given base
+    /// frequency; instrumented regions drop to the ladder minimum.
+    DynamicBaseMhz(u32),
+    /// Beyond-the-paper: the kernel `ondemand` policy on every node.
+    OnDemand,
+    /// Beyond-the-paper: the kernel `conservative` policy (one-step moves
+    /// in both directions) on every node.
+    Conservative,
+}
+
+impl DvsStrategy {
+    /// Whether workloads should be built with the PowerPack dynamic-DVS
+    /// instrumentation (only the dynamic strategy honors it; building it
+    /// in for others would be inert anyway, matching the paper's setup
+    /// where the library calls are present but the governor ignores them).
+    pub fn wants_instrumentation(&self) -> bool {
+        matches!(self, DvsStrategy::DynamicBaseMhz(_))
+    }
+
+    /// Instantiate one governor per node.
+    pub fn governors(&self, nodes: &[Node]) -> Vec<Box<dyn Governor>> {
+        nodes
+            .iter()
+            .map(|node| -> Box<dyn Governor> {
+                let ladder: &DvfsLadder = &node.config().ladder;
+                match self {
+                    DvsStrategy::Cpuspeed => Box::new(CpuspeedGovernor::stock()),
+                    DvsStrategy::StaticMhz(mhz) => {
+                        Box::new(StaticGovernor::pinned(ladder.index_for_mhz(*mhz)))
+                    }
+                    DvsStrategy::DynamicBaseMhz(mhz) => {
+                        Box::new(AppDirectedGovernor::with_base(ladder.index_for_mhz(*mhz)))
+                    }
+                    DvsStrategy::OnDemand => Box::new(OnDemandGovernor::stock()),
+                    DvsStrategy::Conservative => Box::new(ConservativeGovernor::stock()),
+                }
+            })
+            .collect()
+    }
+
+    /// Report label (matches the paper's figure legends).
+    pub fn label(&self) -> String {
+        match self {
+            DvsStrategy::Cpuspeed => "cpuspeed".to_string(),
+            DvsStrategy::StaticMhz(mhz) => format!("stat {mhz}MHz"),
+            DvsStrategy::DynamicBaseMhz(mhz) => format!("dyn {mhz}MHz"),
+            DvsStrategy::OnDemand => "ondemand".to_string(),
+            DvsStrategy::Conservative => "conservative".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::NodeConfig;
+
+    fn nodes(n: usize) -> Vec<Node> {
+        (0..n).map(|i| Node::new(i, NodeConfig::inspiron_8600())).collect()
+    }
+
+    #[test]
+    fn one_governor_per_node() {
+        let ns = nodes(8);
+        for strat in [
+            DvsStrategy::Cpuspeed,
+            DvsStrategy::StaticMhz(800),
+            DvsStrategy::DynamicBaseMhz(1400),
+            DvsStrategy::OnDemand,
+        ] {
+            assert_eq!(strat.governors(&ns).len(), 8);
+        }
+    }
+
+    #[test]
+    fn only_dynamic_wants_instrumentation() {
+        assert!(DvsStrategy::DynamicBaseMhz(1400).wants_instrumentation());
+        assert!(!DvsStrategy::Cpuspeed.wants_instrumentation());
+        assert!(!DvsStrategy::StaticMhz(600).wants_instrumentation());
+        assert!(!DvsStrategy::OnDemand.wants_instrumentation());
+    }
+
+    #[test]
+    fn static_governor_resolves_mhz() {
+        let ns = nodes(1);
+        let mut govs = DvsStrategy::StaticMhz(800).governors(&ns);
+        assert_eq!(govs[0].initial(&ns[0]), Some(1));
+        let mut govs = DvsStrategy::StaticMhz(1400).governors(&ns);
+        assert_eq!(govs[0].initial(&ns[0]), Some(4));
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(DvsStrategy::Cpuspeed.label(), "cpuspeed");
+        assert_eq!(DvsStrategy::StaticMhz(800).label(), "stat 800MHz");
+        assert_eq!(DvsStrategy::DynamicBaseMhz(1000).label(), "dyn 1000MHz");
+    }
+}

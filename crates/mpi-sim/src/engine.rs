@@ -1,0 +1,855 @@
+//! The discrete-event simulation engine.
+//!
+//! One [`Engine`] couples:
+//!
+//! * per-rank [`Program`]s (one rank per node, as in the paper's runs),
+//! * the [`FluidNetwork`] carrying message payloads,
+//! * per-node [`cluster_sim::Node`] power meters and `/proc/stat`,
+//! * per-node DVFS [`Governor`]s (static / cpuspeed / dynamic / ondemand),
+//! * optional periodic power sampling (the PowerPack measurement tap).
+//!
+//! ## Message semantics
+//!
+//! Point-to-point follows MPICH-1.2.5 over TCP:
+//!
+//! * **eager** (payload ≤ eager threshold): the flow enters the network as
+//!   soon as the sender posts; the receiver matches whenever it arrives;
+//! * **rendezvous** (larger): the flow starts only once both sides posted;
+//! * the *sender* completes when its payload has drained into the network;
+//!   the *receiver* completes one wire latency after the drain;
+//! * blocked ranks busy-poll (`BusyWait` activity — counted busy by
+//!   `/proc/stat`), optionally blocking into `Halt` after a configured
+//!   window ([`WaitPolicy::PollThenBlock`]).
+//!
+//! ## DVFS semantics
+//!
+//! A frequency change stalls the CPU for the ladder's transition latency
+//! (~10 µs on the Pentium M) and charges the transition energy impulse.
+//! A change landing mid-compute pauses the active phase, banks its
+//! progress in *cycles*, and re-times the remainder at the new frequency.
+//! Memory-stall phases and network flows are frequency-invariant and
+//! proceed through transitions untouched.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use cluster_sim::Cluster;
+use dvfs::Governor;
+use net_model::{FlowId, FluidNetwork};
+use power_model::{CpuActivity, OpIndex};
+use sim_core::{duration_to_cycles, EventQueue, SimDuration, SimTime, Trace, TraceKind};
+
+use crate::config::{EngineConfig, WaitPolicy};
+use crate::program::{Op, Program, Rank, Tag};
+use crate::result::{RankBreakdown, RunResult, SampleRow};
+
+type MsgId = usize;
+type MsgKey = (Rank, Rank, Tag);
+
+#[derive(Debug)]
+enum Event {
+    /// Continue a rank stalled by boot or a DVFS request.
+    Resume(Rank),
+    /// A compute phase (active or stall) finished.
+    PhaseDone(Rank),
+    /// A message fully arrived at its receiver (drain + wire latency).
+    Delivered(MsgId),
+    /// The network's earliest flow completion is due.
+    NetworkWake,
+    /// A DVFS transition completes; the new point takes effect.
+    TransitionDone(usize, OpIndex),
+    /// A governor's periodic decision point.
+    GovernorTick(usize),
+    /// A polling wait exceeded its window and blocks into idle.
+    WaitBlock(Rank),
+    /// Periodic measurement sample.
+    Sample,
+}
+
+/// What a waiting rank's receive side is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RecvWait {
+    /// Matched to a concrete in-flight message.
+    Matched(MsgId),
+    /// Posted, but no send has arrived yet for this key.
+    Unmatched(MsgKey),
+}
+
+#[derive(Debug)]
+enum RState {
+    /// Stalled awaiting a `Resume` (boot or DVFS stall).
+    Stalled,
+    /// Executing the frequency-scaled part of a compute segment.
+    ComputeActive {
+        cycles_total: f64,
+        started: SimTime,
+        event: u64,
+        /// Blended dynamic-power factor for this segment.
+        power_factor: f64,
+        then_stall: SimDuration,
+    },
+    /// Active compute paused by an in-flight DVFS transition.
+    PausedCompute {
+        remaining_cycles: f64,
+        power_factor: f64,
+        then_stall: SimDuration,
+    },
+    /// In the frequency-invariant DRAM-stall part of a compute segment.
+    ComputeStall,
+    /// Blocked on message completion(s).
+    Waiting {
+        need_send: Option<MsgId>,
+        need_recv: Option<RecvWait>,
+        block_event: Option<u64>,
+    },
+    /// Blocked in MPI_Waitall until every outstanding non-blocking
+    /// operation completes.
+    WaitingAll { block_event: Option<u64> },
+    /// Program finished.
+    Done,
+}
+
+/// Time-accounting bucket a rank is currently charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bucket {
+    None,
+    Compute,
+    MemStall,
+    WaitBusy,
+    WaitBlocked,
+    Transition,
+}
+
+#[derive(Debug)]
+struct RankRuntime {
+    pc: usize,
+    state: RState,
+    bucket: Bucket,
+    bucket_since: SimTime,
+    breakdown: RankBreakdown,
+    finish_time: Option<SimTime>,
+    /// Isends posted but not yet drained into the network.
+    outstanding_sends: std::collections::HashSet<MsgId>,
+    /// Irecvs matched to a message but not yet delivered.
+    outstanding_recvs_matched: std::collections::HashSet<MsgId>,
+    /// Irecvs posted with no matching send yet, counted per key.
+    outstanding_recvs_unmatched: HashMap<MsgKey, usize>,
+}
+
+#[derive(Debug)]
+struct Msg {
+    src: Rank,
+    dst: Rank,
+    bytes: u64,
+    flow_started: bool,
+    recv_posted: bool,
+    drained_at: Option<SimTime>,
+}
+
+/// The simulator. Construct with [`Engine::new`], run with [`Engine::run`].
+pub struct Engine {
+    config: EngineConfig,
+    cluster: Cluster,
+    network: FluidNetwork,
+    programs: Vec<Program>,
+    governors: Vec<Box<dyn Governor>>,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    ranks: Vec<RankRuntime>,
+    msgs: Vec<Msg>,
+    pending_sends: HashMap<MsgKey, VecDeque<MsgId>>,
+    pending_recvs: HashMap<MsgKey, VecDeque<()>>,
+    flow_to_msg: HashMap<FlowId, MsgId>,
+    net_event: Option<u64>,
+    finished: usize,
+    samples: Vec<SampleRow>,
+    trace: Trace,
+}
+
+impl Engine {
+    /// Assemble a simulation: one program and one governor per node.
+    pub fn new(
+        cluster: Cluster,
+        programs: Vec<Program>,
+        governors: Vec<Box<dyn Governor>>,
+        config: EngineConfig,
+    ) -> Self {
+        assert_eq!(
+            programs.len(),
+            cluster.len(),
+            "one program per node (rank i runs on node i)"
+        );
+        assert_eq!(governors.len(), cluster.len(), "one governor per node");
+        let n = cluster.len();
+        let network = FluidNetwork::new(cluster.network().clone(), n);
+        let trace = if config.trace_capacity > 0 {
+            Trace::new(config.trace_capacity)
+        } else {
+            Trace::disabled()
+        };
+        Engine {
+            config,
+            network,
+            programs,
+            governors,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            ranks: (0..n)
+                .map(|_| RankRuntime {
+                    pc: 0,
+                    state: RState::Stalled,
+                    bucket: Bucket::None,
+                    bucket_since: SimTime::ZERO,
+                    breakdown: RankBreakdown::default(),
+                    finish_time: None,
+                    outstanding_sends: std::collections::HashSet::new(),
+                    outstanding_recvs_matched: std::collections::HashSet::new(),
+                    outstanding_recvs_unmatched: HashMap::new(),
+                })
+                .collect(),
+            msgs: Vec::new(),
+            pending_sends: HashMap::new(),
+            pending_recvs: HashMap::new(),
+            flow_to_msg: HashMap::new(),
+            net_event: None,
+            finished: 0,
+            samples: Vec::new(),
+            cluster,
+            trace,
+        }
+    }
+
+    /// Run to completion and report.
+    pub fn run(mut self) -> RunResult {
+        let n = self.cluster.len();
+        // Boot: governors pick initial points instantly (pre-measurement).
+        for i in 0..n {
+            if let Some(target) = self.governors[i].initial(self.cluster.node(i)) {
+                self.cluster
+                    .node_mut(i)
+                    .force_operating_point(SimTime::ZERO, target);
+            }
+            if let Some(interval) = self.governors[i].poll_interval() {
+                self.queue
+                    .push(SimTime::ZERO + interval, Event::GovernorTick(i));
+            }
+        }
+        if let Some(interval) = self.config.sample_interval {
+            self.queue.push(SimTime::ZERO + interval, Event::Sample);
+        }
+        for r in 0..n {
+            self.queue.push(SimTime::ZERO, Event::Resume(r));
+        }
+
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(ev.time >= self.now, "event time went backwards");
+            self.now = ev.time;
+            self.dispatch(ev.event);
+            if self.finished == n {
+                break;
+            }
+        }
+        assert_eq!(self.finished, n, "deadlock: events exhausted with ranks pending");
+        self.finalize()
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Resume(r) => {
+                if matches!(self.ranks[r].state, RState::Stalled) {
+                    self.execute_next(r);
+                }
+            }
+            Event::PhaseDone(r) => self.on_phase_done(r),
+            Event::Delivered(m) => self.on_delivered(m),
+            Event::NetworkWake => self.on_network_wake(),
+            Event::TransitionDone(node, target) => self.on_transition_done(node, target),
+            Event::GovernorTick(node) => self.on_governor_tick(node),
+            Event::WaitBlock(r) => self.on_wait_block(r),
+            Event::Sample => self.on_sample(),
+        }
+    }
+
+    // ----- time accounting -------------------------------------------------
+
+    fn switch_bucket(&mut self, r: Rank, bucket: Bucket) {
+        let rt = &mut self.ranks[r];
+        let dt = self.now.since(rt.bucket_since);
+        match rt.bucket {
+            Bucket::None => {}
+            Bucket::Compute => rt.breakdown.compute += dt,
+            Bucket::MemStall => rt.breakdown.mem_stall += dt,
+            Bucket::WaitBusy => rt.breakdown.wait_busy += dt,
+            Bucket::WaitBlocked => rt.breakdown.wait_blocked += dt,
+            Bucket::Transition => rt.breakdown.transition += dt,
+        }
+        rt.bucket = bucket;
+        rt.bucket_since = self.now;
+    }
+
+    // ----- program execution -----------------------------------------------
+
+    /// Execute ops for `r` until one blocks or the program ends.
+    fn execute_next(&mut self, r: Rank) {
+        loop {
+            let pc = self.ranks[r].pc;
+            if pc >= self.programs[r].len() {
+                self.finish_rank(r);
+                return;
+            }
+            self.ranks[r].pc += 1;
+            // Ops are cheap to clone (WorkUnit is Copy-sized; strings are 'static).
+            let op = self.programs[r].ops()[pc].clone();
+            match op {
+                Op::Compute(w) => {
+                    let node = self.cluster.node(r);
+                    let hier = &node.config().mem;
+                    let split = w.split(hier, node.freq_hz());
+                    let cycles = w.scaled_cycles(hier);
+                    let factor = node.config().power.cpu.activity.compute_blend(
+                        w.cpu_cycles,
+                        w.l2_accesses * hier.l2_latency_cycles,
+                    );
+                    self.begin_active_phase(r, cycles, factor, split.stall);
+                    return;
+                }
+                Op::Send { dst, bytes, tag } => {
+                    let id = self.post_send(r, dst, bytes, tag);
+                    self.enter_wait(r, Some(id), None);
+                    return;
+                }
+                Op::Recv { src, tag } => match self.post_recv(r, src, tag) {
+                    None => {} // already delivered: keep executing
+                    Some(wait) => {
+                        self.enter_wait(r, None, Some(wait));
+                        return;
+                    }
+                },
+                Op::SendRecv {
+                    dst,
+                    send_bytes,
+                    send_tag,
+                    src,
+                    recv_tag,
+                } => {
+                    let send_id = self.post_send(r, dst, send_bytes, send_tag);
+                    let recv_wait = self.post_recv(r, src, recv_tag);
+                    self.enter_wait(r, Some(send_id), recv_wait);
+                    return;
+                }
+                Op::Isend { dst, bytes, tag } => {
+                    let id = self.post_send(r, dst, bytes, tag);
+                    // Unless it already drained (impossible synchronously),
+                    // track it for the next WaitAll.
+                    self.ranks[r].outstanding_sends.insert(id);
+                }
+                Op::Irecv { src, tag } => match self.post_recv(r, src, tag) {
+                    None => {}
+                    Some(RecvWait::Matched(id)) => {
+                        self.ranks[r].outstanding_recvs_matched.insert(id);
+                    }
+                    Some(RecvWait::Unmatched(key)) => {
+                        *self.ranks[r]
+                            .outstanding_recvs_unmatched
+                            .entry(key)
+                            .or_insert(0) += 1;
+                    }
+                },
+                Op::WaitAll => {
+                    if self.rank_has_outstanding(r) {
+                        let block_event = match self.config.wait_policy {
+                            WaitPolicy::BusyPoll => None,
+                            WaitPolicy::PollThenBlock(window) => {
+                                Some(self.queue.push(self.now + window, Event::WaitBlock(r)))
+                            }
+                        };
+                        self.ranks[r].state = RState::WaitingAll { block_event };
+                        self.switch_bucket(r, Bucket::WaitBusy);
+                        self.cluster
+                            .node_mut(r)
+                            .set_activity(self.now, CpuActivity::BusyWait);
+                        return;
+                    }
+                }
+                Op::SetSpeed(req) => {
+                    let decision =
+                        self.governors[r].on_app_request(self.now, self.cluster.node(r), req);
+                    if let Some(target) = decision {
+                        let lat = self.request_transition(r, target);
+                        if !lat.is_zero() {
+                            self.ranks[r].state = RState::Stalled;
+                            self.switch_bucket(r, Bucket::Transition);
+                            self.cluster.node_mut(r).set_activity(self.now, CpuActivity::Halt);
+                            // TransitionDone was queued by request_transition
+                            // first, so at the tied timestamp the new
+                            // frequency applies before execution resumes.
+                            self.queue.push(self.now + lat, Event::Resume(r));
+                            return;
+                        }
+                    }
+                }
+                Op::PhaseBegin(name) => {
+                    self.trace.record(self.now, r, TraceKind::PhaseBegin, name);
+                }
+                Op::PhaseEnd(name) => {
+                    self.trace.record(self.now, r, TraceKind::PhaseEnd, name);
+                }
+            }
+        }
+    }
+
+    fn begin_active_phase(
+        &mut self,
+        r: Rank,
+        cycles: f64,
+        power_factor: f64,
+        then_stall: SimDuration,
+    ) {
+        if cycles <= 0.0 {
+            self.begin_stall_phase(r, then_stall);
+            return;
+        }
+        let freq = self.cluster.node(r).freq_hz();
+        let duration = SimDuration::from_secs_f64(cycles / freq);
+        let event = self.queue.push(self.now + duration, Event::PhaseDone(r));
+        self.ranks[r].state = RState::ComputeActive {
+            cycles_total: cycles,
+            started: self.now,
+            event,
+            power_factor,
+            then_stall,
+        };
+        self.switch_bucket(r, Bucket::Compute);
+        self.cluster
+            .node_mut(r)
+            .set_active_blended(self.now, power_factor);
+    }
+
+    fn begin_stall_phase(&mut self, r: Rank, stall: SimDuration) {
+        if stall.is_zero() {
+            self.execute_next(r);
+            return;
+        }
+        self.queue.push(self.now + stall, Event::PhaseDone(r));
+        self.ranks[r].state = RState::ComputeStall;
+        self.switch_bucket(r, Bucket::MemStall);
+        let node = self.cluster.node_mut(r);
+        node.set_activity(self.now, CpuActivity::MemStall);
+        node.set_mem_active(self.now, true);
+    }
+
+    fn on_phase_done(&mut self, r: Rank) {
+        match self.ranks[r].state {
+            RState::ComputeActive { then_stall, .. } => {
+                self.begin_stall_phase(r, then_stall);
+            }
+            RState::ComputeStall => {
+                self.cluster.node_mut(r).set_mem_active(self.now, false);
+                self.execute_next(r);
+            }
+            // A cancelled/stale phase event for a rank that moved on.
+            _ => {}
+        }
+    }
+
+    fn finish_rank(&mut self, r: Rank) {
+        self.switch_bucket(r, Bucket::None);
+        self.ranks[r].state = RState::Done;
+        self.ranks[r].finish_time = Some(self.now);
+        self.cluster
+            .node_mut(r)
+            .set_activity(self.now, CpuActivity::Halt);
+        self.finished += 1;
+    }
+
+    // ----- waiting ---------------------------------------------------------
+
+    fn enter_wait(&mut self, r: Rank, need_send: Option<MsgId>, need_recv: Option<RecvWait>) {
+        if need_send.is_none() && need_recv.is_none() {
+            self.execute_next(r);
+            return;
+        }
+        let block_event = match self.config.wait_policy {
+            WaitPolicy::BusyPoll => None,
+            WaitPolicy::PollThenBlock(window) => {
+                Some(self.queue.push(self.now + window, Event::WaitBlock(r)))
+            }
+        };
+        self.ranks[r].state = RState::Waiting {
+            need_send,
+            need_recv,
+            block_event,
+        };
+        self.switch_bucket(r, Bucket::WaitBusy);
+        self.cluster
+            .node_mut(r)
+            .set_activity(self.now, CpuActivity::BusyWait);
+    }
+
+    fn on_wait_block(&mut self, r: Rank) {
+        match &mut self.ranks[r].state {
+            RState::Waiting { block_event, .. } | RState::WaitingAll { block_event } => {
+                *block_event = None;
+                self.switch_bucket(r, Bucket::WaitBlocked);
+                self.cluster
+                    .node_mut(r)
+                    .set_activity(self.now, CpuActivity::Halt);
+            }
+            _ => {}
+        }
+    }
+
+    fn rank_has_outstanding(&self, r: Rank) -> bool {
+        let rt = &self.ranks[r];
+        !rt.outstanding_sends.is_empty()
+            || !rt.outstanding_recvs_matched.is_empty()
+            || rt.outstanding_recvs_unmatched.values().any(|&c| c > 0)
+    }
+
+    /// An outstanding non-blocking op completed; resume a rank parked in
+    /// WaitAll once everything it posted has finished.
+    fn maybe_resume_waitall(&mut self, r: Rank) {
+        if matches!(self.ranks[r].state, RState::WaitingAll { .. })
+            && !self.rank_has_outstanding(r)
+        {
+            if let RState::WaitingAll {
+                block_event: Some(ev),
+            } = self.ranks[r].state
+            {
+                self.queue.cancel(ev);
+            }
+            self.execute_next(r);
+        }
+    }
+
+    /// Clear a satisfied wait condition and resume the rank if nothing is
+    /// left to wait for.
+    fn maybe_resume_waiter(&mut self, r: Rank) {
+        let ready = matches!(
+            &self.ranks[r].state,
+            RState::Waiting {
+                need_send: None,
+                need_recv: None,
+                ..
+            }
+        );
+        if ready {
+            if let RState::Waiting {
+                block_event: Some(ev),
+                ..
+            } = self.ranks[r].state
+            {
+                self.queue.cancel(ev);
+            }
+            self.execute_next(r);
+        }
+    }
+
+    // ----- messaging -------------------------------------------------------
+
+    fn post_send(&mut self, src: Rank, dst: Rank, bytes: u64, tag: Tag) -> MsgId {
+        let id = self.msgs.len();
+        self.msgs.push(Msg {
+            src,
+            dst,
+            bytes,
+            flow_started: false,
+            recv_posted: false,
+            drained_at: None,
+        });
+        self.trace
+            .record(self.now, src, TraceKind::MsgStart, format!("->{dst} {bytes}B"));
+        let key = (src, dst, tag);
+        let matched = match self.pending_recvs.get_mut(&key) {
+            Some(q) if !q.is_empty() => {
+                q.pop_front();
+                true
+            }
+            _ => false,
+        };
+        if matched {
+            self.msgs[id].recv_posted = true;
+            self.rebind_receiver_wait(dst, key, id);
+        } else {
+            self.pending_sends.entry(key).or_default().push_back(id);
+        }
+        let eager = bytes <= self.config.eager_threshold;
+        if eager || self.msgs[id].recv_posted {
+            self.start_flow_for(id);
+        }
+        id
+    }
+
+    /// Returns `None` when the receive completed synchronously, otherwise
+    /// the wait descriptor.
+    fn post_recv(&mut self, dst: Rank, src: Rank, tag: Tag) -> Option<RecvWait> {
+        let key = (src, dst, tag);
+        let send_id = match self.pending_sends.get_mut(&key) {
+            Some(q) => q.pop_front(),
+            None => None,
+        };
+        match send_id {
+            None => {
+                self.pending_recvs.entry(key).or_default().push_back(());
+                Some(RecvWait::Unmatched(key))
+            }
+            Some(id) => {
+                self.msgs[id].recv_posted = true;
+                if !self.msgs[id].flow_started {
+                    self.start_flow_for(id); // rendezvous now matched
+                }
+                match self.msgs[id].drained_at {
+                    Some(drained) => {
+                        let deliver_at = drained + self.network.params().wire_latency;
+                        if deliver_at <= self.now {
+                            self.trace.record(
+                                self.now,
+                                dst,
+                                TraceKind::MsgEnd,
+                                format!("<-{src}"),
+                            );
+                            None // already here
+                        } else {
+                            self.queue.push(deliver_at, Event::Delivered(id));
+                            Some(RecvWait::Matched(id))
+                        }
+                    }
+                    None => Some(RecvWait::Matched(id)),
+                }
+            }
+        }
+    }
+
+    /// A send just matched a receiver that already posted: upgrade its
+    /// unmatched wait (blocking Recv) or unmatched irecv bookkeeping to
+    /// this concrete message. When a rank has both a blocked Recv and an
+    /// outstanding Irecv on the same key, the blocked Recv wins — mixing
+    /// the two styles on one (src, tag) key is not meaningful MPI anyway.
+    fn rebind_receiver_wait(&mut self, dst: Rank, key: MsgKey, id: MsgId) {
+        if let RState::Waiting {
+            need_recv: Some(w @ RecvWait::Unmatched(_)),
+            ..
+        } = &mut self.ranks[dst].state
+        {
+            if *w == RecvWait::Unmatched(key) {
+                *w = RecvWait::Matched(id);
+                return;
+            }
+        }
+        if let Some(count) = self.ranks[dst].outstanding_recvs_unmatched.get_mut(&key) {
+            if *count > 0 {
+                *count -= 1;
+                self.ranks[dst].outstanding_recvs_matched.insert(id);
+            }
+        }
+    }
+
+    fn start_flow_for(&mut self, id: MsgId) {
+        let (src, dst, bytes) = {
+            let m = &self.msgs[id];
+            (m.src, m.dst, m.bytes)
+        };
+        let flow = self.network.start_flow(self.now, src, dst, bytes);
+        self.msgs[id].flow_started = true;
+        self.flow_to_msg.insert(flow, id);
+        self.refresh_nic(src);
+        self.refresh_nic(dst);
+        self.reschedule_network();
+    }
+
+    fn refresh_nic(&mut self, node: usize) {
+        let busy = self.network.node_busy(node);
+        self.cluster.node_mut(node).set_nic_active(self.now, busy);
+    }
+
+    fn reschedule_network(&mut self) {
+        if let Some(ev) = self.net_event.take() {
+            self.queue.cancel(ev);
+        }
+        if let Some(t) = self.network.next_completion() {
+            let t = t.max(self.now);
+            self.net_event = Some(self.queue.push(t, Event::NetworkWake));
+        }
+    }
+
+    fn on_network_wake(&mut self) {
+        self.net_event = None;
+        let completed = self.network.take_completed(self.now);
+        let latency = self.network.params().wire_latency;
+        for (flow, src, dst) in completed {
+            let id = self
+                .flow_to_msg
+                .remove(&flow)
+                .expect("completed flow without a message");
+            self.msgs[id].drained_at = Some(self.now);
+            self.refresh_nic(src);
+            self.refresh_nic(dst);
+            // Sender side completes at drain.
+            if let RState::Waiting {
+                need_send: ns @ Some(_),
+                ..
+            } = &mut self.ranks[src].state
+            {
+                if *ns == Some(id) {
+                    *ns = None;
+                    self.maybe_resume_waiter(src);
+                }
+            }
+            // Non-blocking sender: strike the isend off the outstanding set.
+            if self.ranks[src].outstanding_sends.remove(&id) {
+                self.maybe_resume_waitall(src);
+            }
+            // Receiver side completes after the wire latency, if posted.
+            if self.msgs[id].recv_posted {
+                self.queue.push(self.now + latency, Event::Delivered(id));
+            }
+        }
+        self.reschedule_network();
+    }
+
+    fn on_delivered(&mut self, id: MsgId) {
+        let dst = self.msgs[id].dst;
+        self.trace
+            .record(self.now, dst, TraceKind::MsgEnd, format!("<-{}", self.msgs[id].src));
+        if let RState::Waiting {
+            need_recv: nr @ Some(RecvWait::Matched(_)),
+            ..
+        } = &mut self.ranks[dst].state
+        {
+            if *nr == Some(RecvWait::Matched(id)) {
+                *nr = None;
+                self.maybe_resume_waiter(dst);
+            }
+        }
+        // Non-blocking receiver: strike the irecv off the outstanding set.
+        if self.ranks[dst].outstanding_recvs_matched.remove(&id) {
+            self.maybe_resume_waitall(dst);
+        }
+    }
+
+    // ----- DVFS ------------------------------------------------------------
+
+    /// Begin moving `node` to `target`. Returns the stall latency (zero if
+    /// no transition was needed or one is already in flight).
+    fn request_transition(&mut self, node: usize, target: OpIndex) -> SimDuration {
+        {
+            let n = self.cluster.node(node);
+            if n.in_transition() || target == n.op_index() {
+                return SimDuration::ZERO;
+            }
+        }
+        let old_freq = self.cluster.node(node).freq_hz();
+        let lat = self.cluster.node_mut(node).begin_transition(self.now, target);
+        // Pause mid-flight active compute: bank progress in cycles.
+        if let RState::ComputeActive {
+            cycles_total,
+            started,
+            event,
+            power_factor,
+            then_stall,
+        } = self.ranks[node].state
+        {
+            self.queue.cancel(event);
+            let done = duration_to_cycles(self.now.since(started), old_freq);
+            let remaining = (cycles_total - done).max(0.0);
+            self.ranks[node].state = RState::PausedCompute {
+                remaining_cycles: remaining,
+                power_factor,
+                then_stall,
+            };
+            self.switch_bucket(node, Bucket::Transition);
+            self.cluster
+                .node_mut(node)
+                .set_activity(self.now, CpuActivity::Halt);
+        }
+        self.queue
+            .push(self.now + lat, Event::TransitionDone(node, target));
+        self.trace.record(
+            self.now,
+            node,
+            TraceKind::FreqChange,
+            format!("->op{target}"),
+        );
+        lat
+    }
+
+    fn on_transition_done(&mut self, node: usize, target: OpIndex) {
+        self.cluster.node_mut(node).complete_transition(self.now, target);
+        if let RState::PausedCompute {
+            remaining_cycles,
+            power_factor,
+            then_stall,
+        } = self.ranks[node].state
+        {
+            self.begin_active_phase(node, remaining_cycles, power_factor, then_stall);
+        }
+    }
+
+    fn on_governor_tick(&mut self, node: usize) {
+        if self.finished == self.cluster.len() {
+            return;
+        }
+        let decision = self.governors[node].on_tick(self.now, self.cluster.node(node));
+        if let Some(target) = decision {
+            self.request_transition(node, target);
+        }
+        if let Some(interval) = self.governors[node].poll_interval() {
+            self.queue
+                .push(self.now + interval, Event::GovernorTick(node));
+        }
+    }
+
+    // ----- sampling --------------------------------------------------------
+
+    fn on_sample(&mut self) {
+        let n = self.cluster.len();
+        let mut row = SampleRow {
+            time: self.now,
+            node_power_w: Vec::with_capacity(n),
+            node_energy_j: Vec::with_capacity(n),
+            node_mhz: Vec::with_capacity(n),
+            node_battery_mwh: Vec::with_capacity(n),
+        };
+        for i in 0..n {
+            row.node_power_w.push(self.cluster.node(i).power_now());
+            row.node_energy_j
+                .push(self.cluster.node(i).energy(self.now).total_j());
+            row.node_mhz.push(self.cluster.node(i).operating_point().mhz());
+            row.node_battery_mwh
+                .push(self.cluster.node_mut(i).poll_battery(self.now));
+        }
+        self.samples.push(row);
+        if let Some(interval) = self.config.sample_interval {
+            self.queue.push(self.now + interval, Event::Sample);
+        }
+    }
+
+    // ----- teardown --------------------------------------------------------
+
+    fn finalize(self) -> RunResult {
+        let end = self
+            .ranks
+            .iter()
+            .map(|r| r.finish_time.expect("finalize with unfinished rank"))
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let per_node: Vec<_> = self.cluster.nodes().iter().map(|n| n.energy(end)).collect();
+        let freq_residency: Vec<_> = self
+            .cluster
+            .nodes()
+            .iter()
+            .map(|n| n.time_in_state(end))
+            .collect();
+        let total = self.cluster.total_energy(end);
+        RunResult {
+            duration: end.since(SimTime::ZERO),
+            per_node,
+            total,
+            breakdown: self.ranks.into_iter().map(|r| r.breakdown).collect(),
+            transitions: self.cluster.nodes().iter().map(|n| n.transitions()).collect(),
+            samples: self.samples,
+            trace: self.trace.events().cloned().collect(),
+            freq_residency,
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! The fluid-flow network: active transfers draining at max-min fair rates.
+//!
+//! The engine drives this with three calls:
+//!
+//! 1. [`FluidNetwork::start_flow`] when a sender/receiver pair is matched;
+//! 2. [`FluidNetwork::next_completion`] to learn when to schedule the next
+//!    network event;
+//! 3. [`FluidNetwork::take_completed`] at that event to collect finished
+//!    transfers (rates are recomputed automatically as flows come and go).
+
+use sim_core::{SimDuration, SimTime};
+
+use crate::fair_share::{max_min_fair, FlowEndpoints};
+use crate::params::NetworkParams;
+
+/// Handle to an active transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(pub usize);
+
+/// Residual bytes below which a flow counts as drained (absorbs
+/// picosecond-rounding error; at 100 Mb/s one picosecond moves ~1e-5 bytes).
+const EPS_BYTES: f64 = 1e-3;
+
+/// Memory-to-memory bandwidth used for loopback (self) sends, bytes/s.
+/// Far faster than the fabric; rank-to-self copies are effectively free.
+const LOOPBACK_BYTES_PER_SEC: f64 = 1.0e9;
+
+#[derive(Debug, Clone)]
+struct ActiveFlow {
+    src: usize,
+    dst: usize,
+    remaining_bytes: f64,
+    rate_bytes_per_sec: f64,
+}
+
+/// A switched network carrying fluid flows between `nodes` endpoints.
+#[derive(Debug)]
+pub struct FluidNetwork {
+    params: NetworkParams,
+    nodes: usize,
+    flows: Vec<Option<ActiveFlow>>,
+    free_slots: Vec<usize>,
+    last_advance: SimTime,
+    total_bytes_delivered: f64,
+    total_flows_completed: u64,
+}
+
+impl FluidNetwork {
+    /// A network of `nodes` endpoints with the given parameters.
+    pub fn new(params: NetworkParams, nodes: usize) -> Self {
+        params.validate();
+        assert!(nodes > 0);
+        FluidNetwork {
+            params,
+            nodes,
+            flows: Vec::new(),
+            free_slots: Vec::new(),
+            last_advance: SimTime::ZERO,
+            total_bytes_delivered: 0.0,
+            total_flows_completed: 0,
+        }
+    }
+
+    /// Network parameters in force.
+    pub fn params(&self) -> &NetworkParams {
+        &self.params
+    }
+
+    /// Move the fluid state forward to `now`, draining flows at their
+    /// current rates. Idempotent for equal `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_advance, "network time went backwards");
+        let dt = now.since(self.last_advance).as_secs_f64();
+        if dt > 0.0 {
+            for slot in self.flows.iter_mut().flatten() {
+                let moved = slot.rate_bytes_per_sec * dt;
+                let drained = moved.min(slot.remaining_bytes);
+                slot.remaining_bytes -= drained;
+                self.total_bytes_delivered += drained;
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// Begin transferring `bytes` from `src` to `dst` at `now`.
+    /// Zero-byte flows are legal and complete immediately (control
+    /// messages' payload; their latency cost is handled by the MPI layer).
+    pub fn start_flow(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> FlowId {
+        assert!(src < self.nodes && dst < self.nodes, "endpoint out of range");
+        self.advance(now);
+        let flow = ActiveFlow {
+            src,
+            dst,
+            remaining_bytes: bytes as f64,
+            rate_bytes_per_sec: 0.0,
+        };
+        let id = if let Some(slot) = self.free_slots.pop() {
+            self.flows[slot] = Some(flow);
+            slot
+        } else {
+            self.flows.push(Some(flow));
+            self.flows.len() - 1
+        };
+        self.recompute_rates();
+        FlowId(id)
+    }
+
+    fn recompute_rates(&mut self) {
+        let mut idx = Vec::new();
+        let mut endpoints = Vec::new();
+        for (i, f) in self.flows.iter().enumerate() {
+            if let Some(f) = f {
+                idx.push(i);
+                endpoints.push(FlowEndpoints { src: f.src, dst: f.dst });
+            }
+        }
+        if endpoints.is_empty() {
+            return;
+        }
+        let rates = max_min_fair(
+            &endpoints,
+            self.nodes,
+            self.params.goodput_bytes_per_sec(),
+            LOOPBACK_BYTES_PER_SEC,
+        );
+        for (slot, rate) in idx.into_iter().zip(rates) {
+            self.flows[slot].as_mut().unwrap().rate_bytes_per_sec = rate;
+        }
+    }
+
+    /// Absolute time at which the earliest active flow drains, or `None`
+    /// when the network is idle. Always strictly at-or-after the last
+    /// `advance` point; rounding is upward so the flow is guaranteed
+    /// drained by the returned instant.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        let mut best: Option<f64> = None;
+        for f in self.flows.iter().flatten() {
+            let secs = if f.remaining_bytes <= EPS_BYTES {
+                0.0
+            } else {
+                f.remaining_bytes / f.rate_bytes_per_sec
+            };
+            best = Some(match best {
+                None => secs,
+                Some(b) => b.min(secs),
+            });
+        }
+        best.map(|secs| self.last_advance + SimDuration::from_secs_f64(secs) + SimDuration::from_ps(1))
+    }
+
+    /// Advance to `now` and remove every drained flow, returning
+    /// `(id, src, dst)` for each in id order.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<(FlowId, usize, usize)> {
+        self.advance(now);
+        let mut done = Vec::new();
+        for (i, slot) in self.flows.iter_mut().enumerate() {
+            if let Some(f) = slot {
+                if f.remaining_bytes <= EPS_BYTES {
+                    done.push((FlowId(i), f.src, f.dst));
+                    *slot = None;
+                    self.free_slots.push(i);
+                    self.total_flows_completed += 1;
+                }
+            }
+        }
+        if !done.is_empty() {
+            self.recompute_rates();
+        }
+        done
+    }
+
+    /// True while `node` has at least one active flow touching it (drives
+    /// the NIC power state).
+    pub fn node_busy(&self, node: usize) -> bool {
+        self.flows
+            .iter()
+            .flatten()
+            .any(|f| f.src == node || f.dst == node)
+    }
+
+    /// Number of in-flight flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.iter().flatten().count()
+    }
+
+    /// Total payload bytes fully drained so far.
+    pub fn bytes_delivered(&self) -> f64 {
+        self.total_bytes_delivered
+    }
+
+    /// Total flows completed so far.
+    pub fn flows_completed(&self) -> u64 {
+        self.total_flows_completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(nodes: usize) -> FluidNetwork {
+        FluidNetwork::new(NetworkParams::catalyst_2950_100m(), nodes)
+    }
+
+    #[test]
+    fn lone_flow_drains_at_link_rate() {
+        let mut n = net(2);
+        let bytes = 1_150_000u64; // ~0.1 s at 11.5 MB/s
+        n.start_flow(SimTime::ZERO, 0, 1, bytes);
+        let done_at = n.next_completion().unwrap();
+        let expect = bytes as f64 / n.params().goodput_bytes_per_sec();
+        assert!((done_at.as_secs_f64() - expect).abs() < 1e-6);
+        let done = n.take_completed(done_at);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, 0);
+        assert_eq!(done[0].2, 1);
+        assert_eq!(n.active_flows(), 0);
+    }
+
+    #[test]
+    fn sharing_halves_rate_then_releases() {
+        let mut n = net(3);
+        let b = 1_000_000u64;
+        n.start_flow(SimTime::ZERO, 0, 1, b);
+        n.start_flow(SimTime::ZERO, 0, 2, b);
+        // Both share node 0's uplink: each finishes in 2x the solo time.
+        let solo = b as f64 / n.params().goodput_bytes_per_sec();
+        let t1 = n.next_completion().unwrap();
+        assert!((t1.as_secs_f64() - 2.0 * solo).abs() < 1e-6, "{t1}");
+        let done = n.take_completed(t1);
+        assert_eq!(done.len(), 2); // identical flows drain together
+    }
+
+    #[test]
+    fn staggered_start_speeds_up_survivor() {
+        let mut n = net(3);
+        let b = 2_300_000u64; // ~0.2 s solo
+        let gbps = n.params().goodput_bytes_per_sec();
+        n.start_flow(SimTime::ZERO, 0, 1, b);
+        // Second flow starts when the first is half done.
+        let half = SimTime::from_secs(0) + SimDuration::from_secs_f64(0.5 * b as f64 / gbps);
+        n.start_flow(half, 0, 2, b);
+        // First flow: half at full rate + half at half rate = 1.5x solo.
+        let t1 = n.next_completion().unwrap();
+        let solo = b as f64 / gbps;
+        assert!((t1.as_secs_f64() - 1.5 * solo).abs() < 1e-6);
+        let done = n.take_completed(t1);
+        assert_eq!(done.len(), 1);
+        // Survivor then gets the full link back.
+        let t2 = n.next_completion().unwrap();
+        assert!(t2 > t1);
+        assert_eq!(n.take_completed(t2).len(), 1);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut n = net(2);
+        n.start_flow(SimTime::ZERO, 0, 1, 0);
+        let t = n.next_completion().unwrap();
+        assert!(t.as_secs_f64() < 1e-9);
+        assert_eq!(n.take_completed(t).len(), 1);
+    }
+
+    #[test]
+    fn node_busy_tracks_flow_presence() {
+        let mut n = net(3);
+        assert!(!n.node_busy(0));
+        n.start_flow(SimTime::ZERO, 0, 1, 1_000_000);
+        assert!(n.node_busy(0));
+        assert!(n.node_busy(1));
+        assert!(!n.node_busy(2));
+        let t = n.next_completion().unwrap();
+        n.take_completed(t);
+        assert!(!n.node_busy(0));
+    }
+
+    #[test]
+    fn loopback_is_fast_and_does_not_contend() {
+        let mut n = net(2);
+        n.start_flow(SimTime::ZERO, 0, 0, 10_000_000);
+        n.start_flow(SimTime::ZERO, 0, 1, 1_000_000);
+        // Loopback 10 MB at 1 GB/s = 10 ms, fabric 1 MB ~ 87 ms.
+        let t1 = n.next_completion().unwrap();
+        let done = n.take_completed(t1);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, 0);
+        assert_eq!(done[0].2, 0);
+    }
+
+    #[test]
+    fn accounting_tracks_bytes_and_flows() {
+        let mut n = net(2);
+        n.start_flow(SimTime::ZERO, 0, 1, 500_000);
+        let t = n.next_completion().unwrap();
+        n.take_completed(t);
+        assert_eq!(n.flows_completed(), 1);
+        assert!((n.bytes_delivered() - 500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn incast_serializes_on_downlink() {
+        // 4 senders to one root: each gets 1/4 of the root downlink, so the
+        // batch takes 4x a solo transfer — the transpose gather bottleneck.
+        let mut n = net(5);
+        let b = 1_000_000u64;
+        for s in 1..5 {
+            n.start_flow(SimTime::ZERO, s, 0, b);
+        }
+        let solo = b as f64 / n.params().goodput_bytes_per_sec();
+        let t = n.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 4.0 * solo).abs() < 1e-6);
+        assert_eq!(n.take_completed(t).len(), 4);
+    }
+
+    #[test]
+    fn slot_reuse_after_completion() {
+        let mut n = net(2);
+        let a = n.start_flow(SimTime::ZERO, 0, 1, 1000);
+        let t = n.next_completion().unwrap();
+        n.take_completed(t);
+        let b = n.start_flow(t, 1, 0, 1000);
+        assert_eq!(a.0, b.0, "slot should be recycled");
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn bad_endpoint_panics() {
+        net(2).start_flow(SimTime::ZERO, 0, 5, 10);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any batch of flows fully drains, delivering exactly the bytes
+        /// that were injected, regardless of contention pattern.
+        #[test]
+        fn prop_all_flows_drain_and_bytes_conserve(
+            flows in proptest::collection::vec((0usize..6, 0usize..6, 1u64..5_000_000), 1..24)
+        ) {
+            let mut net = FluidNetwork::new(NetworkParams::catalyst_2950_100m(), 6);
+            let mut total = 0u64;
+            for &(src, dst, bytes) in &flows {
+                net.start_flow(SimTime::ZERO, src, dst, bytes);
+                total += bytes;
+            }
+            let mut completed = 0usize;
+            let mut guard = 0;
+            while let Some(t) = net.next_completion() {
+                completed += net.take_completed(t).len();
+                guard += 1;
+                prop_assert!(guard < 10_000, "network failed to converge");
+            }
+            prop_assert_eq!(completed, flows.len());
+            prop_assert_eq!(net.active_flows(), 0);
+            prop_assert!((net.bytes_delivered() - total as f64).abs() < 1.0,
+                "delivered {} of {}", net.bytes_delivered(), total);
+        }
+
+        /// Completion time is never better than the contention-free bound
+        /// (bytes / link rate) and never worse than full serialization of
+        /// everything sharing the slowest link.
+        #[test]
+        fn prop_completion_bounded(
+            flows in proptest::collection::vec((0usize..4, 0usize..4, 100_000u64..2_000_000), 1..12)
+        ) {
+            let params = NetworkParams::catalyst_2950_100m();
+            let rate = params.goodput_bytes_per_sec();
+            let mut net = FluidNetwork::new(params, 4);
+            let mut total_fabric = 0u64;
+            let mut max_single = 0u64;
+            for &(src, dst, bytes) in &flows {
+                net.start_flow(SimTime::ZERO, src, dst, bytes);
+                if src != dst {
+                    total_fabric += bytes;
+                    max_single = max_single.max(bytes);
+                }
+            }
+            prop_assume!(total_fabric > 0);
+            let mut last = SimTime::ZERO;
+            while let Some(t) = net.next_completion() {
+                net.take_completed(t);
+                last = t;
+            }
+            let lower = max_single as f64 / rate;
+            // Upper bound: all fabric bytes through one link pair.
+            let upper = total_fabric as f64 / rate + 1e-6;
+            prop_assert!(last.as_secs_f64() >= lower * 0.999, "{} < {}", last.as_secs_f64(), lower);
+            prop_assert!(last.as_secs_f64() <= upper, "{} > {}", last.as_secs_f64(), upper);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Network parameters.
+
+use sim_core::SimDuration;
+
+/// Parameters of the switched cluster interconnect.
+#[derive(Debug, Clone)]
+pub struct NetworkParams {
+    /// Per-direction capacity of each node's link to the switch, bits/s.
+    pub link_bw_bps: f64,
+    /// Fixed per-message latency that does not depend on CPU frequency:
+    /// NIC DMA setup, switch store-and-forward, propagation.
+    pub wire_latency: SimDuration,
+    /// Protocol efficiency: fraction of raw link bandwidth usable as
+    /// payload goodput (Ethernet + IP + TCP framing overhead for MPICH's
+    /// p4/TCP transport).
+    pub goodput_efficiency: f64,
+}
+
+impl NetworkParams {
+    /// The paper's 100 Mb/s Catalyst 2950 fabric with MPICH-1.2.5/TCP
+    /// framing efficiency and tens-of-microseconds message latency.
+    pub fn catalyst_2950_100m() -> Self {
+        NetworkParams {
+            link_bw_bps: 100e6,
+            wire_latency: SimDuration::from_micros(30),
+            goodput_efficiency: 0.92,
+        }
+    }
+
+    /// Usable payload bandwidth per link direction, bytes/s.
+    pub fn goodput_bytes_per_sec(&self) -> f64 {
+        self.link_bw_bps * self.goodput_efficiency / 8.0
+    }
+
+    /// Panic on nonsensical values.
+    pub fn validate(&self) {
+        assert!(self.link_bw_bps > 0.0 && self.link_bw_bps.is_finite());
+        assert!((0.0..=1.0).contains(&self.goodput_efficiency) && self.goodput_efficiency > 0.0);
+    }
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        NetworkParams::catalyst_2950_100m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalyst_goodput_is_realistic() {
+        let p = NetworkParams::catalyst_2950_100m();
+        p.validate();
+        let bps = p.goodput_bytes_per_sec();
+        // ~11.5 MB/s payload on 100 Mb Ethernet.
+        assert!(bps > 10.0e6 && bps < 12.5e6, "{bps}");
+    }
+
+    #[test]
+    fn large_transfer_time_matches_paper_scale() {
+        // 256 KB one way should take ~20 ms, so the paper's 256 KB round
+        // trip sits in the tens of milliseconds: overwhelmingly wire time.
+        let p = NetworkParams::catalyst_2950_100m();
+        let t = 256.0 * 1024.0 / p.goodput_bytes_per_sec();
+        assert!(t > 0.015 && t < 0.03, "{t}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_rejected() {
+        NetworkParams {
+            link_bw_bps: 0.0,
+            ..NetworkParams::default()
+        }
+        .validate();
+    }
+}

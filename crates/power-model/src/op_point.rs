@@ -1,0 +1,207 @@
+//! DVFS operating points and the Pentium-M SpeedStep ladder (paper Table 2).
+
+use sim_core::SimDuration;
+use std::fmt;
+
+/// A single frequency/voltage pair the CPU can run at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Core clock in hertz.
+    pub freq_hz: f64,
+    /// Supply voltage in volts.
+    pub voltage: f64,
+}
+
+impl OperatingPoint {
+    /// Frequency in megahertz (how the paper labels its x-axes).
+    pub fn mhz(&self) -> u32 {
+        (self.freq_hz / 1e6).round() as u32
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}MHz@{:.3}V", self.mhz(), self.voltage)
+    }
+}
+
+/// Index into a [`DvfsLadder`], 0 = slowest point.
+pub type OpIndex = usize;
+
+/// An ordered set of operating points, slowest first.
+#[derive(Debug, Clone)]
+pub struct DvfsLadder {
+    points: Vec<OperatingPoint>,
+    transition_latency: SimDuration,
+}
+
+impl DvfsLadder {
+    /// Build a ladder from points in any order; they are sorted ascending by
+    /// frequency. Panics on an empty list or non-finite values.
+    pub fn new(mut points: Vec<OperatingPoint>, transition_latency: SimDuration) -> Self {
+        assert!(!points.is_empty(), "ladder needs at least one point");
+        for p in &points {
+            assert!(
+                p.freq_hz.is_finite() && p.freq_hz > 0.0 && p.voltage.is_finite() && p.voltage > 0.0,
+                "invalid operating point {p:?}"
+            );
+        }
+        points.sort_by(|a, b| a.freq_hz.total_cmp(&b.freq_hz));
+        DvfsLadder {
+            points,
+            transition_latency,
+        }
+    }
+
+    /// The Intel Pentium M 1.4 GHz Enhanced SpeedStep ladder — the paper's
+    /// Table 2 — with the manufacturer's ~10 µs lower-bound transition
+    /// latency.
+    pub fn pentium_m_1400() -> Self {
+        DvfsLadder::new(
+            vec![
+                OperatingPoint { freq_hz: 0.6e9, voltage: 0.956 },
+                OperatingPoint { freq_hz: 0.8e9, voltage: 1.180 },
+                OperatingPoint { freq_hz: 1.0e9, voltage: 1.308 },
+                OperatingPoint { freq_hz: 1.2e9, voltage: 1.436 },
+                OperatingPoint { freq_hz: 1.4e9, voltage: 1.484 },
+            ],
+            SimDuration::from_micros(10),
+        )
+    }
+
+    /// Number of operating points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always false; a ladder has at least one point by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The point at `idx`. Panics when out of range.
+    pub fn point(&self, idx: OpIndex) -> OperatingPoint {
+        self.points[idx]
+    }
+
+    /// All points, slowest first.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// Index of the slowest point (always 0).
+    pub fn lowest(&self) -> OpIndex {
+        0
+    }
+
+    /// Index of the fastest point.
+    pub fn highest(&self) -> OpIndex {
+        self.points.len() - 1
+    }
+
+    /// One step down (slower), clamped at the bottom.
+    pub fn step_down(&self, idx: OpIndex) -> OpIndex {
+        idx.saturating_sub(1)
+    }
+
+    /// One step up (faster), clamped at the top.
+    pub fn step_up(&self, idx: OpIndex) -> OpIndex {
+        (idx + 1).min(self.highest())
+    }
+
+    /// Find the index whose frequency is closest to `mhz` (how experiment
+    /// configs name points). Panics only on an impossible empty ladder.
+    pub fn index_for_mhz(&self, mhz: u32) -> OpIndex {
+        let target = mhz as f64 * 1e6;
+        let mut best = 0;
+        let mut best_err = f64::INFINITY;
+        for (i, p) in self.points.iter().enumerate() {
+            let err = (p.freq_hz - target).abs();
+            if err < best_err {
+                best_err = err;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Hardware latency of one frequency/voltage transition.
+    pub fn transition_latency(&self) -> SimDuration {
+        self.transition_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pentium_m_matches_table_2() {
+        let l = DvfsLadder::pentium_m_1400();
+        let expected = [
+            (600, 0.956),
+            (800, 1.180),
+            (1000, 1.308),
+            (1200, 1.436),
+            (1400, 1.484),
+        ];
+        assert_eq!(l.len(), 5);
+        for (i, (mhz, v)) in expected.iter().enumerate() {
+            assert_eq!(l.point(i).mhz(), *mhz);
+            assert!((l.point(i).voltage - v).abs() < 1e-9);
+        }
+        assert_eq!(l.transition_latency(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn ladder_sorts_ascending() {
+        let l = DvfsLadder::new(
+            vec![
+                OperatingPoint { freq_hz: 2e9, voltage: 1.2 },
+                OperatingPoint { freq_hz: 1e9, voltage: 1.0 },
+            ],
+            SimDuration::ZERO,
+        );
+        assert_eq!(l.point(0).mhz(), 1000);
+        assert_eq!(l.point(1).mhz(), 2000);
+    }
+
+    #[test]
+    fn stepping_clamps_at_ends() {
+        let l = DvfsLadder::pentium_m_1400();
+        assert_eq!(l.step_down(0), 0);
+        assert_eq!(l.step_up(l.highest()), l.highest());
+        assert_eq!(l.step_down(2), 1);
+        assert_eq!(l.step_up(2), 3);
+    }
+
+    #[test]
+    fn index_for_mhz_finds_nearest() {
+        let l = DvfsLadder::pentium_m_1400();
+        assert_eq!(l.point(l.index_for_mhz(600)).mhz(), 600);
+        assert_eq!(l.point(l.index_for_mhz(1400)).mhz(), 1400);
+        assert_eq!(l.point(l.index_for_mhz(950)).mhz(), 1000);
+        assert_eq!(l.point(l.index_for_mhz(5000)).mhz(), 1400);
+    }
+
+    #[test]
+    fn display_formats_point() {
+        let p = DvfsLadder::pentium_m_1400().point(0);
+        assert_eq!(p.to_string(), "600MHz@0.956V");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_ladder_panics() {
+        let _ = DvfsLadder::new(vec![], SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid operating point")]
+    fn negative_voltage_panics() {
+        let _ = DvfsLadder::new(
+            vec![OperatingPoint { freq_hz: 1e9, voltage: -1.0 }],
+            SimDuration::ZERO,
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Timestamp-driven profile alignment.
+//!
+//! The paper: "we created software to filter and align data sets from
+//! individual nodes for use in power and performance analysis". In the
+//! simulation every node shares one clock, so alignment reduces to
+//! aggregations over the engine's sample rows — but the interfaces mirror
+//! the real tool's outputs: cluster power profiles and per-node averages.
+
+use mpi_sim::SampleRow;
+use sim_core::SimTime;
+
+/// Cluster-wide power profile: `(time, total watts)` per sample.
+pub fn aligned_cluster_power(samples: &[SampleRow]) -> Vec<(SimTime, f64)> {
+    samples
+        .iter()
+        .map(|s| (s.time, s.node_power_w.iter().sum()))
+        .collect()
+}
+
+/// Time-average power of each node over the sampled window, watts.
+pub fn node_average_power(samples: &[SampleRow]) -> Vec<f64> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let nodes = samples[0].node_power_w.len();
+    let mut sums = vec![0.0f64; nodes];
+    for s in samples {
+        for (i, p) in s.node_power_w.iter().enumerate() {
+            sums[i] += p;
+        }
+    }
+    for v in &mut sums {
+        *v /= samples.len() as f64;
+    }
+    sums
+}
+
+/// The node whose average power deviates most from the cluster mean, with
+/// its deviation — the paper's outlier filter applied spatially (a node
+/// with a sick battery or meter shows up here).
+pub fn most_deviant_node(samples: &[SampleRow]) -> Option<(usize, f64)> {
+    let avgs = node_average_power(samples);
+    if avgs.is_empty() {
+        return None;
+    }
+    let mean: f64 = avgs.iter().sum::<f64>() / avgs.len() as f64;
+    avgs.iter()
+        .enumerate()
+        .map(|(i, &p)| (i, (p - mean).abs()))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(t: u64, powers: Vec<f64>) -> SampleRow {
+        SampleRow {
+            time: SimTime::from_secs(t),
+            node_energy_j: vec![0.0; powers.len()],
+            node_mhz: vec![1400; powers.len()],
+            node_battery_mwh: vec![0; powers.len()],
+            node_power_w: powers,
+        }
+    }
+
+    #[test]
+    fn cluster_power_sums_nodes() {
+        let samples = vec![row(0, vec![10.0, 20.0]), row(1, vec![12.0, 18.0])];
+        let profile = aligned_cluster_power(&samples);
+        assert_eq!(profile.len(), 2);
+        assert!((profile[0].1 - 30.0).abs() < 1e-12);
+        assert!((profile[1].1 - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_averages_are_per_node_means() {
+        let samples = vec![row(0, vec![10.0, 30.0]), row(1, vec![20.0, 30.0])];
+        let avg = node_average_power(&samples);
+        assert!((avg[0] - 15.0).abs() < 1e-12);
+        assert!((avg[1] - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviant_node_identified() {
+        let samples = vec![row(0, vec![30.0, 30.0, 55.0]), row(1, vec![30.0, 30.0, 55.0])];
+        let (node, dev) = most_deviant_node(&samples).unwrap();
+        assert_eq!(node, 2);
+        assert!(dev > 10.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_empty() {
+        assert!(aligned_cluster_power(&[]).is_empty());
+        assert!(node_average_power(&[]).is_empty());
+        assert!(most_deviant_node(&[]).is_none());
+    }
+}

@@ -1,0 +1,258 @@
+//! Stable, deterministic event queue.
+//!
+//! A discrete-event simulation is only reproducible if simultaneous events
+//! pop in a defined order. [`EventQueue`] therefore tags every pushed event
+//! with a monotonically increasing sequence number and orders by
+//! `(time, seq)`: earlier times first, and among equal times, earlier
+//! insertions first (FIFO). This makes runs bit-for-bit identical across
+//! platforms and `BinaryHeap` implementations.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event with its scheduled time and tie-breaking sequence number.
+#[derive(Debug, Clone)]
+pub struct QueuedEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Insertion order, used to break ties deterministically.
+    pub seq: u64,
+    /// The payload delivered to the simulation.
+    pub event: E,
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Reverse ordering so the std max-heap becomes a min-heap on (time, seq).
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+/// A deterministic min-priority queue of simulation events.
+///
+/// ```
+/// use sim_core::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime(20), "late");
+/// q.push(SimTime(10), "early");
+/// q.push(SimTime(10), "early-second");
+/// assert_eq!(q.pop().unwrap().event, "early");
+/// assert_eq!(q.pop().unwrap().event, "early-second");
+/// assert_eq!(q.pop().unwrap().event, "late");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Cancelled sequence numbers are dropped lazily on pop.
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedule `event` at `time`. Returns a handle that can later be passed
+    /// to [`EventQueue::cancel`].
+    pub fn push(&mut self, time: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        seq
+    }
+
+    /// Cancel a previously scheduled event by handle. Cancellation is lazy:
+    /// the entry stays in the heap until it would pop, then is skipped.
+    /// Cancelling an unknown or already-fired handle is a no-op.
+    pub fn cancel(&mut self, seq: u64) {
+        self.cancelled.insert(seq);
+    }
+
+    /// Remove and return the earliest live event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<QueuedEvent<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some(QueuedEvent {
+                time: entry.time,
+                seq: entry.seq,
+                event: entry.event,
+            });
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            match self.heap.peek() {
+                None => return None,
+                Some(entry) if self.cancelled.contains(&entry.seq) => {
+                    let seq = entry.seq;
+                    self.heap.pop();
+                    self.cancelled.remove(&seq);
+                }
+                Some(entry) => return Some(entry.time),
+            }
+        }
+    }
+
+    /// Number of entries currently held, including not-yet-skipped
+    /// cancellations (an upper bound on live events).
+    #[allow(clippy::len_without_is_empty)] // is_empty needs &mut (lazy cancellation)
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), 3);
+        q.push(SimTime(10), 1);
+        q.push(SimTime(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime(42), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime(1), "a");
+        q.push(SimTime(2), "b");
+        q.cancel(a);
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_noop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(1), "a");
+        q.cancel(999);
+        assert_eq!(q.pop().unwrap().event, "a");
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime(1), "a");
+        q.push(SimTime(5), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime(5)));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_behaves() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+    }
+
+    proptest! {
+        /// Whatever is pushed pops back in nondecreasing time order with
+        /// FIFO tie-breaking — the invariant determinism rests on.
+        #[test]
+        fn prop_stable_time_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(SimTime(*t), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some(ev) = q.pop() {
+                if let Some((lt, li)) = last {
+                    prop_assert!(ev.time >= lt);
+                    if ev.time == lt {
+                        prop_assert!(ev.event > li, "FIFO violated on tie");
+                    }
+                }
+                last = Some((ev.time, ev.event));
+            }
+        }
+
+        /// Cancelling an arbitrary subset removes exactly that subset.
+        #[test]
+        fn prop_cancellation_exact(n in 1usize..100, cancel_mask in proptest::collection::vec(any::<bool>(), 100)) {
+            let mut q = EventQueue::new();
+            let mut handles = Vec::new();
+            for i in 0..n {
+                handles.push((q.push(SimTime((i % 7) as u64), i), i));
+            }
+            let mut expect: Vec<usize> = Vec::new();
+            for (h, i) in &handles {
+                if cancel_mask[*i] {
+                    q.cancel(*h);
+                } else {
+                    expect.push(*i);
+                }
+            }
+            let mut got: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+            got.sort_unstable();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Deterministic pseudo-random numbers for workload jitter.
+//!
+//! The simulation must be reproducible: the same seed yields the same event
+//! trace on every platform. We implement xoshiro256** seeded via splitmix64
+//! (the reference seeding procedure) rather than pulling in a full RNG crate
+//! for the handful of draws the workload generators need.
+
+/// A small, fast, deterministic PRNG (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        DetRng { state }
+    }
+
+    /// Derive an independent child stream, e.g. one per cluster node, so
+    /// per-node jitter does not depend on the order nodes are simulated.
+    pub fn fork(&self, stream: u64) -> DetRng {
+        // Mix the stream id into fresh splitmix output from our state.
+        let mut s = self.state[0] ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        DetRng { state }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits -> uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Multiply-shift bounded rejection-free mapping (bias < 2^-64·span,
+        // negligible for simulation jitter).
+        let hi128 = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        lo + hi128
+    }
+
+    /// A multiplicative jitter factor uniform in `[1-amplitude, 1+amplitude]`.
+    ///
+    /// Used to perturb per-rank work so the simulated cluster exhibits the
+    /// mild natural imbalance real clusters show. `amplitude` is clamped to
+    /// `[0, 0.99]`.
+    pub fn jitter(&mut self, amplitude: f64) -> f64 {
+        let a = amplitude.clamp(0.0, 0.99);
+        1.0 - a + 2.0 * a * self.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let root = DetRng::new(7);
+        let mut c1 = root.fork(0);
+        let mut c1_again = root.fork(0);
+        let mut c2 = root.fork(1);
+        assert_eq!(c1.next_u64(), c1_again.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut rng = DetRng::new(99);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        DetRng::new(0).gen_range(5, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_f64_in_unit_interval(seed in any::<u64>()) {
+            let mut rng = DetRng::new(seed);
+            for _ in 0..100 {
+                let x = rng.next_f64();
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn prop_gen_range_in_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+            let mut rng = DetRng::new(seed);
+            for _ in 0..50 {
+                let x = rng.gen_range(lo, lo + span);
+                prop_assert!(x >= lo && x < lo + span);
+            }
+        }
+
+        #[test]
+        fn prop_jitter_bounds(seed in any::<u64>(), amp in 0.0f64..0.99) {
+            let mut rng = DetRng::new(seed);
+            for _ in 0..50 {
+                let j = rng.jitter(amp);
+                prop_assert!(j >= 1.0 - amp - 1e-12 && j <= 1.0 + amp + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Bounded in-memory simulation trace.
+//!
+//! The PowerPack framework in the paper coordinates and aligns measurement
+//! records from many nodes. Our simulated equivalent logs structured
+//! [`TraceEvent`]s (phase markers, frequency transitions, message
+//! lifecycles) that the `powerpack` crate later filters and aligns the same
+//! way the paper's post-processing tools do.
+
+use crate::time::SimTime;
+
+/// What kind of thing happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A program phase began (e.g. entering `fft()`).
+    PhaseBegin,
+    /// A program phase ended.
+    PhaseEnd,
+    /// A DVFS transition was requested or completed.
+    FreqChange,
+    /// A message entered the network.
+    MsgStart,
+    /// A message fully arrived.
+    MsgEnd,
+    /// A measurement sample was taken (battery/meter poll).
+    Sample,
+    /// Governor decision or other control action.
+    Control,
+    /// Anything else.
+    Other,
+}
+
+/// One timestamped trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// Which node it happened on (`usize::MAX` = cluster-wide).
+    pub node: usize,
+    /// Category for filtering.
+    pub kind: TraceKind,
+    /// Free-form detail, e.g. `"fft"` or `"1400->600"`.
+    pub detail: String,
+}
+
+/// Node id used for cluster-wide (not node-specific) events.
+pub const CLUSTER_NODE: usize = usize::MAX;
+
+/// A bounded event log. When the capacity is reached, the oldest events are
+/// discarded (the paper notes their tools must cope with "large amounts of
+/// data for typical scientific application runs" — we bound memory instead).
+#[derive(Debug)]
+pub struct Trace {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// A disabled trace that records nothing (zero overhead in hot loops
+    /// beyond a branch).
+    pub fn disabled() -> Self {
+        let mut t = Trace::new(0);
+        t.enabled = false;
+        t
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, time: SimTime, node: usize, kind: TraceKind, detail: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            time,
+            node,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// All retained events in chronological order.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Retained events matching `kind`.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Retained events for one node.
+    pub fn for_node(&self, node: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.node == node)
+    }
+
+    /// How many events were discarded due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(trace: &mut Trace, t: u64, node: usize, kind: TraceKind) {
+        trace.record(SimTime(t), node, kind, "x");
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::new(10);
+        ev(&mut t, 1, 0, TraceKind::PhaseBegin);
+        ev(&mut t, 2, 0, TraceKind::PhaseEnd);
+        let times: Vec<u64> = t.events().map(|e| e.time.0).collect();
+        assert_eq!(times, vec![1, 2]);
+    }
+
+    #[test]
+    fn capacity_drops_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            ev(&mut t, i, 0, TraceKind::Other);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let times: Vec<u64> = t.events().map(|e| e.time.0).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn filters_by_kind_and_node() {
+        let mut t = Trace::new(10);
+        ev(&mut t, 1, 0, TraceKind::FreqChange);
+        ev(&mut t, 2, 1, TraceKind::FreqChange);
+        ev(&mut t, 3, 0, TraceKind::Sample);
+        assert_eq!(t.of_kind(TraceKind::FreqChange).count(), 2);
+        assert_eq!(t.for_node(0).count(), 2);
+        assert_eq!(t.for_node(1).count(), 1);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        ev(&mut t, 1, 0, TraceKind::Other);
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn zero_capacity_counts_drops() {
+        let mut t = Trace::new(0);
+        ev(&mut t, 1, 0, TraceKind::Other);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+}

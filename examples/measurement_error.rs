@@ -1,0 +1,69 @@
+//! The paper's measurement methodology, quantified.
+//!
+//! PowerPack measures energy two ways: ACPI smart-battery polling (15–20 s
+//! refresh, 1 mWh quantization) and a Baytech power strip (one reading a
+//! minute). This example runs FT.B with 1 s engine sampling, replays both
+//! instruments over the samples, and compares them with the simulation's
+//! ground-truth joules — showing why the paper ran long problems and
+//! repeated every experiment.
+//!
+//! ```sh
+//! cargo run --release --example measurement_error
+//! ```
+
+use powerpack::{acpi_measured_energy, baytech_energy, node_average_power, ExperimentProtocol};
+use pwrperf::{DvsStrategy, EngineConfig, Experiment, Workload};
+use sim_core::SimDuration;
+
+fn main() {
+    let workload = Workload::ft_b8();
+    let engine = EngineConfig {
+        sample_interval: Some(SimDuration::from_secs(1)),
+        ..EngineConfig::default()
+    };
+    let run = Experiment::new(workload.clone(), DvsStrategy::StaticMhz(1000))
+        .with_engine(engine.clone())
+        .run();
+
+    println!("workload: {} at static 1000 MHz", workload.label());
+    println!("duration: {:.1} s, samples: {}\n", run.duration_secs(), run.samples.len());
+
+    let truth: f64 = run.per_node.iter().map(|r| r.total_j()).sum();
+    let acpi: f64 = acpi_measured_energy(&run.samples, SimDuration::from_secs(18))
+        .iter()
+        .sum();
+    let strip: f64 = baytech_energy(&run.samples).iter().sum();
+
+    println!("cluster energy, three ways:");
+    println!("  ground truth      : {truth:>10.0} J");
+    println!(
+        "  ACPI batteries    : {acpi:>10.0} J ({:+.2}%)",
+        (acpi / truth - 1.0) * 100.0
+    );
+    println!(
+        "  Baytech strip     : {strip:>10.0} J ({:+.2}%)",
+        (strip / truth - 1.0) * 100.0
+    );
+
+    let avg = node_average_power(&run.samples);
+    println!(
+        "\nper-node average power: min {:.1} W, max {:.1} W over {} nodes",
+        avg.iter().cloned().fold(f64::INFINITY, f64::min),
+        avg.iter().cloned().fold(0.0, f64::max),
+        avg.len()
+    );
+
+    // The paper's protocol: repeat >= 3 times, flag outliers.
+    let outcome = ExperimentProtocol::default().execute(|_| {
+        Experiment::new(workload.clone(), DvsStrategy::StaticMhz(1000))
+            .with_engine(engine.clone())
+            .run()
+    });
+    println!(
+        "\nprotocol over {} repetitions: mean {:.0} J, {:.1} s, outliers: {:?}",
+        outcome.energies_j.len(),
+        outcome.mean_energy_j,
+        outcome.mean_duration_s,
+        outcome.outliers
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: measure one workload under the paper's three DVS
+//! strategies and pick a "best" operating point.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use edp_metrics::{best_operating_point, efficiency_gain, DELTA_ENERGY, DELTA_HPC, DELTA_PERFORMANCE};
+use pwrperf::{cpuspeed_point, static_crescendo, DvsStrategy, Experiment, Workload};
+
+fn main() {
+    // The paper's Figure 3 workload: NAS FT class B on 8 simulated
+    // Pentium-M nodes.
+    let workload = Workload::ft_b8();
+    println!("workload: {}\n", workload.label());
+
+    // 1. One run, one strategy.
+    let run = Experiment::new(workload.clone(), DvsStrategy::StaticMhz(800)).run();
+    println!(
+        "static 800 MHz: {:.1} s, {:.0} J total ({:.0} J CPU dynamic, {:.0} J base)",
+        run.duration_secs(),
+        run.total_energy_j(),
+        run.total.cpu_dynamic_j,
+        run.total.base_j,
+    );
+
+    // 2. Sweep the whole SpeedStep ladder under static control.
+    let crescendo = static_crescendo(&workload);
+    println!("\nstatic crescendo (normalized to 1400 MHz):");
+    for (mhz, e, d) in crescendo.normalized() {
+        println!("  {mhz:>5} MHz: energy {e:.3}, delay {d:.3}");
+    }
+
+    // 3. The cpuspeed daemon for comparison (the paper's negative result:
+    //    utilization-driven control can't see MPI slack).
+    let (e_cs, d_cs) = cpuspeed_point(&workload);
+    let reference = crescendo.reference();
+    println!(
+        "\ncpuspeed daemon: energy {:.3}, delay {:.3} (≈ static 1400 MHz)",
+        e_cs / reference.energy_j,
+        d_cs / reference.delay_s
+    );
+
+    // 4. Pick "best" operating points under the paper's weighted ED²P.
+    println!("\nbest operating points (weighted ED²P):");
+    for (name, delta) in [
+        ("HPC (d=0.2)", DELTA_HPC),
+        ("energy (d=-1)", DELTA_ENERGY),
+        ("performance (d=1)", DELTA_PERFORMANCE),
+    ] {
+        let best = best_operating_point(&crescendo, delta).unwrap();
+        println!("  {name:>16}: {best} MHz");
+    }
+    println!(
+        "\nHPC point is {:.1}% more efficient than always running at 1.4 GHz",
+        efficiency_gain(&crescendo, DELTA_HPC) * 100.0
+    );
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the pwrperf workspace: re-exports the public stack
+//! so integration tests and downstream users can depend on one name.
+//!
+//! ```
+//! use pwrperf_repro::pwrperf::{DvsStrategy, Experiment, Workload};
+//!
+//! let result = Experiment::new(
+//!     Workload::ft_test(2),
+//!     DvsStrategy::StaticMhz(1000),
+//! )
+//! .run();
+//! assert!(result.total_energy_j() > 0.0);
+//! ```
+
+pub use cluster_sim;
+pub use dvfs;
+pub use edp_metrics;
+pub use mem_model;
+pub use mpi_sim;
+pub use net_model;
+pub use power_model;
+pub use powerpack;
+pub use pwrperf;
+pub use sim_core;
+pub use workloads;

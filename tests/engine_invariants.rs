@@ -1,0 +1,150 @@
+//! Property-based integration tests: randomly generated communication
+//! patterns must always complete (no deadlock, no lost messages) with
+//! conserved time and energy, under every strategy.
+
+use cluster_sim::Cluster;
+use dvfs::{CpuspeedGovernor, Governor, StaticGovernor};
+use mem_model::WorkUnit;
+use mpi_sim::{Engine, EngineConfig, Program, ProgramBuilder};
+use proptest::prelude::*;
+use pwrperf::WaitPolicy;
+use sim_core::SimDuration;
+
+/// A random but *deadlock-free by construction* job: a sequence of global
+/// steps, each either a collective, a ring exchange, or per-rank compute.
+#[derive(Debug, Clone)]
+enum Step {
+    Compute(u64),
+    Barrier,
+    Alltoall(u64),
+    RingExchange(u64),
+    Bcast(u64),
+    Gather(u64),
+    Allreduce(u64),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u64..200_000_000).prop_map(Step::Compute),
+        Just(Step::Barrier),
+        (1u64..500_000).prop_map(Step::Alltoall),
+        (1u64..2_000_000).prop_map(Step::RingExchange),
+        (1u64..1_000_000).prop_map(Step::Bcast),
+        (1u64..1_000_000).prop_map(Step::Gather),
+        (1u64..100_000).prop_map(Step::Allreduce),
+    ]
+}
+
+fn build_programs(ranks: usize, steps: &[Step]) -> Vec<Program> {
+    (0..ranks)
+        .map(|rank| {
+            let mut b = ProgramBuilder::new(rank, ranks);
+            for (i, step) in steps.iter().enumerate() {
+                match step {
+                    Step::Compute(cycles) => {
+                        b.compute(WorkUnit::pure_cpu(*cycles as f64));
+                    }
+                    Step::Barrier => {
+                        b.barrier();
+                    }
+                    Step::Alltoall(bytes) => {
+                        b.alltoall(*bytes);
+                    }
+                    Step::RingExchange(bytes) => {
+                        let dst = (rank + 1) % ranks;
+                        let src = (rank + ranks - 1) % ranks;
+                        b.sendrecv(dst, *bytes, i as u32, src, *bytes, i as u32);
+                    }
+                    Step::Bcast(bytes) => {
+                        b.bcast(i % ranks, *bytes);
+                    }
+                    Step::Gather(bytes) => {
+                        b.gather(i % ranks, *bytes);
+                    }
+                    Step::Allreduce(bytes) => {
+                        b.allreduce(*bytes);
+                    }
+                }
+            }
+            b.build()
+        })
+        .collect()
+}
+
+fn governors(ranks: usize, kind: u8) -> Vec<Box<dyn Governor>> {
+    (0..ranks)
+        .map(|_| -> Box<dyn Governor> {
+            match kind {
+                0 => Box::new(StaticGovernor::performance()),
+                1 => Box::new(StaticGovernor::powersave()),
+                _ => Box::new(CpuspeedGovernor::stock()),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any structured communication pattern completes; wall-clock and
+    /// energy are finite and positive; per-rank accounting adds up.
+    #[test]
+    fn random_jobs_complete_and_conserve(
+        ranks in 2usize..6,
+        steps in proptest::collection::vec(step_strategy(), 1..12),
+        gov_kind in 0u8..3,
+        blocking in any::<bool>(),
+    ) {
+        let cluster = Cluster::paper_testbed(ranks);
+        let programs = build_programs(ranks, &steps);
+        let config = EngineConfig {
+            wait_policy: if blocking {
+                WaitPolicy::PollThenBlock(SimDuration::from_millis(10))
+            } else {
+                WaitPolicy::BusyPoll
+            },
+            ..EngineConfig::default()
+        };
+        let result = Engine::new(cluster, programs, governors(ranks, gov_kind), config).run();
+
+        prop_assert!(result.duration_secs() >= 0.0);
+        prop_assert!(result.total_energy_j().is_finite());
+        prop_assert!(result.total_energy_j() >= 0.0);
+        for b in &result.breakdown {
+            prop_assert!(b.total() <= result.duration + SimDuration::from_nanos(1));
+        }
+        // Energy components are non-negative and sum to the total.
+        let mut sum = 0.0;
+        for n in &result.per_node {
+            prop_assert!(n.cpu_dynamic_j >= 0.0 && n.base_j >= 0.0);
+            sum += n.total_j();
+        }
+        prop_assert!((sum - result.total_energy_j()).abs() < 1e-6 * sum.max(1.0));
+    }
+
+    /// Lowering the static frequency never reduces the wall-clock time
+    /// and never increases CPU dynamic energy for the same job.
+    #[test]
+    fn frequency_monotonicity_holds_for_random_jobs(
+        ranks in 2usize..5,
+        steps in proptest::collection::vec(step_strategy(), 1..8),
+    ) {
+        let run_at = |idx: usize| {
+            let cluster = Cluster::paper_testbed(ranks);
+            let programs = build_programs(ranks, &steps);
+            let governors: Vec<Box<dyn Governor>> = (0..ranks)
+                .map(|_| Box::new(StaticGovernor::pinned(idx)) as Box<dyn Governor>)
+                .collect();
+            Engine::new(cluster, programs, governors, EngineConfig::default()).run()
+        };
+        let slow = run_at(0);
+        let fast = run_at(4);
+        prop_assert!(slow.duration >= fast.duration);
+        prop_assert!(
+            slow.total.cpu_dynamic_j <= fast.total.cpu_dynamic_j + 1e-9,
+            "dynamic energy must not grow when slowing: slow {} fast {}",
+            slow.total.cpu_dynamic_j,
+            fast.total.cpu_dynamic_j
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Integration tests for the beyond-the-paper extensions: the CG
+//! workload, the extra governors, hardware ablations, and phase-level
+//! profiling.
+
+use cluster_sim::NodeConfig;
+use net_model::NetworkParams;
+use powerpack::{phase_time_fraction, profile_phases};
+use pwrperf::{
+    crescendo_of, static_crescendo, DvsStrategy, EngineConfig, Experiment, WaitPolicy, Workload,
+};
+use sim_core::SimDuration;
+use workloads::CgClass;
+
+#[test]
+fn cg_is_a_dvs_friendly_workload() {
+    // Memory- and allgather-bound: deep energy savings, small slowdown.
+    let c = static_crescendo(&Workload::Cg {
+        class: CgClass::A,
+        ranks: 8,
+    });
+    let (e600, d600) = c.normalized_for(600).unwrap();
+    assert!(e600 < 0.75, "CG E600 = {e600}");
+    assert!(d600 < 1.10, "CG D600 = {d600}");
+}
+
+#[test]
+fn cg_dynamic_control_saves_without_hurting_delay() {
+    let w = Workload::Cg {
+        class: CgClass::A,
+        ranks: 8,
+    };
+    let stat_1400 = Experiment::new(w.clone(), DvsStrategy::StaticMhz(1400)).run();
+    let dynamic = Experiment::new(w, DvsStrategy::DynamicBaseMhz(1400)).run();
+    let e = dynamic.total_energy_j() / stat_1400.total_energy_j();
+    let d = dynamic.duration_secs() / stat_1400.duration_secs();
+    assert!(e < 1.0, "dynamic must save energy: {e}");
+    assert!(d < 1.05, "dynamic exchange-only slowdown small: {d}");
+    assert!(dynamic.transitions.iter().all(|&t| t > 0));
+}
+
+#[test]
+fn governor_ordering_under_blocking_waits() {
+    // With visible idle, every adaptive governor saves energy relative to
+    // the performance baseline and costs some delay.
+    let engine = EngineConfig {
+        wait_policy: WaitPolicy::PollThenBlock(SimDuration::from_millis(50)),
+        ..EngineConfig::default()
+    };
+    let baseline = Experiment::new(Workload::ft_b8(), DvsStrategy::StaticMhz(1400))
+        .with_engine(engine.clone())
+        .run();
+    for strategy in [
+        DvsStrategy::Cpuspeed,
+        DvsStrategy::OnDemand,
+        DvsStrategy::Conservative,
+    ] {
+        let r = Experiment::new(Workload::ft_b8(), strategy)
+            .with_engine(engine.clone())
+            .run();
+        let e = r.total_energy_j() / baseline.total_energy_j();
+        let d = r.duration_secs() / baseline.duration_secs();
+        assert!(e < 0.97, "{} saved nothing: {e}", strategy.label());
+        assert!(d < 1.25, "{} delay blew up: {d}", strategy.label());
+        assert!(
+            r.transitions.iter().sum::<u64>() > 0,
+            "{} never transitioned",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn base_power_dilutes_savings_monotonically() {
+    let mut last_e600 = 0.0;
+    for base_w in [4.0, 16.0, 64.0] {
+        let mut node = NodeConfig::inspiron_8600();
+        node.power.base_w = base_w;
+        let node = node.clone();
+        let c = crescendo_of(move |mhz| {
+            Experiment::new(Workload::ft_test(4), DvsStrategy::StaticMhz(mhz))
+                .with_node_config(node.clone())
+        });
+        let (e600, _) = c.normalized_for(600).unwrap();
+        assert!(
+            e600 > last_e600,
+            "savings must shrink with base power: {e600} after {last_e600}"
+        );
+        last_e600 = e600;
+    }
+}
+
+#[test]
+fn faster_network_shrinks_savings_and_grows_delay_penalty() {
+    let sweep = |bw: f64| {
+        let network = NetworkParams {
+            link_bw_bps: bw,
+            ..NetworkParams::catalyst_2950_100m()
+        };
+        let c = crescendo_of(move |mhz| {
+            Experiment::new(Workload::ft_test(8), DvsStrategy::StaticMhz(mhz))
+                .with_network(network.clone())
+        });
+        c.normalized_for(600).unwrap()
+    };
+    let (e_slow, d_slow) = sweep(100e6);
+    let (e_fast, d_fast) = sweep(1e9);
+    assert!(e_fast > e_slow, "faster net must save less: {e_fast} vs {e_slow}");
+    assert!(d_fast > d_slow, "faster net must penalize delay more: {d_fast} vs {d_slow}");
+}
+
+#[test]
+fn phase_profile_attributes_ft_time_to_fft() {
+    let engine = EngineConfig {
+        sample_interval: Some(SimDuration::from_millis(10)),
+        trace_capacity: 1 << 16,
+        ..EngineConfig::default()
+    };
+    let r = Experiment::new(Workload::ft_test(8), DvsStrategy::StaticMhz(1400))
+        .with_engine(engine)
+        .run();
+    assert!(!r.trace.is_empty(), "trace must be captured");
+    let profiles = profile_phases(&r);
+    assert!(profiles.contains_key("fft"));
+    assert!(profiles.contains_key("evolve"));
+    let fft_frac = phase_time_fraction(&r, "fft");
+    let evolve_frac = phase_time_fraction(&r, "evolve");
+    assert!(
+        fft_frac > evolve_frac,
+        "fft ({fft_frac}) must dominate evolve ({evolve_frac})"
+    );
+    assert!(fft_frac > 0.3, "fft fraction {fft_frac}");
+    // Energy attribution sums to within the run's total (phases do not
+    // overlap-count whole-node base power across ranks... they can only
+    // undercount the inter-phase gaps).
+    let attributed: f64 = profiles.values().map(|p| p.energy_j).sum();
+    assert!(attributed > 0.0);
+    assert!(attributed <= r.total_energy_j() * 1.05, "attributed {attributed} vs total {}", r.total_energy_j());
+}
+
+#[test]
+fn transition_latency_only_bites_when_huge() {
+    let run_with_latency = |latency: SimDuration| {
+        let mut node = NodeConfig::inspiron_8600();
+        node.ladder = power_model::DvfsLadder::new(node.ladder.points().to_vec(), latency);
+        Experiment::new(Workload::ft_test(4), DvsStrategy::DynamicBaseMhz(1400))
+            .with_node_config(node)
+            .run()
+    };
+    let fast = run_with_latency(SimDuration::from_micros(10));
+    let slow = run_with_latency(SimDuration::from_millis(50));
+    assert!(slow.duration >= fast.duration);
+    // 6 transitions x 50 ms = 0.3 s of stall appears in the breakdown.
+    let stall: f64 = slow.breakdown.iter().map(|b| b.transition.as_secs_f64()).sum();
+    assert!(stall > 0.29 * 4.0 * 0.9, "transition stall {stall}");
+}
+
+#[test]
+fn conservative_is_gentler_than_ondemand() {
+    // Same blocking-wait workload: conservative makes fewer or equal
+    // moves per decision opportunity and keeps delay closer to baseline.
+    let engine = EngineConfig {
+        wait_policy: WaitPolicy::PollThenBlock(SimDuration::from_millis(50)),
+        ..EngineConfig::default()
+    };
+    let ondemand = Experiment::new(Workload::ft_b8(), DvsStrategy::OnDemand)
+        .with_engine(engine.clone())
+        .run();
+    let conservative = Experiment::new(Workload::ft_b8(), DvsStrategy::Conservative)
+        .with_engine(engine)
+        .run();
+    let od_rate = ondemand.transitions.iter().sum::<u64>() as f64 / ondemand.duration_secs();
+    let cons_rate =
+        conservative.transitions.iter().sum::<u64>() as f64 / conservative.duration_secs();
+    assert!(
+        cons_rate < od_rate,
+        "conservative rate {cons_rate}/s vs ondemand {od_rate}/s"
+    );
+}
+
+#[test]
+fn freq_residency_sums_to_duration() {
+    let r = Experiment::new(Workload::ft_test(4), DvsStrategy::DynamicBaseMhz(1400)).run();
+    assert_eq!(r.freq_residency.len(), 4);
+    for (node, states) in r.freq_residency.iter().enumerate() {
+        let total: f64 = states.iter().map(|(_, d)| d.as_secs_f64()).sum();
+        assert!(
+            (total - r.duration_secs()).abs() < 1e-9,
+            "node {node}: residency {total} vs duration {}",
+            r.duration_secs()
+        );
+        // Dynamic control visits both 1400 and 600.
+        let at = |mhz: u32| states.iter().find(|(m, _)| *m == mhz).unwrap().1;
+        assert!(at(1400).as_secs_f64() > 0.0);
+        assert!(at(600).as_secs_f64() > 0.0);
+    }
+}
+
+#[test]
+fn static_run_resides_at_one_frequency() {
+    let r = Experiment::new(Workload::ft_test(2), DvsStrategy::StaticMhz(800)).run();
+    for states in &r.freq_residency {
+        for (mhz, d) in states {
+            if *mhz == 800 {
+                assert!((d.as_secs_f64() - r.duration_secs()).abs() < 1e-9);
+            } else {
+                assert_eq!(d.as_secs_f64(), 0.0, "leaked residency at {mhz} MHz");
+            }
+        }
+    }
+}
+
+#[test]
+fn battery_life_improves_at_the_energy_point() {
+    use powerpack::{battery_life_secs, runs_per_charge};
+    let fast = Experiment::new(Workload::ft_test(4), DvsStrategy::StaticMhz(1400)).run();
+    let slow = Experiment::new(Workload::ft_test(4), DvsStrategy::StaticMhz(600)).run();
+    let capacity = 72_000.0;
+    let life_fast = battery_life_secs(&fast, capacity).unwrap();
+    let life_slow = battery_life_secs(&slow, capacity).unwrap();
+    assert!(life_slow > life_fast, "slower point must outlast: {life_slow} vs {life_fast}");
+    // And because FT saves energy per run at 600 MHz, runs-per-charge wins too.
+    assert!(runs_per_charge(&slow, capacity).unwrap() > runs_per_charge(&fast, capacity).unwrap());
+}

@@ -1,0 +1,109 @@
+//! The measurement framework against ground truth: the paper's ACPI and
+//! Baytech channels must agree with the meter within their physical error
+//! budgets, and the error must shrink as runs lengthen (the reason the
+//! paper iterates executions).
+
+use powerpack::{acpi_measured_energy, baytech_energy, most_deviant_node, node_average_power};
+use pwrperf::{DvsStrategy, EngineConfig, Experiment, Workload};
+use sim_core::SimDuration;
+use workloads::FtClass;
+
+fn sampled_run(workload: Workload, mhz: u32) -> pwrperf::RunResult {
+    let engine = EngineConfig {
+        sample_interval: Some(SimDuration::from_secs(1)),
+        ..EngineConfig::default()
+    };
+    Experiment::new(workload, DvsStrategy::StaticMhz(mhz))
+        .with_engine(engine)
+        .run()
+}
+
+#[test]
+fn acpi_measurement_tracks_ground_truth_on_long_runs() {
+    let r = sampled_run(Workload::ft_b8(), 1400);
+    assert!(r.duration_secs() > 120.0, "need a minutes-long run");
+    let truth: f64 = r.per_node.iter().map(|n| n.total_j()).sum();
+    let acpi: f64 = acpi_measured_energy(&r.samples, SimDuration::from_secs(18))
+        .iter()
+        .sum();
+    let err = (acpi - truth).abs() / truth;
+    // Refresh staleness bounds the error by ~refresh/duration plus
+    // quantization; far under 15% on a two-minute run.
+    assert!(err < 0.15, "ACPI error {err} (acpi {acpi}, truth {truth})");
+    // And the instrument can only undercount (register refresh lags).
+    assert!(acpi <= truth * 1.001);
+}
+
+#[test]
+fn acpi_error_shrinks_with_run_length() {
+    let short = sampled_run(Workload::ft_test(8), 1400);
+    let long = sampled_run(Workload::ft_b8(), 1400);
+    let rel_err = |r: &pwrperf::RunResult| {
+        let truth: f64 = r.per_node.iter().map(|n| n.total_j()).sum();
+        let acpi: f64 = acpi_measured_energy(&r.samples, SimDuration::from_secs(18))
+            .iter()
+            .sum();
+        (acpi - truth).abs() / truth
+    };
+    let short_err = rel_err(&short);
+    let long_err = rel_err(&long);
+    assert!(
+        long_err < short_err,
+        "longer run should measure better: short {short_err}, long {long_err}"
+    );
+}
+
+#[test]
+fn baytech_and_acpi_cross_validate() {
+    // The paper used the strip to verify the batteries. Both see the same
+    // cluster; minute windows vs refresh boundaries differ in tails only.
+    let r = sampled_run(Workload::ft_b8(), 1000);
+    let acpi: f64 = acpi_measured_energy(&r.samples, SimDuration::from_secs(18))
+        .iter()
+        .sum();
+    let strip: f64 = baytech_energy(&r.samples).iter().sum();
+    assert!(acpi > 0.0 && strip > 0.0);
+    let spread = (acpi - strip).abs() / acpi.max(strip);
+    assert!(spread < 0.20, "channels disagree by {spread}");
+}
+
+#[test]
+fn per_node_power_is_homogeneous_under_static_control() {
+    let r = sampled_run(Workload::ft_b8(), 1200);
+    let avgs = node_average_power(&r.samples);
+    assert_eq!(avgs.len(), 8);
+    let (node, dev) = most_deviant_node(&r.samples).unwrap();
+    let mean: f64 = avgs.iter().sum::<f64>() / avgs.len() as f64;
+    assert!(
+        dev / mean < 0.05,
+        "node {node} deviates {dev} W from mean {mean} W — cluster should be balanced"
+    );
+}
+
+#[test]
+fn tiny_runs_are_visibly_mismeasured() {
+    // The flip side the paper designed around: a seconds-long run loses a
+    // large share of its energy to refresh staleness.
+    let engine = EngineConfig {
+        sample_interval: Some(SimDuration::from_millis(500)),
+        ..EngineConfig::default()
+    };
+    let r = Experiment::new(
+        Workload::Ft {
+            class: FtClass::Test,
+            ranks: 8,
+        },
+        DvsStrategy::StaticMhz(1400),
+    )
+    .with_engine(engine)
+    .run();
+    assert!(r.duration_secs() < 30.0);
+    let truth: f64 = r.per_node.iter().map(|n| n.total_j()).sum();
+    let acpi: f64 = acpi_measured_energy(&r.samples, SimDuration::from_secs(18))
+        .iter()
+        .sum();
+    assert!(
+        acpi < truth * 0.95,
+        "short run should undercount: acpi {acpi}, truth {truth}"
+    );
+}

@@ -1,0 +1,181 @@
+//! Integration tests asserting the paper's evaluation *shapes* hold in
+//! the reproduction: who wins, roughly by how much, where crossovers
+//! fall. Absolute joules are model-dependent; these bounds encode the
+//! qualitative claims of each figure plus loose quantitative bands around
+//! the paper's numbers.
+
+use edp_metrics::{best_operating_point, Crescendo, DELTA_ENERGY, DELTA_HPC, DELTA_PERFORMANCE};
+use powerpack::{CommMicroConfig, MicroConfig};
+use pwrperf::{cpuspeed_point, dynamic_crescendo, static_crescendo, Workload};
+
+fn assert_monotone_energy_down_delay_up(c: &Crescendo, label: &str) {
+    let n = c.normalized();
+    for pair in n.windows(2) {
+        let (m0, e0, d0) = pair[0];
+        let (m1, e1, d1) = pair[1];
+        assert!(m0 > m1, "{label}: expected descending MHz order");
+        assert!(e1 <= e0 + 1e-9, "{label}: energy must fall as MHz drops ({m1} MHz)");
+        assert!(d1 >= d0 - 1e-9, "{label}: delay must rise as MHz drops ({m1} MHz)");
+    }
+}
+
+#[test]
+fn fig3_ft_b_static_crescendo_matches_paper_shape() {
+    let c = static_crescendo(&Workload::ft_b8());
+    assert_monotone_energy_down_delay_up(&c, "FT.B");
+    let (e600, d600) = c.normalized_for(600).unwrap();
+    // Paper: E=0.655, D=1.068.
+    assert!((0.60..=0.75).contains(&e600), "FT.B E600 = {e600}");
+    assert!((1.04..=1.13).contains(&d600), "FT.B D600 = {d600}");
+}
+
+#[test]
+fn fig3_cpuspeed_rides_the_top_frequency() {
+    let c = static_crescendo(&Workload::ft_b8());
+    let r = c.reference();
+    let (e, d) = cpuspeed_point(&Workload::ft_b8());
+    // Paper: cpuspeed ~= static 1.4 GHz (E=0.966, D=0.988).
+    assert!((e / r.energy_j - 1.0).abs() < 0.05, "cpuspeed E {}", e / r.energy_j);
+    assert!((d / r.delay_s - 1.0).abs() < 0.03, "cpuspeed D {}", d / r.delay_s);
+}
+
+#[test]
+fn table3_ft_b_best_points() {
+    let c = static_crescendo(&Workload::ft_b8());
+    // Paper Table 3: energy=600, performance=1400, HPC=1000 (ours lands
+    // 800-1000 on a nearly flat metric — accept the band).
+    assert_eq!(best_operating_point(&c, DELTA_ENERGY), Some(600));
+    assert_eq!(best_operating_point(&c, DELTA_PERFORMANCE), Some(1400));
+    let hpc = best_operating_point(&c, DELTA_HPC).unwrap();
+    assert!((800..=1000).contains(&hpc), "FT.B HPC point {hpc}");
+}
+
+#[test]
+fn fig4_ft_c_dynamic_saves_energy_with_small_slowdown() {
+    let stat = static_crescendo(&Workload::ft_c8());
+    let dyn_c = dynamic_crescendo(&Workload::ft_c8());
+    let r = stat.reference();
+
+    // Paper: dynamic from 1.4 GHz saves 32.6% with 7.8% slowdown.
+    let d1400 = dyn_c.points().iter().find(|p| p.mhz == 1400).unwrap();
+    let e = d1400.energy_j / r.energy_j;
+    let d = d1400.delay_s / r.delay_s;
+    assert!(e < 0.75, "dyn-1400 energy {e}");
+    assert!(d < 1.13, "dyn-1400 delay {d}");
+
+    // Dynamic's energy/delay barely depend on the base point (paper:
+    // "energy and delay doesn't change much under different operating
+    // points because most execution time resides in fft()").
+    let es: Vec<f64> = dyn_c.points().iter().map(|p| p.energy_j).collect();
+    let spread = (es.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - es.iter().cloned().fold(f64::INFINITY, f64::min))
+        / es[0];
+    assert!(spread < 0.10, "dynamic energy spread {spread}");
+
+    // At every base point, dynamic uses no more energy than static at the
+    // same base (it only ever adds downscaled regions).
+    for p in dyn_c.points() {
+        let s = stat.points().iter().find(|q| q.mhz == p.mhz).unwrap();
+        assert!(
+            p.energy_j <= s.energy_j * 1.001,
+            "dyn {} MHz energy above static",
+            p.mhz
+        );
+    }
+}
+
+#[test]
+fn fig5_transpose_static_saves_energy_with_tiny_slowdown() {
+    let c = static_crescendo(&Workload::transpose_paper());
+    assert_monotone_energy_down_delay_up(&c, "transpose");
+    let (e600, d600) = c.normalized_for(600).unwrap();
+    // Paper: -19.7% energy, +2.4% delay; our wait-dominated model saves
+    // more, but the headline (big saving, tiny slowdown) must hold.
+    assert!(e600 < 0.85, "transpose E600 = {e600}");
+    assert!(d600 < 1.05, "transpose D600 = {d600}");
+}
+
+#[test]
+fn fig6_memory_micro_is_a_dvs_jackpot() {
+    let c = static_crescendo(&Workload::MemoryMicro(MicroConfig::default()));
+    let (e600, d600) = c.normalized_for(600).unwrap();
+    // Paper: E=0.593, D=1.054.
+    assert!((0.52..=0.66).contains(&e600), "memory E600 = {e600}");
+    assert!((1.02..=1.09).contains(&d600), "memory D600 = {d600}");
+    assert_eq!(best_operating_point(&c, DELTA_ENERGY), Some(600));
+}
+
+#[test]
+fn fig7_cpu_micro_punishes_downscaling() {
+    let c = static_crescendo(&Workload::CpuMicro(MicroConfig::default()));
+    let (e600, d600) = c.normalized_for(600).unwrap();
+    // Paper: delay +134%; energy *increases* at the bottom point.
+    assert!((d600 - 1.4 / 0.6).abs() < 0.01, "cpu D600 = {d600}");
+    assert!(e600 > 1.0, "cpu E600 = {e600} should exceed the 1.4 GHz energy");
+    // Energy at 600 exceeds the mid-ladder minimum (paper: min at 800).
+    let (e800, _) = c.normalized_for(800).unwrap();
+    let (e1000, _) = c.normalized_for(1000).unwrap();
+    assert!(e600 > e800.min(e1000), "no rise at the bottom point");
+    // Performance-best is the only sensible pick.
+    assert_eq!(best_operating_point(&c, DELTA_PERFORMANCE), Some(1400));
+    assert_eq!(best_operating_point(&c, DELTA_HPC), Some(1400));
+}
+
+#[test]
+fn fig8_comm_micros_favor_energy() {
+    for (cfg, label, d_cap) in [
+        (CommMicroConfig::paper_256k(), "256k", 1.08),
+        (CommMicroConfig::paper_4k_strided(), "4k", 1.09),
+    ] {
+        let c = static_crescendo(&Workload::Comm(cfg));
+        let (e600, d600) = c.normalized_for(600).unwrap();
+        assert!((0.60..=0.78).contains(&e600), "{label} E600 = {e600}");
+        assert!(d600 < d_cap, "{label} D600 = {d600}");
+    }
+}
+
+#[test]
+fn fig1_spec_proxies_bracket_the_behaviour_space() {
+    let swim = static_crescendo(&Workload::Swim);
+    let mgrid = static_crescendo(&Workload::Mgrid);
+    let (swim_e, swim_d) = swim.normalized_for(600).unwrap();
+    let (mgrid_e, mgrid_d) = mgrid.normalized_for(600).unwrap();
+    // swim: steep energy drop, gentle delay; mgrid: the reverse.
+    assert!(swim_e < 0.70 && swim_d < 1.12, "swim {swim_e}/{swim_d}");
+    assert!(mgrid_e > 0.90 && mgrid_d > 2.0, "mgrid {mgrid_e}/{mgrid_d}");
+    // Table 1: performance pick is 1400 for both; energy pick is the
+    // bottom for swim but not for mgrid's flat curve... paper puts
+    // mgrid's energy point at 600; ours bottoms mid-ladder. Both agree
+    // the HPC pick separates the codes.
+    assert_eq!(best_operating_point(&swim, DELTA_PERFORMANCE), Some(1400));
+    assert_eq!(best_operating_point(&mgrid, DELTA_PERFORMANCE), Some(1400));
+    assert_eq!(best_operating_point(&swim, DELTA_ENERGY), Some(600));
+    let swim_hpc = best_operating_point(&swim, DELTA_HPC).unwrap();
+    let mgrid_hpc = best_operating_point(&mgrid, DELTA_HPC).unwrap();
+    assert!(swim_hpc < mgrid_hpc, "HPC picks must separate: swim {swim_hpc}, mgrid {mgrid_hpc}");
+    assert_eq!(mgrid_hpc, 1400);
+}
+
+#[test]
+fn headline_claim_30pct_savings_under_5pct_impact_exists() {
+    // "We achieved total energy savings at times of 30% with minimal
+    // (<5%) impact on performance." Somewhere in our experiment space the
+    // same must hold.
+    let mut found = false;
+    for w in [Workload::transpose_paper(), Workload::ft_c8()] {
+        let c = static_crescendo(&w);
+        for (_, e, d) in c.normalized() {
+            if e <= 0.70 && d <= 1.05 {
+                found = true;
+            }
+        }
+        let dyn_c = dynamic_crescendo(&w);
+        let r = c.reference();
+        for p in dyn_c.points() {
+            if p.energy_j / r.energy_j <= 0.70 && p.delay_s / r.delay_s <= 1.05 {
+                found = true;
+            }
+        }
+    }
+    assert!(found, "no operating point achieves the paper's headline");
+}
