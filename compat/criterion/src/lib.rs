@@ -1,0 +1,186 @@
+//! Minimal, dependency-free benchmarking shim.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the slice of the `criterion` API our benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: each benchmark runs one warm-up
+//! iteration, then up to `sample_size` timed iterations bounded by a
+//! per-benchmark time budget, and prints the mean wall-clock time per
+//! iteration as `<group>/<id> ... <mean> ns/iter` — a stable, parseable
+//! line (`scripts/bench.sh` consumes it).
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Time budget per benchmark id: stop sampling once this is exceeded.
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// Prevent the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Runs closures and accumulates timing.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    max_samples: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly up to the sample/time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up pass.
+        black_box(routine());
+        while self.iters < self.max_samples && self.total < TIME_BUDGET {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upper bound on timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Benchmark `routine` with no input.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| routine(b));
+        self
+    }
+
+    /// Benchmark `routine` against a borrowed input.
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        R: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| routine(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut routine: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+            max_samples: self.sample_size,
+        };
+        routine(&mut bencher);
+        let mean_ns = if bencher.iters == 0 {
+            0
+        } else {
+            bencher.total.as_nanos() as u64 / bencher.iters
+        };
+        println!(
+            "{}/{}  time: {} ns/iter  ({} iterations)",
+            self.name, id.id, mean_ns, bencher.iters
+        );
+    }
+
+    /// End the group (matches the criterion API; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.finish();
+    }
+}

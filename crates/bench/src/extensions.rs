@@ -6,7 +6,7 @@ use net_model::NetworkParams;
 use power_model::{Component, DvfsLadder};
 use powerpack::profile_phases;
 use pwrperf::{
-    crescendo_of, static_crescendo, DvsStrategy, EngineConfig, Experiment, Workload,
+    crescendo_of, run_batch, static_crescendo, DvsStrategy, EngineConfig, Experiment, Workload,
 };
 use sim_core::SimDuration;
 use workloads::FtClass;
@@ -24,8 +24,14 @@ pub fn component_breakdown() {
         "{:>6} {:>10} {:>10} {:>10} {:>8} {:>8} {:>10}",
         "MHz", "cpu_dyn(J)", "cpu_stat(J)", "base(J)", "mem(J)", "nic(J)", "total(J)"
     );
-    for mhz in pwrperf::ladder_mhz_desc() {
-        let r = Experiment::new(Workload::ft_b8(), DvsStrategy::StaticMhz(mhz)).run();
+    let ladder = pwrperf::ladder_mhz_desc();
+    let results = run_batch(
+        ladder
+            .iter()
+            .map(|&mhz| Experiment::new(Workload::ft_b8(), DvsStrategy::StaticMhz(mhz)))
+            .collect(),
+    );
+    for (mhz, r) in ladder.into_iter().zip(results) {
         let t = &r.total;
         println!(
             "{:>6} {:>10.0} {:>10.0} {:>10.0} {:>8.0} {:>8.0} {:>10.0}",
@@ -161,16 +167,21 @@ pub fn ablation_transition_latency() {
         "{:>12} {:>12} {:>12} {:>14}",
         "latency", "E/E(stat1400)", "D/D(stat1400)", "transitions"
     );
-    let reference = Experiment::new(Workload::ft_c8(), DvsStrategy::StaticMhz(1400)).run();
-    for latency_us in [10u64, 100, 1_000, 10_000, 100_000] {
+    let latencies = [10u64, 100, 1_000, 10_000, 100_000];
+    let mut experiments =
+        vec![Experiment::new(Workload::ft_c8(), DvsStrategy::StaticMhz(1400))];
+    experiments.extend(latencies.iter().map(|&latency_us| {
         let mut node = NodeConfig::inspiron_8600();
         node.ladder = DvfsLadder::new(
             node.ladder.points().to_vec(),
             SimDuration::from_micros(latency_us),
         );
-        let r = Experiment::new(Workload::ft_c8(), DvsStrategy::DynamicBaseMhz(1400))
+        Experiment::new(Workload::ft_c8(), DvsStrategy::DynamicBaseMhz(1400))
             .with_node_config(node)
-            .run();
+    }));
+    let mut results = run_batch(experiments);
+    let reference = results.remove(0);
+    for (latency_us, r) in latencies.into_iter().zip(results) {
         println!(
             "{:>10}us {:>12.3} {:>12.3} {:>14}",
             latency_us,
@@ -217,24 +228,29 @@ pub fn governor_comparison() {
         wait_policy: pwrperf::WaitPolicy::PollThenBlock(SimDuration::from_millis(50)),
         ..EngineConfig::default()
     };
-    let reference = Experiment::new(Workload::ft_b8(), DvsStrategy::StaticMhz(1400))
-        .with_engine(engine.clone())
-        .run();
-    println!(
-        "{:>14} {:>10} {:>10} {:>12}",
-        "governor", "E/E0", "D/D0", "transitions"
-    );
-    for strategy in [
+    let strategies = [
         DvsStrategy::StaticMhz(1400),
         DvsStrategy::StaticMhz(600),
         DvsStrategy::Cpuspeed,
         DvsStrategy::OnDemand,
         DvsStrategy::Conservative,
         DvsStrategy::DynamicBaseMhz(1400),
-    ] {
-        let r = Experiment::new(Workload::ft_b8(), strategy)
-            .with_engine(engine.clone())
-            .run();
+    ];
+    // The StaticMhz(1400) run doubles as the normalization reference.
+    let results = run_batch(
+        strategies
+            .iter()
+            .map(|&strategy| {
+                Experiment::new(Workload::ft_b8(), strategy).with_engine(engine.clone())
+            })
+            .collect(),
+    );
+    let reference = results[0].clone();
+    println!(
+        "{:>14} {:>10} {:>10} {:>12}",
+        "governor", "E/E0", "D/D0", "transitions"
+    );
+    for (strategy, r) in strategies.into_iter().zip(results) {
         println!(
             "{:>14} {:>10.3} {:>10.3} {:>12}",
             strategy.label(),
@@ -309,15 +325,29 @@ pub fn auto_instrumentation() {
         "{:>26} {:>22} {:>10} {:>10} {:>10} {:>10}",
         "workload", "auto-selected phases", "auto E", "auto D", "hand E", "hand D"
     );
-    for workload in [
+    let workloads = [
         Workload::ft_c8(),
         Workload::transpose_paper(),
         Workload::cg_b8(),
         Workload::mg_b8(),
-    ] {
-        let reference = Experiment::new(workload.clone(), DvsStrategy::StaticMhz(1400)).run();
-        let outcome = AutoTuner::default().tune(&workload);
-        let hand = Experiment::new(workload.clone(), DvsStrategy::DynamicBaseMhz(1400)).run();
+    ];
+    // References and hand-tuned runs batch together; the auto-tuner
+    // pipelines its own pilot and tuned batches internally.
+    let mut baselines = run_batch(
+        workloads
+            .iter()
+            .flat_map(|w| {
+                [
+                    Experiment::new(w.clone(), DvsStrategy::StaticMhz(1400)),
+                    Experiment::new(w.clone(), DvsStrategy::DynamicBaseMhz(1400)),
+                ]
+            })
+            .collect(),
+    );
+    let outcomes = AutoTuner::default().tune_many(&workloads);
+    for (workload, outcome) in workloads.iter().zip(outcomes) {
+        let reference = baselines.remove(0);
+        let hand = baselines.remove(0);
         println!(
             "{:>26} {:>22} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
             workload.label(),

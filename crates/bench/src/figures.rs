@@ -1,15 +1,42 @@
 //! One function per paper table/figure; the `src/bin/` wrappers call these.
 
-use edp_metrics::{iso_efficiency_energy_fraction, DELTA_ENERGY, DELTA_HPC};
+use edp_metrics::{iso_efficiency_energy_fraction, Crescendo, DELTA_ENERGY, DELTA_HPC};
 use power_model::DvfsLadder;
 use powerpack::{CommMicroConfig, MicroConfig};
 use pwrperf::calibration::target;
 use pwrperf::report::{format_best_points, format_crescendo, format_strategy_comparison};
 use pwrperf::{
-    cpuspeed_point, dynamic_crescendo, static_crescendo, DvsStrategy, Experiment, Workload,
+    cpuspeed_point, ladder_mhz_desc, run_batch, static_crescendo, DvsStrategy, Experiment,
+    Workload,
 };
 
 use crate::{banner, print_target_row};
+
+/// All three paper strategies for one workload as a *single* parallel
+/// batch — 5 static pins, 5 dynamic bases, and the cpuspeed point (11
+/// runs) — instead of three smaller sweeps. Results are identical to
+/// `static_crescendo` + `dynamic_crescendo` + `cpuspeed_point`.
+fn strategy_suite(w: &Workload) -> (Crescendo, Crescendo, (f64, f64)) {
+    let ladder = ladder_mhz_desc();
+    let mut experiments = Vec::with_capacity(2 * ladder.len() + 1);
+    for &mhz in &ladder {
+        experiments.push(Experiment::new(w.clone(), DvsStrategy::StaticMhz(mhz)));
+    }
+    for &mhz in &ladder {
+        experiments.push(Experiment::new(w.clone(), DvsStrategy::DynamicBaseMhz(mhz)));
+    }
+    experiments.push(Experiment::new(w.clone(), DvsStrategy::Cpuspeed));
+    let mut results = run_batch(experiments);
+    let cs = results.pop().expect("cpuspeed result");
+    let mut stat = Crescendo::new();
+    let mut dyn_c = Crescendo::new();
+    for (i, &mhz) in ladder.iter().enumerate() {
+        stat.push(mhz, results[i].total_energy_j(), results[i].duration_secs());
+        let r = &results[ladder.len() + i];
+        dyn_c.push(mhz, r.total_energy_j(), r.duration_secs());
+    }
+    (stat, dyn_c, (cs.total_energy_j(), cs.duration_secs()))
+}
 
 /// Figure 1: energy-delay crescendos for the SPEC proxies.
 pub fn fig1_spec_crescendos() {
@@ -103,9 +130,7 @@ pub fn table3_ft_b_best_points() {
 pub fn fig4_ft_c_strategies() {
     banner("Fig. 4", "FT.C on 8 processors: cpuspeed vs static vs dynamic");
     let w = Workload::ft_c8();
-    let stat = static_crescendo(&w);
-    let dyn_c = dynamic_crescendo(&w);
-    let (e_cs, d_cs) = cpuspeed_point(&w);
+    let (stat, dyn_c, (e_cs, d_cs)) = strategy_suite(&w);
 
     let mut rows = vec![("cpuspeed".to_string(), e_cs, d_cs)];
     for p in stat.points() {
@@ -150,9 +175,7 @@ pub fn fig4_ft_c_strategies() {
 pub fn fig5_transpose_strategies() {
     banner("Fig. 5", "parallel matrix transpose on 15 processors");
     let w = Workload::transpose_paper();
-    let stat = static_crescendo(&w);
-    let dyn_c = dynamic_crescendo(&w);
-    let (e_cs, d_cs) = cpuspeed_point(&w);
+    let (stat, dyn_c, (e_cs, d_cs)) = strategy_suite(&w);
 
     let mut rows = vec![("cpuspeed".to_string(), e_cs, d_cs)];
     for p in stat.points() {

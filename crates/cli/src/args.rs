@@ -18,19 +18,23 @@ pub enum Command {
         /// Poll-then-block window in ms (`None` = busy-poll).
         blocking_ms: Option<u64>,
     },
-    /// `pwrperf sweep -w <workload> [--dynamic]`
+    /// `pwrperf sweep -w <workload> [--dynamic] [-j <n>]`
     Sweep {
         /// Workload to sweep over the ladder.
         workload: Workload,
         /// Sweep dynamic bases instead of static pins.
         dynamic: bool,
+        /// Worker threads for the batch runner (`None` = auto-detect).
+        threads: Option<usize>,
     },
-    /// `pwrperf best -w <workload> [--delta <d>]`
+    /// `pwrperf best -w <workload> [--delta <d>] [-j <n>]`
     Best {
         /// Workload to pick a best point for.
         workload: Workload,
         /// Weighted-ED²P weight factor.
         delta: f64,
+        /// Worker threads for the batch runner (`None` = auto-detect).
+        threads: Option<usize>,
     },
     /// `pwrperf export -w <workload> -s <strategy> -o <dir>`
     Export {
@@ -103,6 +107,14 @@ pub const STRATEGY_NAMES: &[&str] = &[
     "conservative",
 ];
 
+fn parse_threads(value: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| "--threads needs a positive integer".to_string())
+}
+
 fn take_value<'a>(
     args: &mut impl Iterator<Item = &'a str>,
     flag: &str,
@@ -153,27 +165,36 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
         "sweep" => {
             let mut workload = None;
             let mut dynamic = false;
+            let mut threads = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "-w" | "--workload" => {
                         workload = Some(parse_workload(take_value(&mut it, flag)?)?)
                     }
                     "--dynamic" => dynamic = true,
+                    "-j" | "--threads" => {
+                        threads = Some(parse_threads(take_value(&mut it, flag)?)?)
+                    }
                     other => return Err(format!("unknown flag '{other}'")),
                 }
             }
             Ok(Command::Sweep {
                 workload: workload.ok_or("sweep needs --workload")?,
                 dynamic,
+                threads,
             })
         }
         "best" => {
             let mut workload = None;
             let mut delta = edp_metrics::DELTA_HPC;
+            let mut threads = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "-w" | "--workload" => {
                         workload = Some(parse_workload(take_value(&mut it, flag)?)?)
+                    }
+                    "-j" | "--threads" => {
+                        threads = Some(parse_threads(take_value(&mut it, flag)?)?)
                     }
                     "--delta" => {
                         delta = take_value(&mut it, flag)?
@@ -189,6 +210,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
             Ok(Command::Best {
                 workload: workload.ok_or("best needs --workload")?,
                 delta,
+                threads,
             })
         }
         "export" => {
@@ -259,6 +281,30 @@ mod tests {
             Command::Best { delta, .. } => assert!((delta + 0.5).abs() < 1e-12),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_thread_counts() {
+        match parse(&["sweep", "-w", "swim", "-j", "4"]) {
+            Command::Sweep { threads, .. } => assert_eq!(threads, Some(4)),
+            other => panic!("{other:?}"),
+        }
+        match parse(&["best", "-w", "swim", "--threads", "2"]) {
+            Command::Best { threads, .. } => assert_eq!(threads, Some(2)),
+            other => panic!("{other:?}"),
+        }
+        match parse(&["sweep", "-w", "swim"]) {
+            Command::Sweep { threads, .. } => assert_eq!(threads, None),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&["sweep", "-w", "swim", "-j", "0"]),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse(&["sweep", "-w", "swim", "-j", "many"]),
+            Command::Help(Some(_))
+        ));
     }
 
     #[test]

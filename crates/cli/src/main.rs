@@ -26,13 +26,27 @@ fn main() {
             strategy,
             blocking_ms,
         } => run(workload, strategy, blocking_ms),
-        Command::Sweep { workload, dynamic } => sweep(workload, dynamic),
+        Command::Sweep {
+            workload,
+            dynamic,
+            threads,
+        } => {
+            set_threads(threads);
+            sweep(workload, dynamic)
+        }
         Command::Export {
             workload,
             strategy,
             out_dir,
         } => export(workload, strategy, &out_dir),
-        Command::Best { workload, delta } => best(workload, delta),
+        Command::Best {
+            workload,
+            delta,
+            threads,
+        } => {
+            set_threads(threads);
+            best(workload, delta)
+        }
         Command::List => list(),
         Command::Help(msg) => {
             let failed = msg.is_some();
@@ -44,6 +58,14 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+}
+
+/// Apply a `-j`/`--threads` override to the batch runner (equivalent to
+/// setting `PWRPERF_THREADS` in the environment).
+fn set_threads(threads: Option<usize>) {
+    if let Some(n) = threads {
+        std::env::set_var(pwrperf::THREADS_ENV, n.to_string());
     }
 }
 
@@ -202,14 +224,19 @@ fn help() {
 
 USAGE:
   pwrperf run    -w <workload> -s <strategy> [--blocking-waits <ms>]
-  pwrperf sweep  -w <workload> [--dynamic]
-  pwrperf best   -w <workload> [--delta <-1..1>]
+  pwrperf sweep  -w <workload> [--dynamic] [-j <threads>]
+  pwrperf best   -w <workload> [--delta <-1..1>] [-j <threads>]
   pwrperf export -w <workload> -s <strategy> [-o <dir>]
   pwrperf list
 
 EXAMPLES:
   pwrperf run   -w ft-b8 -s static-800
   pwrperf sweep -w transpose
-  pwrperf best  -w swim --delta 0.2"
+  pwrperf best  -w swim --delta 0.2
+  pwrperf sweep -w ft-c8 -j 5       # ladder points in parallel
+
+Sweeps fan their independent runs over worker threads (auto-detected;
+override with -j/--threads or PWRPERF_THREADS). Results are bit-identical
+to sequential execution."
     );
 }

@@ -93,6 +93,7 @@ impl Node {
     }
 
     /// Hardware description.
+    #[inline]
     pub fn config(&self) -> &NodeConfig {
         &self.config
     }
@@ -108,6 +109,7 @@ impl Node {
     }
 
     /// Core frequency right now, Hz.
+    #[inline]
     pub fn freq_hz(&self) -> f64 {
         self.operating_point().freq_hz
     }
@@ -118,6 +120,7 @@ impl Node {
     }
 
     /// Change the CPU activity state at `now`.
+    #[inline]
     pub fn set_activity(&mut self, now: SimTime, activity: CpuActivity) {
         self.activity = activity;
         self.meter.set_activity(now, activity);
@@ -127,6 +130,7 @@ impl Node {
     /// Enter active compute with a blended dynamic-power factor (compute
     /// segments mixing execution with frequency-scaled L2 stalls).
     /// `/proc/stat` counts this busy, like any active state.
+    #[inline]
     pub fn set_active_blended(&mut self, now: SimTime, factor: f64) {
         self.activity = CpuActivity::Active;
         self.meter.set_active_blended(now, factor);
@@ -174,11 +178,13 @@ impl Node {
     }
 
     /// DRAM interface activity (for power accounting).
+    #[inline]
     pub fn set_mem_active(&mut self, now: SimTime, active: bool) {
         self.meter.set_mem_active(now, active);
     }
 
     /// NIC activity (for power accounting).
+    #[inline]
     pub fn set_nic_active(&mut self, now: SimTime, active: bool) {
         self.meter.set_nic_active(now, active);
     }

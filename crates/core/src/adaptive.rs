@@ -136,32 +136,63 @@ impl AutoTuner {
             .collect()
     }
 
-    /// Full pipeline: pilot → select → instrument → tuned run.
-    pub fn tune(&self, workload: &Workload) -> AutoTuneOutcome {
+    /// The pilot experiment for `workload`: top frequency, sampled and
+    /// traced finely enough for phase profiling.
+    pub fn pilot_experiment(&self, workload: &Workload) -> Experiment {
         let pilot_engine = EngineConfig {
             sample_interval: Some(self.pilot_sample_interval),
             trace_capacity: 1 << 20,
             ..EngineConfig::default()
         };
-        let pilot = Experiment::new(workload.clone(), DvsStrategy::StaticMhz(1400))
-            .with_engine(pilot_engine)
-            .run();
-        let selected = self.select_phases(&pilot);
-        let phase_set: BTreeSet<String> = selected.iter().cloned().collect();
+        Experiment::new(workload.clone(), DvsStrategy::StaticMhz(1400)).with_engine(pilot_engine)
+    }
 
-        // Rewrite the *uninstrumented* programs and run them under the
-        // dynamic governor via a custom engine assembly.
-        let programs = AutoTuner::instrument(&workload.programs(false), &phase_set);
+    /// Rewrite the *uninstrumented* programs around `phases` and run them
+    /// under the dynamic governor via a custom engine assembly.
+    fn tuned_run(workload: &Workload, phases: &BTreeSet<String>) -> RunResult {
+        let programs = AutoTuner::instrument(&workload.programs(false), phases);
         let cluster = cluster_sim::Cluster::paper_testbed(workload.ranks());
         let governors = DvsStrategy::DynamicBaseMhz(1400).governors(cluster.nodes());
-        let tuned =
-            mpi_sim::Engine::new(cluster, programs, governors, EngineConfig::default()).run();
+        mpi_sim::Engine::new(cluster, programs, governors, EngineConfig::default()).run()
+    }
 
+    /// Full pipeline: pilot → select → instrument → tuned run.
+    pub fn tune(&self, workload: &Workload) -> AutoTuneOutcome {
+        let pilot = self.pilot_experiment(workload).run();
+        let selected = self.select_phases(&pilot);
+        let phase_set: BTreeSet<String> = selected.iter().cloned().collect();
+        let tuned = AutoTuner::tuned_run(workload, &phase_set);
         AutoTuneOutcome {
             selected_phases: selected,
             pilot,
             tuned,
         }
+    }
+
+    /// Tune several workloads at once: all pilots run as one parallel
+    /// batch, then all tuned runs as another. Outcomes match per-workload
+    /// [`AutoTuner::tune`] calls exactly and come back in input order.
+    pub fn tune_many(&self, workloads: &[Workload]) -> Vec<AutoTuneOutcome> {
+        let pilots = crate::runner::run_batch(
+            workloads.iter().map(|w| self.pilot_experiment(w)).collect(),
+        );
+        let selections: Vec<Vec<String>> = pilots.iter().map(|p| self.select_phases(p)).collect();
+        let jobs: Vec<(&Workload, BTreeSet<String>)> = workloads
+            .iter()
+            .zip(&selections)
+            .map(|(w, sel)| (w, sel.iter().cloned().collect()))
+            .collect();
+        let tuned = crate::runner::parallel_map(&jobs, |(w, phases)| AutoTuner::tuned_run(w, phases));
+        selections
+            .into_iter()
+            .zip(pilots)
+            .zip(tuned)
+            .map(|((selected_phases, pilot), tuned)| AutoTuneOutcome {
+                selected_phases,
+                pilot,
+                tuned,
+            })
+            .collect()
     }
 }
 
@@ -228,6 +259,20 @@ mod tests {
             .with_engine(pilot_engine)
             .run();
         assert!(tuner.select_phases(&pilot).is_empty());
+    }
+
+    #[test]
+    fn tune_many_matches_individual_tunes() {
+        let tuner = AutoTuner::default();
+        let workloads = [Workload::ft_test(2), Workload::ft_test(4)];
+        let many = tuner.tune_many(&workloads);
+        assert_eq!(many.len(), workloads.len());
+        for (outcome, w) in many.iter().zip(&workloads) {
+            let solo = tuner.tune(w);
+            assert_eq!(outcome.selected_phases, solo.selected_phases);
+            assert_eq!(outcome.pilot, solo.pilot);
+            assert_eq!(outcome.tuned, solo.tuned);
+        }
     }
 
     #[test]

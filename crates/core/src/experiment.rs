@@ -107,10 +107,15 @@ pub fn crescendo_with(
 }
 
 /// Fully general crescendo sweep: build any experiment per ladder point.
+/// The five runs are independent, so they execute on the parallel batch
+/// runner (see [`crate::runner::run_batch`]); results are identical to a
+/// sequential sweep.
 pub fn crescendo_of(make: impl Fn(u32) -> Experiment) -> Crescendo {
+    let ladder = ladder_mhz_desc();
+    let experiments: Vec<Experiment> = ladder.iter().map(|&mhz| make(mhz)).collect();
+    let results = crate::runner::run_batch(experiments);
     let mut crescendo = Crescendo::new();
-    for mhz in ladder_mhz_desc() {
-        let result = make(mhz).run();
+    for (mhz, result) in ladder.into_iter().zip(results) {
         crescendo.push(mhz, result.total_energy_j(), result.duration_secs());
     }
     crescendo

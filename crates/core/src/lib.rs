@@ -33,6 +33,7 @@ pub mod adaptive;
 pub mod calibration;
 pub mod experiment;
 pub mod report;
+pub mod runner;
 pub mod strategy;
 pub mod workload;
 
@@ -41,6 +42,7 @@ pub use experiment::{
     static_crescendo, Experiment,
 };
 pub use adaptive::{AutoTuneOutcome, AutoTuner};
+pub use runner::{parallel_map, run_batch, thread_count, THREADS_ENV};
 pub use strategy::DvsStrategy;
 pub use workload::Workload;
 

@@ -1,0 +1,143 @@
+//! Parallel execution of independent experiments.
+//!
+//! A paper-reproduction session runs *many* simulations — a crescendo is
+//! five, a figure a dozen, the full figure suite hundreds — and every one
+//! is an isolated deterministic state machine. [`run_batch`] fans a batch
+//! over OS threads and returns results **in input order**, bit-identical
+//! to running the same experiments sequentially:
+//!
+//! * parallelism is only ever *across* runs — a single simulation is never
+//!   split, so its event order (and thus every float) is untouched;
+//! * each result lands in the slot of the experiment that produced it,
+//!   so batch order is input order regardless of scheduling;
+//! * with one worker (or one job) the exact sequential path runs.
+//!
+//! Worker count comes from [`std::thread::available_parallelism`], clamped
+//! to the job count, and can be overridden with the `PWRPERF_THREADS`
+//! environment variable (`PWRPERF_THREADS=1` forces sequential execution).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mpi_sim::RunResult;
+
+use crate::experiment::Experiment;
+
+/// Environment variable overriding the worker thread count.
+pub const THREADS_ENV: &str = "PWRPERF_THREADS";
+
+/// Number of worker threads a batch of `jobs` independent tasks will use:
+/// the `PWRPERF_THREADS` override if set (minimum 1), otherwise the
+/// machine's available parallelism; never more than `jobs`.
+pub fn thread_count(jobs: usize) -> usize {
+    if jobs <= 1 {
+        return 1;
+    }
+    let configured = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    let workers = configured.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    workers.min(jobs)
+}
+
+/// Run every experiment and return the results in input order.
+///
+/// Each experiment is a self-contained deterministic simulation, so the
+/// output is bit-identical whatever the worker count (asserted by
+/// `tests/parallel_runner.rs`).
+pub fn run_batch(experiments: Vec<Experiment>) -> Vec<RunResult> {
+    parallel_map(&experiments, Experiment::run)
+}
+
+/// Map `f` over `items` on [`thread_count`] worker threads, collecting
+/// results in input order. Workers claim items through a shared atomic
+/// cursor (dynamic load balancing: simulations vary widely in length).
+/// A panic in `f` propagates to the caller after the scope unwinds.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = thread_count(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        results[i] = Some(r);
+                    }
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every claimed index produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn thread_count_never_exceeds_jobs() {
+        assert_eq!(thread_count(0), 1);
+        assert_eq!(thread_count(1), 1);
+        assert!(thread_count(3) <= 3);
+        assert!(thread_count(1000) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn worker_panic_propagates() {
+        let items: Vec<u64> = (0..8).collect();
+        let _ = parallel_map(&items, |&x| {
+            if x == 5 {
+                panic!("deliberate");
+            }
+            x
+        });
+    }
+}

@@ -37,6 +37,7 @@ impl MemHierarchy {
     }
 
     /// Effective DRAM stall time per miss after overlap.
+    #[inline]
     pub fn effective_dram_latency(&self) -> SimDuration {
         self.dram_latency.mul_f64(1.0 - self.mlp_overlap)
     }

@@ -62,12 +62,14 @@ impl WorkUnit {
     }
 
     /// Frequency-scaled cycles: core execution plus on-die L2 service.
+    #[inline]
     pub fn scaled_cycles(&self, hier: &MemHierarchy) -> f64 {
         self.cpu_cycles + self.l2_accesses * hier.l2_latency_cycles
     }
 
     /// Duration at core frequency `freq_hz`, split into active and stall
     /// portions.
+    #[inline(always)]
     pub fn split(&self, hier: &MemHierarchy, freq_hz: f64) -> TimeSplit {
         let active = cycles_to_duration(self.scaled_cycles(hier), freq_hz);
         let stall = hier

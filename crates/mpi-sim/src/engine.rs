@@ -30,14 +30,15 @@
 //! Memory-stall phases and network flows are frequency-invariant and
 //! proceed through transitions untouched.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use cluster_sim::Cluster;
 use dvfs::Governor;
 use net_model::{FlowId, FluidNetwork};
 use power_model::{CpuActivity, OpIndex};
-use sim_core::{duration_to_cycles, EventQueue, SimDuration, SimTime, Trace, TraceKind};
+use sim_core::{
+    duration_to_cycles, EventQueue, FxHashMap, FxHashSet, SimDuration, SimTime, Trace, TraceKind,
+};
 
 use crate::config::{EngineConfig, WaitPolicy};
 use crate::program::{Op, Program, Rank, Tag};
@@ -129,11 +130,11 @@ struct RankRuntime {
     breakdown: RankBreakdown,
     finish_time: Option<SimTime>,
     /// Isends posted but not yet drained into the network.
-    outstanding_sends: std::collections::HashSet<MsgId>,
+    outstanding_sends: FxHashSet<MsgId>,
     /// Irecvs matched to a message but not yet delivered.
-    outstanding_recvs_matched: std::collections::HashSet<MsgId>,
+    outstanding_recvs_matched: FxHashSet<MsgId>,
     /// Irecvs posted with no matching send yet, counted per key.
-    outstanding_recvs_unmatched: HashMap<MsgKey, usize>,
+    outstanding_recvs_unmatched: FxHashMap<MsgKey, usize>,
 }
 
 #[derive(Debug)]
@@ -157,13 +158,18 @@ pub struct Engine {
     now: SimTime,
     ranks: Vec<RankRuntime>,
     msgs: Vec<Msg>,
-    pending_sends: HashMap<MsgKey, VecDeque<MsgId>>,
-    pending_recvs: HashMap<MsgKey, VecDeque<()>>,
-    flow_to_msg: HashMap<FlowId, MsgId>,
+    pending_sends: FxHashMap<MsgKey, VecDeque<MsgId>>,
+    pending_recvs: FxHashMap<MsgKey, VecDeque<()>>,
+    /// Message owning each network flow slot. Flow ids are small densely
+    /// reused slot indices, so a flat vector beats a hash map here.
+    flow_to_msg: Vec<Option<MsgId>>,
     net_event: Option<u64>,
     finished: usize,
     samples: Vec<SampleRow>,
     trace: Trace,
+    /// Reused between network wakes to collect completed flows without
+    /// allocating on every event.
+    completed_buf: Vec<(FlowId, usize, usize)>,
 }
 
 impl Engine {
@@ -182,6 +188,9 @@ impl Engine {
         assert_eq!(governors.len(), cluster.len(), "one governor per node");
         let n = cluster.len();
         let network = FluidNetwork::new(cluster.network().clone(), n);
+        // Nearly every message-bearing op posts one message; sizing the
+        // arena to the total op count keeps hot-loop pushes reallocation-free.
+        let total_ops: usize = programs.iter().map(|p| p.len()).sum();
         let trace = if config.trace_capacity > 0 {
             Trace::new(config.trace_capacity)
         } else {
@@ -192,7 +201,9 @@ impl Engine {
             network,
             programs,
             governors,
-            queue: EventQueue::new(),
+            // A rank contributes at most a handful of concurrently pending
+            // events; pre-size the queue so steady state never reallocates.
+            queue: EventQueue::with_capacity(16 * n + 16),
             now: SimTime::ZERO,
             ranks: (0..n)
                 .map(|_| RankRuntime {
@@ -202,20 +213,23 @@ impl Engine {
                     bucket_since: SimTime::ZERO,
                     breakdown: RankBreakdown::default(),
                     finish_time: None,
-                    outstanding_sends: std::collections::HashSet::new(),
-                    outstanding_recvs_matched: std::collections::HashSet::new(),
-                    outstanding_recvs_unmatched: HashMap::new(),
+                    outstanding_sends: FxHashSet::with_capacity_and_hasher(16, Default::default()),
+                    outstanding_recvs_matched: FxHashSet::with_capacity_and_hasher(16, Default::default()),
+                    outstanding_recvs_unmatched: FxHashMap::with_capacity_and_hasher(16, Default::default()),
                 })
                 .collect(),
-            msgs: Vec::new(),
-            pending_sends: HashMap::new(),
-            pending_recvs: HashMap::new(),
-            flow_to_msg: HashMap::new(),
+            msgs: Vec::with_capacity(total_ops),
+            // Message keys are (src, dst, tag); n ranks keep at most a few
+            // live tags per pair, so n*n buckets absorb the steady state.
+            pending_sends: FxHashMap::with_capacity_and_hasher(n * n, Default::default()),
+            pending_recvs: FxHashMap::with_capacity_and_hasher(n * n, Default::default()),
+            flow_to_msg: Vec::new(),
             net_event: None,
             finished: 0,
             samples: Vec::new(),
             cluster,
             trace,
+            completed_buf: Vec::new(),
         }
     }
 
@@ -557,8 +571,10 @@ impl Engine {
             recv_posted: false,
             drained_at: None,
         });
-        self.trace
-            .record(self.now, src, TraceKind::MsgStart, format!("->{dst} {bytes}B"));
+        if self.trace.is_enabled() {
+            self.trace
+                .record(self.now, src, TraceKind::MsgStart, format!("->{dst} {bytes}B"));
+        }
         let key = (src, dst, tag);
         let matched = match self.pending_recvs.get_mut(&key) {
             Some(q) if !q.is_empty() => {
@@ -602,12 +618,14 @@ impl Engine {
                     Some(drained) => {
                         let deliver_at = drained + self.network.params().wire_latency;
                         if deliver_at <= self.now {
-                            self.trace.record(
-                                self.now,
-                                dst,
-                                TraceKind::MsgEnd,
-                                format!("<-{src}"),
-                            );
+                            if self.trace.is_enabled() {
+                                self.trace.record(
+                                    self.now,
+                                    dst,
+                                    TraceKind::MsgEnd,
+                                    format!("<-{src}"),
+                                );
+                            }
                             None // already here
                         } else {
                             self.queue.push(deliver_at, Event::Delivered(id));
@@ -651,7 +669,10 @@ impl Engine {
         };
         let flow = self.network.start_flow(self.now, src, dst, bytes);
         self.msgs[id].flow_started = true;
-        self.flow_to_msg.insert(flow, id);
+        if flow.0 >= self.flow_to_msg.len() {
+            self.flow_to_msg.resize(flow.0 + 1, None);
+        }
+        self.flow_to_msg[flow.0] = Some(id);
         self.refresh_nic(src);
         self.refresh_nic(dst);
         self.reschedule_network();
@@ -674,12 +695,12 @@ impl Engine {
 
     fn on_network_wake(&mut self) {
         self.net_event = None;
-        let completed = self.network.take_completed(self.now);
+        let mut completed = std::mem::take(&mut self.completed_buf);
+        self.network.take_completed_into(self.now, &mut completed);
         let latency = self.network.params().wire_latency;
-        for (flow, src, dst) in completed {
-            let id = self
-                .flow_to_msg
-                .remove(&flow)
+        for &(flow, src, dst) in completed.iter() {
+            let id = self.flow_to_msg[flow.0]
+                .take()
                 .expect("completed flow without a message");
             self.msgs[id].drained_at = Some(self.now);
             self.refresh_nic(src);
@@ -704,13 +725,16 @@ impl Engine {
                 self.queue.push(self.now + latency, Event::Delivered(id));
             }
         }
+        self.completed_buf = completed;
         self.reschedule_network();
     }
 
     fn on_delivered(&mut self, id: MsgId) {
         let dst = self.msgs[id].dst;
-        self.trace
-            .record(self.now, dst, TraceKind::MsgEnd, format!("<-{}", self.msgs[id].src));
+        if self.trace.is_enabled() {
+            self.trace
+                .record(self.now, dst, TraceKind::MsgEnd, format!("<-{}", self.msgs[id].src));
+        }
         if let RState::Waiting {
             need_recv: nr @ Some(RecvWait::Matched(_)),
             ..
@@ -764,12 +788,14 @@ impl Engine {
         }
         self.queue
             .push(self.now + lat, Event::TransitionDone(node, target));
-        self.trace.record(
-            self.now,
-            node,
-            TraceKind::FreqChange,
-            format!("->op{target}"),
-        );
+        if self.trace.is_enabled() {
+            self.trace.record(
+                self.now,
+                node,
+                TraceKind::FreqChange,
+                format!("->op{target}"),
+            );
+        }
         lat
     }
 
@@ -850,6 +876,7 @@ impl Engine {
             samples: self.samples,
             trace: self.trace.events().cloned().collect(),
             freq_residency,
+            events: self.queue.processed_total(),
         }
     }
 }

@@ -5,7 +5,7 @@ use sim_core::{SimDuration, SimTime, TraceEvent};
 
 /// One periodic sample of cluster state (the engine's measurement tap;
 /// the `powerpack` crate turns these into ACPI/Baytech-style readings).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SampleRow {
     /// Sample timestamp.
     pub time: SimTime,
@@ -20,7 +20,7 @@ pub struct SampleRow {
 }
 
 /// Where one rank's wall-clock time went.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RankBreakdown {
     /// CPU-active compute (frequency-scaled work).
     pub compute: SimDuration,
@@ -48,7 +48,7 @@ impl RankBreakdown {
 }
 
 /// The result of one simulated application run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Wall-clock time from start to the last rank's completion.
     pub duration: SimDuration,
@@ -68,6 +68,10 @@ pub struct RunResult {
     /// Per-node cpufreq `time_in_state`: `(mhz, residency)` per ladder
     /// point, summing to the run duration.
     pub freq_residency: Vec<Vec<(u32, SimDuration)>>,
+    /// Discrete events the engine dispatched during the run — the
+    /// simulator's work metric (events / wall-clock second is the
+    /// benchmark throughput figure).
+    pub events: u64,
 }
 
 impl RunResult {
@@ -123,6 +127,7 @@ mod tests {
             samples: vec![],
             trace: vec![],
             freq_residency: vec![],
+            events: 0,
         };
         assert_eq!(r.total_energy_j(), 300.0);
         assert_eq!(r.duration_secs(), 10.0);
@@ -140,6 +145,7 @@ mod tests {
             samples: vec![],
             trace: vec![],
             freq_residency: vec![],
+            events: 0,
         };
         assert_eq!(r.average_power_w(), 0.0);
     }

@@ -6,6 +6,12 @@
 //! filling raises all unfixed flows' rates together until some link
 //! saturates, freezes the flows on that link, and repeats — yielding the
 //! unique max-min fair allocation.
+//!
+//! The solver lives in [`FairShare`], which owns all the per-call scratch
+//! (active-flow worklists, per-node residual capacities and counts) so a
+//! caller that recomputes rates on every flow arrival/departure — the
+//! fluid network does — allocates nothing after the first call.
+//! [`max_min_fair`] is a convenience wrapper over a throwaway solver.
 
 /// A flow to be allocated: `(src_node, dst_node)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,77 +22,174 @@ pub struct FlowEndpoints {
     pub dst: usize,
 }
 
-/// Compute max-min fair rates for `flows` over per-node uplinks and
-/// downlinks of capacity `link_capacity` (any unit; results share it).
-///
-/// Returns one rate per flow, in the same order. Zero-length input returns
-/// an empty vector. Self-flows (src == dst) are serviced by loopback and
-/// get `loopback_capacity` each without contending for the switch.
+/// Progressive-filling solver with reusable scratch buffers.
+#[derive(Debug, Default)]
+pub struct FairShare {
+    active: Vec<usize>,
+    still_active: Vec<usize>,
+    up_cap: Vec<f64>,
+    down_cap: Vec<f64>,
+    up_count: Vec<usize>,
+    down_count: Vec<usize>,
+}
+
+impl FairShare {
+    /// A solver with empty scratch; buffers grow to fit on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compute max-min fair rates for `flows` over per-node uplinks and
+    /// downlinks of capacity `link_capacity` (any unit; results share it),
+    /// writing one rate per flow into `rates` (cleared first, same order).
+    ///
+    /// Self-flows (src == dst) are serviced by loopback and get
+    /// `loopback_capacity` each without contending for the switch.
+    pub fn compute_into(
+        &mut self,
+        flows: &[FlowEndpoints],
+        nodes: usize,
+        link_capacity: f64,
+        loopback_capacity: f64,
+        rates: &mut Vec<f64>,
+    ) {
+        assert!(link_capacity > 0.0);
+        let n = flows.len();
+        rates.clear();
+        rates.resize(n, 0.0);
+
+        let FairShare {
+            active,
+            still_active,
+            up_cap,
+            down_cap,
+            up_count,
+            down_count,
+        } = self;
+
+        // Loopback flows bypass the fabric.
+        active.clear();
+        for (i, f) in flows.iter().enumerate() {
+            assert!(f.src < nodes && f.dst < nodes, "flow endpoint out of range");
+            if f.src == f.dst {
+                rates[i] = loopback_capacity;
+            } else {
+                active.push(i);
+            }
+        }
+
+        up_cap.clear();
+        up_cap.resize(nodes, link_capacity);
+        down_cap.clear();
+        down_cap.resize(nodes, link_capacity);
+        up_count.clear();
+        up_count.resize(nodes, 0);
+        down_count.clear();
+        down_count.resize(nodes, 0);
+        for &i in active.iter() {
+            up_count[flows[i].src] += 1;
+            down_count[flows[i].dst] += 1;
+        }
+
+        while !active.is_empty() {
+            // The bottleneck link is the one offering the least share per flow.
+            let mut bottleneck_share = f64::INFINITY;
+            for node in 0..nodes {
+                if up_count[node] > 0 {
+                    bottleneck_share = bottleneck_share.min(up_cap[node] / up_count[node] as f64);
+                }
+                if down_count[node] > 0 {
+                    bottleneck_share =
+                        bottleneck_share.min(down_cap[node] / down_count[node] as f64);
+                }
+            }
+            debug_assert!(bottleneck_share.is_finite());
+
+            // Freeze every flow crossing a link that saturates at this share.
+            let mut frozen_any = false;
+            still_active.clear();
+            for &i in active.iter() {
+                let f = flows[i];
+                let up_share = up_cap[f.src] / up_count[f.src] as f64;
+                let down_share = down_cap[f.dst] / down_count[f.dst] as f64;
+                let limit = up_share.min(down_share);
+                if limit <= bottleneck_share * (1.0 + 1e-12) {
+                    rates[i] = bottleneck_share;
+                    up_cap[f.src] -= bottleneck_share;
+                    down_cap[f.dst] -= bottleneck_share;
+                    up_count[f.src] -= 1;
+                    down_count[f.dst] -= 1;
+                    frozen_any = true;
+                } else {
+                    still_active.push(i);
+                }
+            }
+
+            if !frozen_any {
+                // Degenerate float case: residual capacities can drift a few
+                // ulps negative after many subtractions, and once the
+                // bottleneck share is negative the relative tolerance above
+                // moves the threshold the wrong way (multiplying a negative
+                // share by 1 + 1e-12 makes it smaller), so nothing passes the
+                // test. Freeze the flows on the strict minimum-share link
+                // directly — that link has at least one flow by construction,
+                // so filling always terminates.
+                let mut min_link: Option<(bool, usize, f64)> = None;
+                for node in 0..nodes {
+                    if up_count[node] > 0 {
+                        let share = up_cap[node] / up_count[node] as f64;
+                        if min_link.map_or(true, |(_, _, s)| share < s) {
+                            min_link = Some((true, node, share));
+                        }
+                    }
+                    if down_count[node] > 0 {
+                        let share = down_cap[node] / down_count[node] as f64;
+                        if min_link.map_or(true, |(_, _, s)| share < s) {
+                            min_link = Some((false, node, share));
+                        }
+                    }
+                }
+                match min_link {
+                    Some((is_up, node, _)) => {
+                        still_active.retain(|&i| {
+                            let f = flows[i];
+                            let on_link = if is_up { f.src == node } else { f.dst == node };
+                            if on_link {
+                                rates[i] = bottleneck_share;
+                                up_cap[f.src] -= bottleneck_share;
+                                down_cap[f.dst] -= bottleneck_share;
+                                up_count[f.src] -= 1;
+                                down_count[f.dst] -= 1;
+                            }
+                            !on_link
+                        });
+                    }
+                    None => {
+                        // Every remaining share is NaN (poisoned capacities);
+                        // assign what we have and stop rather than spin.
+                        for &i in still_active.iter() {
+                            rates[i] = bottleneck_share;
+                        }
+                        still_active.clear();
+                    }
+                }
+            }
+            std::mem::swap(active, still_active);
+        }
+    }
+}
+
+/// Compute max-min fair rates with a throwaway solver. Returns one rate per
+/// flow, in the same order; zero-length input returns an empty vector. See
+/// [`FairShare::compute_into`] for the allocation-free form.
 pub fn max_min_fair(
     flows: &[FlowEndpoints],
     nodes: usize,
     link_capacity: f64,
     loopback_capacity: f64,
 ) -> Vec<f64> {
-    assert!(link_capacity > 0.0);
-    let n = flows.len();
-    let mut rates = vec![0.0f64; n];
-    // Loopback flows bypass the fabric.
-    let mut active: Vec<usize> = Vec::with_capacity(n);
-    for (i, f) in flows.iter().enumerate() {
-        assert!(f.src < nodes && f.dst < nodes, "flow endpoint out of range");
-        if f.src == f.dst {
-            rates[i] = loopback_capacity;
-        } else {
-            active.push(i);
-        }
-    }
-
-    let mut up_cap = vec![link_capacity; nodes];
-    let mut down_cap = vec![link_capacity; nodes];
-    let mut up_count = vec![0usize; nodes];
-    let mut down_count = vec![0usize; nodes];
-    for &i in &active {
-        up_count[flows[i].src] += 1;
-        down_count[flows[i].dst] += 1;
-    }
-
-    while !active.is_empty() {
-        // The bottleneck link is the one offering the least share per flow.
-        let mut bottleneck_share = f64::INFINITY;
-        for node in 0..nodes {
-            if up_count[node] > 0 {
-                bottleneck_share = bottleneck_share.min(up_cap[node] / up_count[node] as f64);
-            }
-            if down_count[node] > 0 {
-                bottleneck_share = bottleneck_share.min(down_cap[node] / down_count[node] as f64);
-            }
-        }
-        debug_assert!(bottleneck_share.is_finite());
-
-        // Freeze every flow crossing a link that saturates at this share.
-        let mut frozen_any = false;
-        let mut still_active = Vec::with_capacity(active.len());
-        for &i in &active {
-            let f = flows[i];
-            let up_share = up_cap[f.src] / up_count[f.src] as f64;
-            let down_share = down_cap[f.dst] / down_count[f.dst] as f64;
-            let limit = up_share.min(down_share);
-            if limit <= bottleneck_share * (1.0 + 1e-12) {
-                rates[i] = bottleneck_share;
-                up_cap[f.src] -= bottleneck_share;
-                down_cap[f.dst] -= bottleneck_share;
-                up_count[f.src] -= 1;
-                down_count[f.dst] -= 1;
-                frozen_any = true;
-            } else {
-                still_active.push(i);
-            }
-        }
-        // Progress is guaranteed: the bottleneck link's flows always freeze.
-        assert!(frozen_any, "progressive filling failed to make progress");
-        active = still_active;
-    }
+    let mut rates = Vec::with_capacity(flows.len());
+    FairShare::new().compute_into(flows, nodes, link_capacity, loopback_capacity, &mut rates);
     rates
 }
 
@@ -169,6 +272,29 @@ mod tests {
     }
 
     #[test]
+    fn reused_solver_matches_fresh_solver_bitwise() {
+        // The whole point of FairShare is reuse; stale scratch must never
+        // leak into a later answer.
+        let scenarios: Vec<Vec<FlowEndpoints>> = vec![
+            vec![flow(0, 1), flow(0, 2), flow(3, 2)],
+            vec![flow(1, 0)],
+            vec![flow(0, 0), flow(0, 1), flow(2, 1), flow(2, 3)],
+            vec![],
+            (0..20).map(|i| flow(i % 4, (i + 1) % 4)).collect(),
+        ];
+        let mut solver = FairShare::new();
+        let mut rates = Vec::new();
+        for flows in &scenarios {
+            solver.compute_into(flows, 4, C, C, &mut rates);
+            let fresh = max_min_fair(flows, 4, C, C);
+            assert_eq!(rates.len(), fresh.len());
+            for (a, b) in rates.iter().zip(&fresh) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn bad_endpoint_panics() {
         let _ = max_min_fair(&[flow(0, 9)], 2, C, C);
@@ -219,6 +345,34 @@ mod tests {
             for (f, _r) in flows.iter().zip(&rates) {
                 let saturated = up[f.src] >= C * (1.0 - 1e-9) || down[f.dst] >= C * (1.0 - 1e-9);
                 prop_assert!(saturated, "flow {:?} has no saturated link", f);
+            }
+        }
+
+        /// Dense contention stress: progressive filling must terminate
+        /// (no "failed to make progress" panic) and stay feasible even when
+        /// hundreds of flows hammer the same few links with awkward
+        /// capacities. This is the regime where residual capacities drift
+        /// negative by a few ulps and the fallback freeze rule earns its keep.
+        #[test]
+        fn prop_dense_contention_terminates(
+            endpoints in proptest::collection::vec((0usize..4, 0usize..4), 50..300),
+            cap_millis in 1u64..10_000,
+        ) {
+            let cap = cap_millis as f64 * 1.0e-3; // exercise non-dyadic capacities
+            let flows: Vec<_> = endpoints.iter().map(|&(s, d)| flow(s, d)).collect();
+            let rates = max_min_fair(&flows, 4, cap, cap);
+            let mut up = [0.0f64; 4];
+            let mut down = [0.0f64; 4];
+            for (f, r) in flows.iter().zip(&rates) {
+                prop_assert!(r.is_finite());
+                if f.src != f.dst {
+                    up[f.src] += r.max(0.0);
+                    down[f.dst] += r.max(0.0);
+                }
+            }
+            for node in 0..4 {
+                prop_assert!(up[node] <= cap * (1.0 + 1e-6));
+                prop_assert!(down[node] <= cap * (1.0 + 1e-6));
             }
         }
     }

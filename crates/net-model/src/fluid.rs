@@ -7,10 +7,22 @@
 //!    network event;
 //! 3. [`FluidNetwork::take_completed`] at that event to collect finished
 //!    transfers (rates are recomputed automatically as flows come and go).
+//!
+//! ## Incremental recomputation
+//!
+//! Rates only change when the *fabric* flow set changes: loopback (self)
+//! flows never contend for the switch, so arrivals and departures of
+//! loopback flows leave every other rate untouched, and a lone fabric flow
+//! always gets the full link. Those cases skip the progressive-filling
+//! solver entirely; the general case reuses a [`FairShare`] solver and
+//! per-call scratch, so the steady-state event loop allocates nothing.
+//! All fast paths are bit-identical to a from-scratch recomputation (a
+//! property-based test below drives random arrivals/departures and checks
+//! rates against [`max_min_fair`] exactly).
 
 use sim_core::{SimDuration, SimTime};
 
-use crate::fair_share::{max_min_fair, FlowEndpoints};
+use crate::fair_share::{FairShare, FlowEndpoints};
 use crate::params::NetworkParams;
 
 /// Handle to an active transfer.
@@ -40,9 +52,22 @@ pub struct FluidNetwork {
     nodes: usize,
     flows: Vec<Option<ActiveFlow>>,
     free_slots: Vec<usize>,
+    /// Slots of live flows, kept sorted ascending so every scan visits
+    /// flows in the same order a full `flows` sweep would.
+    active_slots: Vec<usize>,
+    /// Live flows with src != dst (the ones that contend for the switch).
+    fabric_count: usize,
+    /// Per node: how many live flows touch it as src or dst (a loopback
+    /// flow counts twice). Makes `node_busy` O(1).
+    node_touch: Vec<usize>,
     last_advance: SimTime,
     total_bytes_delivered: f64,
     total_flows_completed: u64,
+    // Reused across rate recomputations so the event loop stays
+    // allocation-free after warm-up.
+    solver: FairShare,
+    scratch_endpoints: Vec<FlowEndpoints>,
+    scratch_rates: Vec<f64>,
 }
 
 impl FluidNetwork {
@@ -55,9 +80,15 @@ impl FluidNetwork {
             nodes,
             flows: Vec::new(),
             free_slots: Vec::new(),
+            active_slots: Vec::new(),
+            fabric_count: 0,
+            node_touch: vec![0; nodes],
             last_advance: SimTime::ZERO,
             total_bytes_delivered: 0.0,
             total_flows_completed: 0,
+            solver: FairShare::new(),
+            scratch_endpoints: Vec::new(),
+            scratch_rates: Vec::new(),
         }
     }
 
@@ -72,10 +103,11 @@ impl FluidNetwork {
         debug_assert!(now >= self.last_advance, "network time went backwards");
         let dt = now.since(self.last_advance).as_secs_f64();
         if dt > 0.0 {
-            for slot in self.flows.iter_mut().flatten() {
-                let moved = slot.rate_bytes_per_sec * dt;
-                let drained = moved.min(slot.remaining_bytes);
-                slot.remaining_bytes -= drained;
+            for &slot in &self.active_slots {
+                let f = self.flows[slot].as_mut().unwrap();
+                let moved = f.rate_bytes_per_sec * dt;
+                let drained = moved.min(f.remaining_bytes);
+                f.remaining_bytes -= drained;
                 self.total_bytes_delivered += drained;
             }
         }
@@ -101,30 +133,45 @@ impl FluidNetwork {
             self.flows.push(Some(flow));
             self.flows.len() - 1
         };
-        self.recompute_rates();
+        let pos = self.active_slots.binary_search(&id).unwrap_err();
+        self.active_slots.insert(pos, id);
+        self.node_touch[src] += 1;
+        self.node_touch[dst] += 1;
+
+        if src == dst {
+            // Loopback never contends: nobody else's rate changes.
+            self.flows[id].as_mut().unwrap().rate_bytes_per_sec = LOOPBACK_BYTES_PER_SEC;
+        } else {
+            self.fabric_count += 1;
+            if self.fabric_count == 1 {
+                // A lone fabric flow takes the whole link.
+                self.flows[id].as_mut().unwrap().rate_bytes_per_sec =
+                    self.params.goodput_bytes_per_sec();
+            } else {
+                self.recompute_rates();
+            }
+        }
         FlowId(id)
     }
 
     fn recompute_rates(&mut self) {
-        let mut idx = Vec::new();
-        let mut endpoints = Vec::new();
-        for (i, f) in self.flows.iter().enumerate() {
-            if let Some(f) = f {
-                idx.push(i);
-                endpoints.push(FlowEndpoints { src: f.src, dst: f.dst });
-            }
+        self.scratch_endpoints.clear();
+        for &slot in &self.active_slots {
+            let f = self.flows[slot].as_ref().unwrap();
+            self.scratch_endpoints.push(FlowEndpoints { src: f.src, dst: f.dst });
         }
-        if endpoints.is_empty() {
+        if self.scratch_endpoints.is_empty() {
             return;
         }
-        let rates = max_min_fair(
-            &endpoints,
+        self.solver.compute_into(
+            &self.scratch_endpoints,
             self.nodes,
             self.params.goodput_bytes_per_sec(),
             LOOPBACK_BYTES_PER_SEC,
+            &mut self.scratch_rates,
         );
-        for (slot, rate) in idx.into_iter().zip(rates) {
-            self.flows[slot].as_mut().unwrap().rate_bytes_per_sec = rate;
+        for (k, &slot) in self.active_slots.iter().enumerate() {
+            self.flows[slot].as_mut().unwrap().rate_bytes_per_sec = self.scratch_rates[k];
         }
     }
 
@@ -134,7 +181,8 @@ impl FluidNetwork {
     /// drained by the returned instant.
     pub fn next_completion(&self) -> Option<SimTime> {
         let mut best: Option<f64> = None;
-        for f in self.flows.iter().flatten() {
+        for &slot in &self.active_slots {
+            let f = self.flows[slot].as_ref().unwrap();
             let secs = if f.remaining_bytes <= EPS_BYTES {
                 0.0
             } else {
@@ -149,38 +197,79 @@ impl FluidNetwork {
     }
 
     /// Advance to `now` and remove every drained flow, returning
-    /// `(id, src, dst)` for each in id order.
+    /// `(id, src, dst)` for each in id order. Allocates a fresh vector;
+    /// the engine's hot loop uses [`FluidNetwork::take_completed_into`].
     pub fn take_completed(&mut self, now: SimTime) -> Vec<(FlowId, usize, usize)> {
-        self.advance(now);
         let mut done = Vec::new();
-        for (i, slot) in self.flows.iter_mut().enumerate() {
-            if let Some(f) = slot {
-                if f.remaining_bytes <= EPS_BYTES {
-                    done.push((FlowId(i), f.src, f.dst));
-                    *slot = None;
-                    self.free_slots.push(i);
-                    self.total_flows_completed += 1;
-                }
-            }
-        }
-        if !done.is_empty() {
-            self.recompute_rates();
-        }
+        self.take_completed_into(now, &mut done);
         done
     }
 
-    /// True while `node` has at least one active flow touching it (drives
-    /// the NIC power state).
-    pub fn node_busy(&self, node: usize) -> bool {
-        self.flows
-            .iter()
-            .flatten()
-            .any(|f| f.src == node || f.dst == node)
+    /// Advance to `now` and remove every drained flow, appending
+    /// `(id, src, dst)` for each in id order to `done` (cleared first).
+    /// Rates are only recomputed if a fabric flow actually finished.
+    pub fn take_completed_into(&mut self, now: SimTime, done: &mut Vec<(FlowId, usize, usize)>) {
+        done.clear();
+        self.advance(now);
+        let mut removed_fabric = 0usize;
+        let mut keep = 0usize;
+        for read in 0..self.active_slots.len() {
+            let slot = self.active_slots[read];
+            let f = self.flows[slot].as_ref().unwrap();
+            if f.remaining_bytes <= EPS_BYTES {
+                let (src, dst) = (f.src, f.dst);
+                done.push((FlowId(slot), src, dst));
+                self.flows[slot] = None;
+                self.free_slots.push(slot);
+                self.node_touch[src] -= 1;
+                self.node_touch[dst] -= 1;
+                if src != dst {
+                    removed_fabric += 1;
+                }
+                self.total_flows_completed += 1;
+            } else {
+                self.active_slots[keep] = slot;
+                keep += 1;
+            }
+        }
+        self.active_slots.truncate(keep);
+        if removed_fabric > 0 {
+            self.fabric_count -= removed_fabric;
+            match self.fabric_count {
+                0 => {} // only loopbacks remain; their rate is a constant
+                1 => {
+                    // The survivor takes the whole link; no solver needed.
+                    let goodput = self.params.goodput_bytes_per_sec();
+                    for &slot in &self.active_slots {
+                        let f = self.flows[slot].as_mut().unwrap();
+                        if f.src != f.dst {
+                            f.rate_bytes_per_sec = goodput;
+                            break;
+                        }
+                    }
+                }
+                _ => self.recompute_rates(),
+            }
+        }
     }
 
-    /// Number of in-flight flows.
+    /// True while `node` has at least one active flow touching it (drives
+    /// the NIC power state). O(1).
+    pub fn node_busy(&self, node: usize) -> bool {
+        self.node_touch[node] > 0
+    }
+
+    /// Number of in-flight flows. O(1).
     pub fn active_flows(&self) -> usize {
-        self.flows.iter().flatten().count()
+        self.active_slots.len()
+    }
+
+    /// The current fair-share rate of a live flow, bytes/s.
+    pub fn current_rate(&self, id: FlowId) -> Option<f64> {
+        self.flows
+            .get(id.0)
+            .and_then(|slot| slot.as_ref())
+            .map(|f| f.rate_bytes_per_sec)
     }
 
     /// Total payload bytes fully drained so far.
@@ -250,6 +339,20 @@ mod tests {
         let t2 = n.next_completion().unwrap();
         assert!(t2 > t1);
         assert_eq!(n.take_completed(t2).len(), 1);
+    }
+
+    #[test]
+    fn survivor_rate_restored_without_full_recompute() {
+        // Exercises the fabric_count == 1 fast path in take_completed.
+        let mut n = net(3);
+        n.start_flow(SimTime::ZERO, 0, 1, 1_000_000);
+        let long = n.start_flow(SimTime::ZERO, 0, 2, 5_000_000);
+        let half = n.params().goodput_bytes_per_sec() / 2.0;
+        assert_eq!(n.current_rate(long).unwrap().to_bits(), half.to_bits());
+        let t1 = n.next_completion().unwrap();
+        assert_eq!(n.take_completed(t1).len(), 1);
+        let full = n.params().goodput_bytes_per_sec();
+        assert_eq!(n.current_rate(long).unwrap().to_bits(), full.to_bits());
     }
 
     #[test]
@@ -323,6 +426,20 @@ mod tests {
     }
 
     #[test]
+    fn take_completed_into_reuses_buffer() {
+        let mut n = net(2);
+        let mut done = Vec::new();
+        n.start_flow(SimTime::ZERO, 0, 1, 1000);
+        let t = n.next_completion().unwrap();
+        n.take_completed_into(t, &mut done);
+        assert_eq!(done.len(), 1);
+        n.start_flow(t, 0, 1, 1000);
+        let t2 = n.next_completion().unwrap();
+        n.take_completed_into(t2, &mut done);
+        assert_eq!(done.len(), 1, "buffer must be cleared per call");
+    }
+
+    #[test]
     #[should_panic(expected = "endpoint out of range")]
     fn bad_endpoint_panics() {
         net(2).start_flow(SimTime::ZERO, 0, 5, 10);
@@ -332,7 +449,9 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
+    use crate::fair_share::max_min_fair;
     use proptest::prelude::*;
+    use std::collections::BTreeMap;
 
     proptest! {
         /// Any batch of flows fully drains, delivering exactly the bytes
@@ -390,6 +509,42 @@ mod prop_tests {
             let upper = total_fabric as f64 / rate + 1e-6;
             prop_assert!(last.as_secs_f64() >= lower * 0.999, "{} < {}", last.as_secs_f64(), lower);
             prop_assert!(last.as_secs_f64() <= upper, "{} > {}", last.as_secs_f64(), upper);
+        }
+
+        /// The incremental rate maintenance (loopback skip, lone-fabric fast
+        /// path, reused solver scratch) is bit-identical to a from-scratch
+        /// progressive filling over the live flow set, under an arbitrary
+        /// interleaving of arrivals and completions.
+        #[test]
+        fn prop_incremental_rates_match_from_scratch(
+            ops in proptest::collection::vec(
+                (any::<bool>(), 0usize..5, 0usize..5, 1_000u64..2_000_000), 1..40)
+        ) {
+            let params = NetworkParams::catalyst_2950_100m();
+            let goodput = params.goodput_bytes_per_sec();
+            let mut net = FluidNetwork::new(params, 5);
+            let mut shadow: BTreeMap<usize, FlowEndpoints> = BTreeMap::new();
+            let mut now = SimTime::ZERO;
+            for &(complete, src, dst, bytes) in &ops {
+                if complete {
+                    if let Some(t) = net.next_completion() {
+                        now = t;
+                        for (id, _, _) in net.take_completed(now) {
+                            shadow.remove(&id.0);
+                        }
+                    }
+                } else {
+                    let id = net.start_flow(now, src, dst, bytes);
+                    shadow.insert(id.0, FlowEndpoints { src, dst });
+                }
+                let endpoints: Vec<FlowEndpoints> = shadow.values().copied().collect();
+                let expect = max_min_fair(&endpoints, 5, goodput, LOOPBACK_BYTES_PER_SEC);
+                for ((slot, _), exp) in shadow.iter().zip(&expect) {
+                    let got = net.current_rate(FlowId(*slot)).unwrap();
+                    prop_assert!(got.to_bits() == exp.to_bits(),
+                        "slot {} rate {} != from-scratch {}", slot, got, exp);
+                }
+            }
         }
     }
 }

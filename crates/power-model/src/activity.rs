@@ -81,6 +81,7 @@ impl ActivityFactors {
     }
 
     /// Look up the factor for a state.
+    #[inline]
     pub fn factor(&self, activity: CpuActivity) -> f64 {
         match activity {
             CpuActivity::Active => self.active,

@@ -140,11 +140,13 @@ impl EnergyMeter {
         m
     }
 
+    #[inline]
     fn dyn_factor(&self) -> f64 {
         self.custom_factor
             .unwrap_or_else(|| self.params.cpu.activity.factor(self.activity))
     }
 
+    #[inline]
     fn reapply(&mut self, now: SimTime) {
         self.cpu_dynamic.set(
             now,
@@ -182,6 +184,7 @@ impl EnergyMeter {
     }
 
     /// CPU activity state changed at `now` (clears any blended factor).
+    #[inline]
     pub fn set_activity(&mut self, now: SimTime, activity: CpuActivity) {
         self.activity = activity;
         self.custom_factor = None;
@@ -190,6 +193,7 @@ impl EnergyMeter {
 
     /// Enter `Active` with an explicit blended dynamic-power factor —
     /// compute segments mixing execution with L2-stall cycles.
+    #[inline]
     pub fn set_active_blended(&mut self, now: SimTime, factor: f64) {
         assert!(factor.is_finite() && (0.0..=1.5).contains(&factor), "bad factor {factor}");
         self.activity = CpuActivity::Active;
@@ -198,12 +202,14 @@ impl EnergyMeter {
     }
 
     /// DRAM interface became active/inactive at `now`.
+    #[inline]
     pub fn set_mem_active(&mut self, now: SimTime, active: bool) {
         self.mem_active = active;
         self.reapply(now);
     }
 
     /// NIC became active/inactive at `now`.
+    #[inline]
     pub fn set_nic_active(&mut self, now: SimTime, active: bool) {
         self.nic_active = active;
         self.reapply(now);

@@ -44,11 +44,13 @@ impl CpuPowerParams {
     /// Dynamic power at `op` for an explicit switching-activity factor
     /// (used for blended compute segments, see
     /// [`ActivityFactors::compute_blend`]).
+    #[inline]
     pub fn dynamic_power_with_factor(&self, op: OperatingPoint, factor: f64) -> f64 {
         self.k_dyn * factor * op.freq_hz * op.voltage * op.voltage
     }
 
     /// Static (leakage) power at `op`, watts.
+    #[inline]
     pub fn static_power(&self, op: OperatingPoint) -> f64 {
         self.k_static * op.voltage
     }

@@ -57,6 +57,7 @@ mod tests {
             samples: vec![],
             trace: vec![],
             freq_residency: vec![],
+            events: 0,
         }
     }
 

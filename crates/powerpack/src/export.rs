@@ -146,6 +146,7 @@ mod tests {
             samples: vec![],
             trace: vec![],
             freq_residency: vec![],
+            events: 0,
         };
         let csv = summary_to_csv(&result);
         assert_eq!(csv.lines().count(), 3);

@@ -183,6 +183,7 @@ mod tests {
             samples,
             trace,
             freq_residency: vec![],
+            events: 0,
         };
         let profiles = profile_phases(&result);
         let comm = &profiles["comm"];

@@ -102,6 +102,7 @@ mod tests {
             samples: vec![],
             trace: vec![],
             freq_residency: vec![],
+            events: 0,
         }
     }
 

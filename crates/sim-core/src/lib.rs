@@ -19,12 +19,14 @@
 //!   PowerPack-style profile alignment tools.
 
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, QueuedEvent};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rng::DetRng;
 pub use stats::{OnlineStats, TimeWeighted};
 pub use time::{cycles_to_duration, duration_to_cycles, SimDuration, SimTime};

@@ -32,12 +32,14 @@ impl TimeWeighted {
 
     /// Change the signal to `value` at time `now`, accumulating the segment
     /// that just ended. `now` must not precede the previous change.
+    #[inline]
     pub fn set(&mut self, now: SimTime, value: f64) {
         self.advance(now);
         self.value = value;
     }
 
     /// Accumulate up to `now` without changing the value.
+    #[inline]
     pub fn advance(&mut self, now: SimTime) {
         debug_assert!(
             now >= self.last_change,
@@ -62,6 +64,7 @@ impl TimeWeighted {
     /// The integral including the still-open segment ending at `now`.
     /// `now` must not precede the last `set`/`advance` (signals are only
     /// readable at or after their latest change).
+    #[inline]
     pub fn integral_at(&self, now: SimTime) -> f64 {
         debug_assert!(
             now >= self.last_change,

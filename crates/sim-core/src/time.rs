@@ -41,11 +41,13 @@ impl SimTime {
 
     /// Elapsed time since `earlier`. Saturates to zero rather than wrapping,
     /// so callers comparing against stale timestamps get a zero span.
+    #[inline]
     pub fn since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
     /// This instant expressed in (possibly fractional) seconds.
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / PS_PER_SEC as f64
     }
@@ -84,6 +86,7 @@ impl SimDuration {
 
     /// A span of fractional seconds, rounded to the nearest picosecond.
     /// Negative and NaN inputs clamp to zero; spans beyond `u64` saturate.
+    #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         if secs.is_nan() || secs <= 0.0 {
             return SimDuration::ZERO;
@@ -92,11 +95,18 @@ impl SimDuration {
         if ps >= u64::MAX as f64 {
             SimDuration::MAX
         } else {
-            SimDuration(ps.round() as u64)
+            // Round half away from zero, matching `f64::round`, without the
+            // libm call (this conversion sits on the engine's hot path).
+            // `ps as u64` truncates; above 2^53 `ps` has no fractional part
+            // so the truncation is already exact.
+            let whole = ps as u64;
+            let rounded = whole + (ps - whole as f64 >= 0.5) as u64;
+            SimDuration(rounded)
         }
     }
 
     /// The span in (possibly fractional) seconds.
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / PS_PER_SEC as f64
     }
@@ -118,11 +128,13 @@ impl SimDuration {
 
     /// Multiply the span by a non-negative factor, rounding to the nearest
     /// picosecond and saturating at the representable maximum.
+    #[inline]
     pub fn mul_f64(self, factor: f64) -> SimDuration {
         SimDuration::from_secs_f64(self.as_secs_f64() * factor)
     }
 
     /// The ratio `self / other` as a float; zero when `other` is zero.
+    #[inline]
     pub fn ratio(self, other: SimDuration) -> f64 {
         if other.0 == 0 {
             0.0
@@ -136,6 +148,7 @@ impl SimDuration {
 ///
 /// This is the single conversion point between the "work" domain (cycles,
 /// which scale with DVFS frequency) and the time domain.
+#[inline]
 pub fn cycles_to_duration(cycles: f64, freq_hz: f64) -> SimDuration {
     assert!(freq_hz > 0.0, "frequency must be positive, got {freq_hz}");
     SimDuration::from_secs_f64(cycles / freq_hz)
@@ -143,12 +156,14 @@ pub fn cycles_to_duration(cycles: f64, freq_hz: f64) -> SimDuration {
 
 /// Number of whole cycles a CPU at `freq_hz` completes in `dur`
 /// (floating-point; fractional cycles are meaningful for progress tracking).
+#[inline]
 pub fn duration_to_cycles(dur: SimDuration, freq_hz: f64) -> f64 {
     dur.as_secs_f64() * freq_hz
 }
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
         SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
     }

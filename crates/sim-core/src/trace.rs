@@ -30,7 +30,7 @@ pub enum TraceKind {
 }
 
 /// One timestamped trace record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// When it happened.
     pub time: SimTime,

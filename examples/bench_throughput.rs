@@ -1,0 +1,43 @@
+//! Engine throughput probe: simulated events per wall-clock second.
+//!
+//! Runs a fixed mix of the repository's dominant workloads (NAS FT class
+//! C and class B on 8 ranks, under static and application-directed DVFS)
+//! and reports how many discrete events the engine dispatched per second
+//! of host time. `scripts/bench.sh` records this figure in its report;
+//! it is also a convenient target for profilers, which need one
+//! long-running process rather than many 100 ms ones:
+//!
+//! ```sh
+//! cargo run --release --example bench_throughput -- 200
+//! ```
+
+use std::time::Instant;
+
+use pwrperf::{DvsStrategy, Experiment, Workload};
+
+fn main() {
+    let loops: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+
+    // Warm caches so the timed section measures steady state.
+    let _ = Experiment::new(Workload::ft_c8(), DvsStrategy::StaticMhz(1400)).run();
+
+    let mut events: u64 = 0;
+    let t0 = Instant::now();
+    for _ in 0..loops {
+        for strategy in [DvsStrategy::StaticMhz(1400), DvsStrategy::DynamicBaseMhz(1400)] {
+            events += Experiment::new(Workload::ft_c8(), strategy).run().events;
+        }
+        events += Experiment::new(Workload::ft_b8(), DvsStrategy::StaticMhz(600))
+            .run()
+            .events;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+
+    println!("loops: {loops}");
+    println!("events: {events}");
+    println!("wall_secs: {secs:.4}");
+    println!("events_per_sec: {:.0}", events as f64 / secs);
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Benchmark the simulator and emit a JSON report.
+#
+# Measures, for the current tree:
+#   * `all_figures` end-to-end wall clock (median / min of N runs) and
+#     peak RSS — the whole-paper regeneration that the batch runner and
+#     engine hot path both feed into;
+#   * engine throughput in simulated events per wall-clock second
+#     (examples/bench_throughput.rs);
+#   * per-scenario Criterion timings from the `engine` bench.
+#
+# Usage: scripts/bench.sh [output.json]    (default BENCH_PR1.json)
+#
+# Runs are sequential on an otherwise idle machine; prefer the median
+# over the mean, and compare medians across trees measured back-to-back.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR1.json}"
+RUNS="${BENCH_RUNS:-30}"
+
+cargo build --release -q -p pwrperf-bench --bin all_figures
+cargo build --release -q --example bench_throughput
+
+THROUGHPUT="$(./target/release/examples/bench_throughput 100)"
+BENCH="$(cargo bench -q -p pwrperf-bench --bench engine 2>/dev/null | grep 'time:' || true)"
+
+RUNS="$RUNS" OUT="$OUT" THROUGHPUT="$THROUGHPUT" BENCH="$BENCH" python3 - <<'EOF'
+import json, os, re, resource, statistics, subprocess, time
+
+runs = int(os.environ["RUNS"])
+binary = "./target/release/all_figures"
+
+subprocess.run([binary], stdout=subprocess.DEVNULL)  # warm-up
+wall = []
+for _ in range(runs):
+    t0 = time.perf_counter()
+    subprocess.run([binary], stdout=subprocess.DEVNULL)
+    wall.append(time.perf_counter() - t0)
+maxrss_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+
+tp = dict(
+    line.split(": ") for line in os.environ["THROUGHPUT"].splitlines() if ": " in line
+)
+criterion = {
+    m[1].strip(): int(m[2])
+    for m in re.finditer(r"(.+?)\s+time: (\d+) ns/iter", os.environ["BENCH"])
+}
+
+report = {
+    "all_figures": {
+        "runs": runs,
+        "wall_ms_median": round(statistics.median(wall) * 1000, 2),
+        "wall_ms_min": round(min(wall) * 1000, 2),
+        "peak_rss_kb": maxrss_kb,
+    },
+    "engine_throughput": {
+        "events": int(tp["events"]),
+        "wall_secs": float(tp["wall_secs"]),
+        "events_per_sec": int(float(tp["events_per_sec"])),
+    },
+    "criterion_engine_ns_per_iter": criterion,
+}
+with open(os.environ["OUT"], "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(json.dumps(report, indent=2))
+EOF

@@ -1,0 +1,55 @@
+//! Determinism of the parallel batch runner: fanning experiments over
+//! worker threads must return results **bit-identical** to running them
+//! sequentially, in the same order. Both tests pin `PWRPERF_THREADS=4`
+//! (the same value, since the process environment is shared across test
+//! threads) so `run_batch` exercises the multi-worker path even on a
+//! single-core host.
+
+use mpi_sim::RunResult;
+use pwrperf::{run_batch, DvsStrategy, Experiment, Workload, THREADS_ENV};
+
+fn batch_for(workload: &Workload) -> Vec<Experiment> {
+    vec![
+        Experiment::new(workload.clone(), DvsStrategy::StaticMhz(1400)),
+        Experiment::new(workload.clone(), DvsStrategy::StaticMhz(600)),
+        Experiment::new(workload.clone(), DvsStrategy::DynamicBaseMhz(1400)),
+        Experiment::new(workload.clone(), DvsStrategy::Cpuspeed),
+    ]
+}
+
+/// Every float in a RunResult, for exact bitwise comparison. `PartialEq`
+/// on `RunResult` already compares all fields; this catches the subtler
+/// failure of two floats comparing equal while differing in bits
+/// (e.g. 0.0 vs -0.0 from a reordered accumulation).
+fn energy_bits(results: &[RunResult]) -> Vec<u64> {
+    results
+        .iter()
+        .flat_map(|r| {
+            [r.total_energy_j().to_bits(), r.duration_secs().to_bits()]
+                .into_iter()
+                .chain(r.per_node.iter().map(|n| n.total_j().to_bits()))
+        })
+        .collect()
+}
+
+fn assert_parallel_matches_sequential(workload: &Workload) {
+    std::env::set_var(THREADS_ENV, "4");
+    let sequential: Vec<RunResult> =
+        batch_for(workload).iter().map(Experiment::run).collect();
+    let parallel = run_batch(batch_for(workload));
+    assert_eq!(parallel.len(), sequential.len());
+    for (i, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+        assert_eq!(p, s, "experiment {i} diverged under parallel execution");
+    }
+    assert_eq!(energy_bits(&parallel), energy_bits(&sequential));
+}
+
+#[test]
+fn ft_b_batch_is_bit_identical_across_thread_counts() {
+    assert_parallel_matches_sequential(&Workload::ft_b8());
+}
+
+#[test]
+fn transpose_batch_is_bit_identical_across_thread_counts() {
+    assert_parallel_matches_sequential(&Workload::transpose_paper());
+}
