@@ -178,9 +178,7 @@ mod tests {
         let mut group = c.benchmark_group("shim");
         group.sample_size(5);
         group.bench_function("noop", |b| b.iter(|| 1 + 1));
-        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &n| {
-            b.iter(|| n * n)
-        });
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &n| b.iter(|| n * n));
         group.finish();
     }
 }

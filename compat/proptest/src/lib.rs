@@ -292,14 +292,20 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { min: n, max_excl: n + 1 }
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max_excl: r.end }
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
         }
     }
 
@@ -320,7 +326,10 @@ pub mod collection {
 
     /// A vector of `size`-many values from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -396,9 +405,10 @@ macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if !(l == r) {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
-                format!("assertion failed: {:?} != {:?}", l, r),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
         }
     }};
 }

@@ -14,9 +14,7 @@ fn bench_ft_simulation(c: &mut Criterion) {
         ("class_c_8", Workload::ft_c8()),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &workload, |b, w| {
-            b.iter(|| {
-                Experiment::new(w.clone(), DvsStrategy::StaticMhz(1400)).run()
-            })
+            b.iter(|| Experiment::new(w.clone(), DvsStrategy::StaticMhz(1400)).run())
         });
     }
     group.finish();
@@ -55,22 +53,18 @@ fn bench_rank_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_rank_scaling");
     group.sample_size(20);
     for ranks in [2usize, 4, 8, 16] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(ranks),
-            &ranks,
-            |b, &n| {
-                b.iter(|| {
-                    Experiment::new(
-                        Workload::Ft {
-                            class: FtClass::A,
-                            ranks: n,
-                        },
-                        DvsStrategy::StaticMhz(1400),
-                    )
-                    .run()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &n| {
+            b.iter(|| {
+                Experiment::new(
+                    Workload::Ft {
+                        class: FtClass::A,
+                        ranks: n,
+                    },
+                    DvsStrategy::StaticMhz(1400),
+                )
+                .run()
+            })
+        });
     }
     group.finish();
 }

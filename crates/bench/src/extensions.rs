@@ -51,7 +51,10 @@ pub fn component_breakdown() {
 /// Phase-level energy attribution for FT.C — what PowerPack's alignment
 /// tooling produced for the paper's Figure 4 analysis.
 pub fn phase_profile() {
-    banner("Extension", "phase-level time/energy attribution (FT.C @1.4GHz)");
+    banner(
+        "Extension",
+        "phase-level time/energy attribution (FT.C @1.4GHz)",
+    );
     let engine = EngineConfig {
         sample_interval: Some(SimDuration::from_secs(1)),
         trace_capacity: 1 << 20,
@@ -87,7 +90,10 @@ pub fn phase_profile() {
 /// Energy savings vs. node count: does the DVS opportunity grow as the
 /// communication fraction grows?
 pub fn scaling_nodes() {
-    banner("Extension", "static-600MHz savings vs node count (FT class A)");
+    banner(
+        "Extension",
+        "static-600MHz savings vs node count (FT class A)",
+    );
     println!(
         "{:>7} {:>12} {:>12} {:>14}",
         "nodes", "E600/E1400", "D600/D1400", "compute frac"
@@ -100,7 +106,11 @@ pub fn scaling_nodes() {
         let c = static_crescendo(&w);
         let (e, d) = c.normalized_for(600).unwrap();
         let r = Experiment::new(w, DvsStrategy::StaticMhz(1400)).run();
-        let frac: f64 = r.breakdown.iter().map(|b| b.compute_fraction()).sum::<f64>()
+        let frac: f64 = r
+            .breakdown
+            .iter()
+            .map(|b| b.compute_fraction())
+            .sum::<f64>()
             / r.breakdown.len() as f64;
         println!("{ranks:>7} {e:>12.3} {d:>12.3} {:>13.1}%", frac * 100.0);
     }
@@ -110,7 +120,10 @@ pub fn scaling_nodes() {
 
 /// The extension workload: NAS CG under all three strategies.
 pub fn extra_cg_crescendo() {
-    banner("Extension", "NAS CG class B on 8 nodes (memory+allgather bound)");
+    banner(
+        "Extension",
+        "NAS CG class B on 8 nodes (memory+allgather bound)",
+    );
     let w = Workload::cg_b8();
     let stat = static_crescendo(&w);
     println!(
@@ -136,11 +149,11 @@ pub fn extra_cg_crescendo() {
 /// Base-power ablation: what if the node were a desktop/server with a
 /// larger always-on draw?
 pub fn ablation_base_power() {
-    banner(
-        "Ablation",
-        "FT.B static-600MHz savings vs node base power",
+    banner("Ablation", "FT.B static-600MHz savings vs node base power");
+    println!(
+        "{:>10} {:>12} {:>12}",
+        "base (W)", "E600/E1400", "D600/D1400"
     );
-    println!("{:>10} {:>12} {:>12}", "base (W)", "E600/E1400", "D600/D1400");
     for base_w in [4.0, 8.0, 16.0, 32.0, 64.0] {
         let mut node = NodeConfig::inspiron_8600();
         node.power.base_w = base_w;
@@ -168,16 +181,17 @@ pub fn ablation_transition_latency() {
         "latency", "E/E(stat1400)", "D/D(stat1400)", "transitions"
     );
     let latencies = [10u64, 100, 1_000, 10_000, 100_000];
-    let mut experiments =
-        vec![Experiment::new(Workload::ft_c8(), DvsStrategy::StaticMhz(1400))];
+    let mut experiments = vec![Experiment::new(
+        Workload::ft_c8(),
+        DvsStrategy::StaticMhz(1400),
+    )];
     experiments.extend(latencies.iter().map(|&latency_us| {
         let mut node = NodeConfig::inspiron_8600();
         node.ladder = DvfsLadder::new(
             node.ladder.points().to_vec(),
             SimDuration::from_micros(latency_us),
         );
-        Experiment::new(Workload::ft_c8(), DvsStrategy::DynamicBaseMhz(1400))
-            .with_node_config(node)
+        Experiment::new(Workload::ft_c8(), DvsStrategy::DynamicBaseMhz(1400)).with_node_config(node)
     }));
     let mut results = run_batch(experiments);
     let reference = results.remove(0);
@@ -201,7 +215,12 @@ pub fn ablation_network_bandwidth() {
         "FT.B static-600MHz savings vs interconnect bandwidth",
     );
     println!("{:>12} {:>12} {:>12}", "link", "E600/E1400", "D600/D1400");
-    for (label, bw) in [("10Mb/s", 10e6), ("100Mb/s", 100e6), ("1Gb/s", 1e9), ("10Gb/s", 1e10)] {
+    for (label, bw) in [
+        ("10Mb/s", 10e6),
+        ("100Mb/s", 100e6),
+        ("1Gb/s", 1e9),
+        ("10Gb/s", 1e10),
+    ] {
         let network = NetworkParams {
             link_bw_bps: bw,
             ..NetworkParams::catalyst_2950_100m()
@@ -297,7 +316,11 @@ pub fn ablation_alltoall_algorithm() {
         "{:>7} {:>10} {:>14} {:>14}",
         "ranks", "msg size", "pairwise (s)", "flood (s)"
     );
-    for (ranks, bytes) in [(8usize, 64 * 1024u64), (8, 4 * 1024 * 1024), (15, 1024 * 1024)] {
+    for (ranks, bytes) in [
+        (8usize, 64 * 1024u64),
+        (8, 4 * 1024 * 1024),
+        (15, 1024 * 1024),
+    ] {
         let pairwise = run(false, ranks, bytes);
         let flood = run(true, ranks, bytes);
         println!(

@@ -6,8 +6,7 @@ use powerpack::{CommMicroConfig, MicroConfig};
 use pwrperf::calibration::target;
 use pwrperf::report::{format_best_points, format_crescendo, format_strategy_comparison};
 use pwrperf::{
-    cpuspeed_point, ladder_mhz_desc, run_batch, static_crescendo, DvsStrategy, Experiment,
-    Workload,
+    cpuspeed_point, ladder_mhz_desc, run_batch, static_crescendo, DvsStrategy, Experiment, Workload,
 };
 
 use crate::{banner, print_target_row};
@@ -40,7 +39,10 @@ fn strategy_suite(w: &Workload) -> (Crescendo, Crescendo, (f64, f64)) {
 
 /// Figure 1: energy-delay crescendos for the SPEC proxies.
 pub fn fig1_spec_crescendos() {
-    banner("Fig. 1", "SPEC CFP2000 energy-delay crescendos (mgrid, swim)");
+    banner(
+        "Fig. 1",
+        "SPEC CFP2000 energy-delay crescendos (mgrid, swim)",
+    );
     let mgrid = static_crescendo(&Workload::Mgrid);
     let swim = static_crescendo(&Workload::Swim);
     println!("{}", format_crescendo("mgrid (CPU-bound)", &mgrid));
@@ -51,7 +53,10 @@ pub fn fig1_spec_crescendos() {
 
 /// Figure 2: weighted-ED²P iso-efficiency curves.
 pub fn fig2_weighted_ed2p_curves() {
-    banner("Fig. 2", "energy fraction required to break even vs delay factor");
+    banner(
+        "Fig. 2",
+        "energy fraction required to break even vs delay factor",
+    );
     let deltas = [-1.0, -0.6, -0.2, 0.0, 0.2, 0.6, 1.0];
     print!("{:>8}", "delay");
     for d in deltas {
@@ -75,7 +80,10 @@ pub fn table1_spec_best_points() {
     banner("Table 1", "best operating points for mgrid and swim");
     let mgrid = static_crescendo(&Workload::Mgrid);
     let swim = static_crescendo(&Workload::Swim);
-    println!("{}", format_best_points(&[("mgrid", &mgrid), ("swim", &swim)]));
+    println!(
+        "{}",
+        format_best_points(&[("mgrid", &mgrid), ("swim", &swim)])
+    );
     println!("Paper: mgrid HPC=1400 energy=600 perf=1400; swim HPC=1000 energy=600 perf=1400.");
 }
 
@@ -122,13 +130,19 @@ pub fn table3_ft_b_best_points() {
     let stat = static_crescendo(&Workload::ft_b8());
     println!("{}", format_best_points(&[("FT.B (8 nodes)", &stat)]));
     let gain = edp_metrics::efficiency_gain(&stat, DELTA_HPC);
-    println!("HPC-point efficiency gain over 1400 MHz: {:.1}%", gain * 100.0);
+    println!(
+        "HPC-point efficiency gain over 1400 MHz: {:.1}%",
+        gain * 100.0
+    );
     println!("Paper: HPC=1000, energy=600, performance=1400; gain 16.9%.");
 }
 
 /// Figure 4: FT class C on 8 processors under all three strategies.
 pub fn fig4_ft_c_strategies() {
-    banner("Fig. 4", "FT.C on 8 processors: cpuspeed vs static vs dynamic");
+    banner(
+        "Fig. 4",
+        "FT.C on 8 processors: cpuspeed vs static vs dynamic",
+    );
     let w = Workload::ft_c8();
     let (stat, dyn_c, (e_cs, d_cs)) = strategy_suite(&w);
 
@@ -146,11 +160,12 @@ pub fn fig4_ft_c_strategies() {
     println!("paper-vs-measured:");
     let reference = stat.reference();
     let dyn_norm = |mhz: u32| {
-        dyn_c
-            .points()
-            .iter()
-            .find(|p| p.mhz == mhz)
-            .map(|p| (p.energy_j / reference.energy_j, p.delay_s / reference.delay_s))
+        dyn_c.points().iter().find(|p| p.mhz == mhz).map(|p| {
+            (
+                p.energy_j / reference.energy_j,
+                p.delay_s / reference.delay_s,
+            )
+        })
     };
     for (strategy, mhz, measured) in [
         ("stat", 800, stat.normalized_for(800)),
@@ -190,7 +205,9 @@ pub fn fig5_transpose_strategies() {
     );
     println!("paper-vs-measured:");
     for mhz in [800u32, 600] {
-        if let (Some(t), Some((e, d))) = (target("transpose15", "stat", mhz), stat.normalized_for(mhz)) {
+        if let (Some(t), Some((e, d))) =
+            (target("transpose15", "stat", mhz), stat.normalized_for(mhz))
+        {
             print_target_row(&t, e, d);
         }
     }
@@ -206,26 +223,36 @@ pub fn fig5_transpose_strategies() {
 
 /// Figure 6: the memory-bound microbenchmark.
 pub fn fig6_memory_micro() {
-    banner("Fig. 6", "normalized energy and delay of memory access (32MB, 128B stride)");
+    banner(
+        "Fig. 6",
+        "normalized energy and delay of memory access (32MB, 128B stride)",
+    );
     let c = static_crescendo(&Workload::MemoryMicro(MicroConfig::default()));
     println!("{}", format_crescendo("memory microbenchmark", &c));
     if let (Some(t), Some((e, d))) = (target("memory_micro", "stat", 600), c.normalized_for(600)) {
         print_target_row(&t, e, d);
     }
     let gain = edp_metrics::efficiency_gain(&c, DELTA_ENERGY);
-    println!("energy-point efficiency gain over 1400 MHz: {:.1}% (paper: 40.7%)", gain * 100.0);
+    println!(
+        "energy-point efficiency gain over 1400 MHz: {:.1}% (paper: 40.7%)",
+        gain * 100.0
+    );
 }
 
 /// Figure 7: the CPU-bound (L2) microbenchmark plus the register variant.
 pub fn fig7_cpu_micro() {
-    banner("Fig. 7", "normalized energy and delay for L2 cache access under DVS");
+    banner(
+        "Fig. 7",
+        "normalized energy and delay for L2 cache access under DVS",
+    );
     // The L2 walk covers only 2048 lines per pass; scale the pass count so
     // the run lasts seconds, as the paper's ACPI methodology required.
     let passes = MicroConfig { passes: 400_000 };
     let l2 = static_crescendo(&Workload::CpuMicro(passes.clone()));
     println!("{}", format_crescendo("CPU (L2) microbenchmark", &l2));
     for mhz in [800u32, 600] {
-        if let (Some(t), Some((e, d))) = (target("cpu_micro", "stat", mhz), l2.normalized_for(mhz)) {
+        if let (Some(t), Some((e, d))) = (target("cpu_micro", "stat", mhz), l2.normalized_for(mhz))
+        {
             print_target_row(&t, e, d);
         }
     }

@@ -9,7 +9,8 @@ use workloads::{CgClass, FtClass, MgClass};
 /// A parsed invocation.
 #[derive(Debug)]
 pub enum Command {
-    /// `pwrperf run -w <workload> -s <strategy> [--blocking-waits <ms>]`
+    /// `pwrperf run -w <workload> -s <strategy> [--blocking-waits <ms>]
+    /// [--metrics] [--trace-capacity <n>]`
     Run {
         /// Workload to execute.
         workload: Workload,
@@ -17,6 +18,10 @@ pub enum Command {
         strategy: DvsStrategy,
         /// Poll-then-block window in ms (`None` = busy-poll).
         blocking_ms: Option<u64>,
+        /// Collect and print PowerScope metrics.
+        metrics: bool,
+        /// Trace ring capacity override (`None` = subcommand default).
+        trace_capacity: Option<usize>,
     },
     /// `pwrperf sweep -w <workload> [--dynamic] [-j <n>]`
     Sweep {
@@ -36,7 +41,8 @@ pub enum Command {
         /// Worker threads for the batch runner (`None` = auto-detect).
         threads: Option<usize>,
     },
-    /// `pwrperf export -w <workload> -s <strategy> -o <dir>`
+    /// `pwrperf export -w <workload> -s <strategy> -o <dir> [--metrics]
+    /// [--trace-capacity <n>]`
     Export {
         /// Workload to execute.
         workload: Workload,
@@ -44,6 +50,38 @@ pub enum Command {
         strategy: DvsStrategy,
         /// Output directory for the CSV files.
         out_dir: String,
+        /// Additionally write `metrics.ndjson`.
+        metrics: bool,
+        /// Trace ring capacity override (`None` = subcommand default).
+        trace_capacity: Option<usize>,
+    },
+    /// `pwrperf trace -w <workload> -s <strategy> [--out <file>]
+    /// [--trace-capacity <n>] [--blocking-waits <ms>]`
+    Trace {
+        /// Workload to execute.
+        workload: Workload,
+        /// DVS strategy.
+        strategy: DvsStrategy,
+        /// Output path for the Perfetto JSON.
+        out: String,
+        /// Trace ring capacity override (`None` = subcommand default).
+        trace_capacity: Option<usize>,
+        /// Poll-then-block window in ms (`None` = busy-poll).
+        blocking_ms: Option<u64>,
+    },
+    /// `pwrperf stats -w <workload> -s <strategy> [--out <file>]
+    /// [--trace-capacity <n>] [--blocking-waits <ms>]`
+    Stats {
+        /// Workload to execute.
+        workload: Workload,
+        /// DVS strategy.
+        strategy: DvsStrategy,
+        /// Optional path to also dump the metrics as NDJSON.
+        out: Option<String>,
+        /// Trace ring capacity override (`None` = subcommand default).
+        trace_capacity: Option<usize>,
+        /// Poll-then-block window in ms (`None` = busy-poll).
+        blocking_ms: Option<u64>,
     },
     /// `pwrperf list`
     List,
@@ -54,13 +92,22 @@ pub enum Command {
 /// Parse a workload name.
 pub fn parse_workload(name: &str) -> Result<Workload, String> {
     let w = match name {
-        "ft-a8" => Workload::Ft { class: FtClass::A, ranks: 8 },
+        "ft-a8" => Workload::Ft {
+            class: FtClass::A,
+            ranks: 8,
+        },
         "ft-b8" => Workload::ft_b8(),
         "ft-c8" => Workload::ft_c8(),
         "ft-test4" => Workload::ft_test(4),
-        "cg-a8" => Workload::Cg { class: CgClass::A, ranks: 8 },
+        "cg-a8" => Workload::Cg {
+            class: CgClass::A,
+            ranks: 8,
+        },
         "cg-b8" => Workload::cg_b8(),
-        "mg-a8" => Workload::Mg { class: MgClass::A, ranks: 8 },
+        "mg-a8" => Workload::Mg {
+            class: MgClass::A,
+            ranks: 8,
+        },
         "mg-b8" => Workload::mg_b8(),
         "transpose" => Workload::transpose_paper(),
         "swim" => Workload::Swim,
@@ -77,11 +124,15 @@ pub fn parse_workload(name: &str) -> Result<Workload, String> {
 /// Parse a strategy name.
 pub fn parse_strategy(name: &str) -> Result<DvsStrategy, String> {
     if let Some(mhz) = name.strip_prefix("static-") {
-        let mhz: u32 = mhz.parse().map_err(|_| format!("bad frequency in '{name}'"))?;
+        let mhz: u32 = mhz
+            .parse()
+            .map_err(|_| format!("bad frequency in '{name}'"))?;
         return Ok(DvsStrategy::StaticMhz(mhz));
     }
     if let Some(mhz) = name.strip_prefix("dynamic-") {
-        let mhz: u32 = mhz.parse().map_err(|_| format!("bad frequency in '{name}'"))?;
+        let mhz: u32 = mhz
+            .parse()
+            .map_err(|_| format!("bad frequency in '{name}'"))?;
         return Ok(DvsStrategy::DynamicBaseMhz(mhz));
     }
     match name {
@@ -94,8 +145,21 @@ pub fn parse_strategy(name: &str) -> Result<DvsStrategy, String> {
 
 /// Known workload names (for `list` and error hints).
 pub const WORKLOAD_NAMES: &[&str] = &[
-    "ft-a8", "ft-b8", "ft-c8", "ft-test4", "cg-a8", "cg-b8", "mg-a8", "mg-b8", "transpose", "swim", "mgrid",
-    "mem-micro", "cpu-micro", "comm-256k", "comm-4k",
+    "ft-a8",
+    "ft-b8",
+    "ft-c8",
+    "ft-test4",
+    "cg-a8",
+    "cg-b8",
+    "mg-a8",
+    "mg-b8",
+    "transpose",
+    "swim",
+    "mgrid",
+    "mem-micro",
+    "cpu-micro",
+    "comm-256k",
+    "comm-4k",
 ];
 
 /// Known strategy names.
@@ -115,10 +179,19 @@ fn parse_threads(value: &str) -> Result<usize, String> {
         .ok_or_else(|| "--threads needs a positive integer".to_string())
 }
 
-fn take_value<'a>(
-    args: &mut impl Iterator<Item = &'a str>,
-    flag: &str,
-) -> Result<&'a str, String> {
+fn parse_capacity(value: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .map_err(|_| "--trace-capacity needs a non-negative integer".to_string())
+}
+
+fn parse_blocking(value: &str) -> Result<u64, String> {
+    value
+        .parse::<u64>()
+        .map_err(|_| "bad --blocking-waits value".to_string())
+}
+
+fn take_value<'a>(args: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<&'a str, String> {
     args.next().ok_or_else(|| format!("{flag} needs a value"))
 }
 
@@ -138,6 +211,8 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
             let mut workload = None;
             let mut strategy = None;
             let mut blocking_ms = None;
+            let mut metrics = false;
+            let mut trace_capacity = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "-w" | "--workload" => {
@@ -147,11 +222,11 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                         strategy = Some(parse_strategy(take_value(&mut it, flag)?)?)
                     }
                     "--blocking-waits" => {
-                        blocking_ms = Some(
-                            take_value(&mut it, flag)?
-                                .parse()
-                                .map_err(|_| "bad --blocking-waits value".to_string())?,
-                        )
+                        blocking_ms = Some(parse_blocking(take_value(&mut it, flag)?)?)
+                    }
+                    "--metrics" => metrics = true,
+                    "--trace-capacity" => {
+                        trace_capacity = Some(parse_capacity(take_value(&mut it, flag)?)?)
                     }
                     other => return Err(format!("unknown flag '{other}'")),
                 }
@@ -160,6 +235,8 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                 workload: workload.ok_or("run needs --workload")?,
                 strategy: strategy.ok_or("run needs --strategy")?,
                 blocking_ms,
+                metrics,
+                trace_capacity,
             })
         }
         "sweep" => {
@@ -217,6 +294,8 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
             let mut workload = None;
             let mut strategy = None;
             let mut out_dir = "pwrperf-out".to_string();
+            let mut metrics = false;
+            let mut trace_capacity = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "-w" | "--workload" => {
@@ -226,6 +305,10 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                         strategy = Some(parse_strategy(take_value(&mut it, flag)?)?)
                     }
                     "-o" | "--out" => out_dir = take_value(&mut it, flag)?.to_string(),
+                    "--metrics" => metrics = true,
+                    "--trace-capacity" => {
+                        trace_capacity = Some(parse_capacity(take_value(&mut it, flag)?)?)
+                    }
                     other => return Err(format!("unknown flag '{other}'")),
                 }
             }
@@ -233,6 +316,72 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                 workload: workload.ok_or("export needs --workload")?,
                 strategy: strategy.ok_or("export needs --strategy")?,
                 out_dir,
+                metrics,
+                trace_capacity,
+            })
+        }
+        "trace" => {
+            let mut workload = None;
+            let mut strategy = None;
+            let mut out = "run.perfetto.json".to_string();
+            let mut trace_capacity = None;
+            let mut blocking_ms = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "-w" | "--workload" => {
+                        workload = Some(parse_workload(take_value(&mut it, flag)?)?)
+                    }
+                    "-s" | "--strategy" => {
+                        strategy = Some(parse_strategy(take_value(&mut it, flag)?)?)
+                    }
+                    "-o" | "--out" => out = take_value(&mut it, flag)?.to_string(),
+                    "--trace-capacity" => {
+                        trace_capacity = Some(parse_capacity(take_value(&mut it, flag)?)?)
+                    }
+                    "--blocking-waits" => {
+                        blocking_ms = Some(parse_blocking(take_value(&mut it, flag)?)?)
+                    }
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            Ok(Command::Trace {
+                workload: workload.ok_or("trace needs --workload")?,
+                strategy: strategy.ok_or("trace needs --strategy")?,
+                out,
+                trace_capacity,
+                blocking_ms,
+            })
+        }
+        "stats" => {
+            let mut workload = None;
+            let mut strategy = None;
+            let mut out = None;
+            let mut trace_capacity = None;
+            let mut blocking_ms = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "-w" | "--workload" => {
+                        workload = Some(parse_workload(take_value(&mut it, flag)?)?)
+                    }
+                    "-s" | "--strategy" => {
+                        strategy = Some(parse_strategy(take_value(&mut it, flag)?)?)
+                    }
+                    "-o" | "--out" => out = Some(take_value(&mut it, flag)?.to_string()),
+                    "--trace-capacity" => {
+                        trace_capacity = Some(parse_capacity(take_value(&mut it, flag)?)?)
+                    }
+                    "--blocking-waits" => {
+                        blocking_ms = Some(parse_blocking(take_value(&mut it, flag)?)?)
+                    }
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            Ok(Command::Stats {
+                workload: workload.ok_or("stats needs --workload")?,
+                strategy: strategy.ok_or("stats needs --strategy")?,
+                out,
+                trace_capacity,
+                blocking_ms,
             })
         }
         "list" => Ok(Command::List),
@@ -253,6 +402,7 @@ mod tests {
                 workload,
                 strategy,
                 blocking_ms,
+                ..
             } => {
                 assert_eq!(workload.label(), Workload::ft_b8().label());
                 assert_eq!(strategy, DvsStrategy::StaticMhz(800));
@@ -264,7 +414,15 @@ mod tests {
 
     #[test]
     fn parses_blocking_waits() {
-        let cmd = parse(&["run", "-w", "swim", "-s", "cpuspeed", "--blocking-waits", "50"]);
+        let cmd = parse(&[
+            "run",
+            "-w",
+            "swim",
+            "-s",
+            "cpuspeed",
+            "--blocking-waits",
+            "50",
+        ]);
         match cmd {
             Command::Run { blocking_ms, .. } => assert_eq!(blocking_ms, Some(50)),
             other => panic!("{other:?}"),
@@ -324,7 +482,10 @@ mod tests {
 
     #[test]
     fn strategy_parsing_covers_all_forms() {
-        assert_eq!(parse_strategy("static-600").unwrap(), DvsStrategy::StaticMhz(600));
+        assert_eq!(
+            parse_strategy("static-600").unwrap(),
+            DvsStrategy::StaticMhz(600)
+        );
         assert_eq!(
             parse_strategy("dynamic-1400").unwrap(),
             DvsStrategy::DynamicBaseMhz(1400)
@@ -340,7 +501,10 @@ mod tests {
 
     #[test]
     fn errors_become_help_with_message() {
-        assert!(matches!(parse(&["run", "-w", "nope"]), Command::Help(Some(_))));
+        assert!(matches!(
+            parse(&["run", "-w", "nope"]),
+            Command::Help(Some(_))
+        ));
         assert!(matches!(parse(&["run"]), Command::Help(Some(_))));
         assert!(matches!(parse(&["frobnicate"]), Command::Help(Some(_))));
         assert!(matches!(
@@ -352,7 +516,9 @@ mod tests {
     #[test]
     fn parses_export() {
         match parse(&["export", "-w", "swim", "-s", "static-600", "-o", "/tmp/x"]) {
-            Command::Export { out_dir, strategy, .. } => {
+            Command::Export {
+                out_dir, strategy, ..
+            } => {
                 assert_eq!(out_dir, "/tmp/x");
                 assert_eq!(strategy, DvsStrategy::StaticMhz(600));
             }
@@ -361,6 +527,115 @@ mod tests {
         // Default output directory.
         match parse(&["export", "-w", "swim", "-s", "static-600"]) {
             Command::Export { out_dir, .. } => assert_eq!(out_dir, "pwrperf-out"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_run_observability_flags() {
+        match parse(&[
+            "run",
+            "-w",
+            "swim",
+            "-s",
+            "static-800",
+            "--metrics",
+            "--trace-capacity",
+            "4096",
+        ]) {
+            Command::Run {
+                metrics,
+                trace_capacity,
+                ..
+            } => {
+                assert!(metrics);
+                assert_eq!(trace_capacity, Some(4096));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&["run", "-w", "swim", "-s", "static-800"]) {
+            Command::Run {
+                metrics,
+                trace_capacity,
+                ..
+            } => {
+                assert!(!metrics);
+                assert_eq!(trace_capacity, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&[
+                "run",
+                "-w",
+                "swim",
+                "-s",
+                "static-800",
+                "--trace-capacity",
+                "lots"
+            ]),
+            Command::Help(Some(_))
+        ));
+    }
+
+    #[test]
+    fn parses_trace() {
+        match parse(&["trace", "-w", "ft-test4", "-s", "dynamic-1400"]) {
+            Command::Trace {
+                out,
+                trace_capacity,
+                blocking_ms,
+                ..
+            } => {
+                assert_eq!(out, "run.perfetto.json");
+                assert_eq!(trace_capacity, None);
+                assert_eq!(blocking_ms, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&[
+            "trace",
+            "-w",
+            "swim",
+            "-s",
+            "cpuspeed",
+            "--out",
+            "/tmp/t.json",
+            "--trace-capacity",
+            "128",
+        ]) {
+            Command::Trace {
+                out,
+                trace_capacity,
+                ..
+            } => {
+                assert_eq!(out, "/tmp/t.json");
+                assert_eq!(trace_capacity, Some(128));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&["trace", "-w", "swim"]),
+            Command::Help(Some(_))
+        ));
+    }
+
+    #[test]
+    fn parses_stats() {
+        match parse(&["stats", "-w", "swim", "-s", "static-600"]) {
+            Command::Stats { out, .. } => assert_eq!(out, None),
+            other => panic!("{other:?}"),
+        }
+        match parse(&["stats", "-w", "swim", "-s", "static-600", "-o", "m.ndjson"]) {
+            Command::Stats { out, .. } => assert_eq!(out.as_deref(), Some("m.ndjson")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_export_metrics_flag() {
+        match parse(&["export", "-w", "swim", "-s", "static-600", "--metrics"]) {
+            Command::Export { metrics, .. } => assert!(metrics),
             other => panic!("{other:?}"),
         }
     }

@@ -25,7 +25,9 @@ fn main() {
             workload,
             strategy,
             blocking_ms,
-        } => run(workload, strategy, blocking_ms),
+            metrics,
+            trace_capacity,
+        } => run(workload, strategy, blocking_ms, metrics, trace_capacity),
         Command::Sweep {
             workload,
             dynamic,
@@ -38,7 +40,29 @@ fn main() {
             workload,
             strategy,
             out_dir,
-        } => export(workload, strategy, &out_dir),
+            metrics,
+            trace_capacity,
+        } => export(workload, strategy, &out_dir, metrics, trace_capacity),
+        Command::Trace {
+            workload,
+            strategy,
+            out,
+            trace_capacity,
+            blocking_ms,
+        } => trace(workload, strategy, &out, trace_capacity, blocking_ms),
+        Command::Stats {
+            workload,
+            strategy,
+            out,
+            trace_capacity,
+            blocking_ms,
+        } => stats(
+            workload,
+            strategy,
+            out.as_deref(),
+            trace_capacity,
+            blocking_ms,
+        ),
         Command::Best {
             workload,
             delta,
@@ -79,14 +103,29 @@ fn engine_for(blocking_ms: Option<u64>) -> EngineConfig {
     }
 }
 
-fn run(workload: Workload, strategy: pwrperf::DvsStrategy, blocking_ms: Option<u64>) {
+fn run(
+    workload: Workload,
+    strategy: pwrperf::DvsStrategy,
+    blocking_ms: Option<u64>,
+    metrics: bool,
+    trace_capacity: Option<usize>,
+) {
+    let engine = EngineConfig {
+        metrics,
+        trace_capacity: trace_capacity.unwrap_or(0),
+        ..engine_for(blocking_ms)
+    };
     let result = Experiment::new(workload.clone(), strategy)
-        .with_engine(engine_for(blocking_ms))
+        .with_engine(engine)
         .run();
     println!("workload : {}", workload.label());
     println!("strategy : {}", strategy.label());
     println!("time     : {:.2} s", result.duration_secs());
-    println!("energy   : {:.0} J (avg {:.1} W)", result.total_energy_j(), result.average_power_w());
+    println!(
+        "energy   : {:.0} J (avg {:.1} W)",
+        result.total_energy_j(),
+        result.average_power_w()
+    );
     println!(
         "components: cpu_dyn {:.0} J | cpu_static {:.0} J | base {:.0} J | mem {:.0} J | nic {:.0} J",
         result.total.cpu_dynamic_j,
@@ -130,6 +169,78 @@ fn run(workload: Workload, strategy: pwrperf::DvsStrategy, blocking_ms: Option<u
             life / 60.0
         );
     }
+    if result.metrics.is_some() {
+        println!();
+        print!("{}", pwrperf::stats_text(&result));
+    }
+}
+
+/// `pwrperf trace`: run under full instrumentation and write a Perfetto
+/// timeline (open at https://ui.perfetto.dev).
+fn trace(
+    workload: Workload,
+    strategy: pwrperf::DvsStrategy,
+    out: &str,
+    trace_capacity: Option<usize>,
+    blocking_ms: Option<u64>,
+) {
+    let engine = EngineConfig {
+        trace_capacity: trace_capacity.unwrap_or(1 << 20),
+        sample_interval: Some(SimDuration::from_millis(100)),
+        metrics: true,
+        ..engine_for(blocking_ms)
+    };
+    let result = Experiment::new(workload.clone(), strategy)
+        .with_engine(engine)
+        .run();
+    let json = pwrperf::perfetto_json(&result);
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {out} ({} bytes, {} trace events, {} dropped) — open at ui.perfetto.dev",
+        json.len(),
+        result.trace.len(),
+        result.trace_dropped
+    );
+    println!(
+        "run: {} under {} — {:.2} s, {:.0} J",
+        workload.label(),
+        strategy.label(),
+        result.duration_secs(),
+        result.total_energy_j()
+    );
+}
+
+/// `pwrperf stats`: run under metrics collection and print the PowerScope
+/// summary (optionally dumping the registry as NDJSON).
+fn stats(
+    workload: Workload,
+    strategy: pwrperf::DvsStrategy,
+    out: Option<&str>,
+    trace_capacity: Option<usize>,
+    blocking_ms: Option<u64>,
+) {
+    let engine = EngineConfig {
+        trace_capacity: trace_capacity.unwrap_or(0),
+        metrics: true,
+        ..engine_for(blocking_ms)
+    };
+    let result = Experiment::new(workload.clone(), strategy)
+        .with_engine(engine)
+        .run();
+    println!("workload : {}", workload.label());
+    println!("strategy : {}", strategy.label());
+    print!("{}", pwrperf::stats_text(&result));
+    if let Some(path) = out {
+        let ndjson = pwrperf::metrics_ndjson(&result);
+        if let Err(e) = std::fs::write(path, &ndjson) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path} ({} metrics)", ndjson.lines().count());
+    }
 }
 
 fn sweep(workload: Workload, dynamic: bool) {
@@ -170,10 +281,17 @@ fn best(workload: Workload, delta: f64) {
     println!("gain     : {:.1}% over static 1400 MHz", gain * 100.0);
 }
 
-fn export(workload: Workload, strategy: pwrperf::DvsStrategy, out_dir: &str) {
+fn export(
+    workload: Workload,
+    strategy: pwrperf::DvsStrategy,
+    out_dir: &str,
+    metrics: bool,
+    trace_capacity: Option<usize>,
+) {
     let engine = EngineConfig {
         sample_interval: Some(SimDuration::from_millis(100)),
-        trace_capacity: 1 << 20,
+        trace_capacity: trace_capacity.unwrap_or(1 << 20),
+        metrics,
         ..EngineConfig::default()
     };
     let result = Experiment::new(workload.clone(), strategy)
@@ -184,11 +302,14 @@ fn export(workload: Workload, strategy: pwrperf::DvsStrategy, out_dir: &str) {
         eprintln!("error: cannot create {out_dir}: {e}");
         std::process::exit(1);
     }
-    let files = [
+    let mut files = vec![
         ("samples.csv", powerpack::samples_to_csv(&result.samples)),
         ("trace.csv", powerpack::trace_to_csv(&result.trace)),
         ("summary.csv", powerpack::summary_to_csv(&result)),
     ];
+    if metrics {
+        files.push(("metrics.ndjson", pwrperf::metrics_ndjson(&result)));
+    }
     for (name, contents) in files {
         let path = dir.join(name);
         if let Err(e) = std::fs::write(&path, contents) {
@@ -224,9 +345,15 @@ fn help() {
 
 USAGE:
   pwrperf run    -w <workload> -s <strategy> [--blocking-waits <ms>]
+                 [--metrics] [--trace-capacity <n>]
   pwrperf sweep  -w <workload> [--dynamic] [-j <threads>]
   pwrperf best   -w <workload> [--delta <-1..1>] [-j <threads>]
-  pwrperf export -w <workload> -s <strategy> [-o <dir>]
+  pwrperf export -w <workload> -s <strategy> [-o <dir>] [--metrics]
+                 [--trace-capacity <n>]
+  pwrperf trace  -w <workload> -s <strategy> [-o <file>]
+                 [--trace-capacity <n>] [--blocking-waits <ms>]
+  pwrperf stats  -w <workload> -s <strategy> [-o <ndjson-file>]
+                 [--trace-capacity <n>] [--blocking-waits <ms>]
   pwrperf list
 
 EXAMPLES:
@@ -234,6 +361,14 @@ EXAMPLES:
   pwrperf sweep -w transpose
   pwrperf best  -w swim --delta 0.2
   pwrperf sweep -w ft-c8 -j 5       # ladder points in parallel
+  pwrperf trace -w ft-test4 -s dynamic-1400 -o run.perfetto.json
+  pwrperf stats -w swim -s cpuspeed -o metrics.ndjson
+
+`trace` writes a Chrome/Perfetto timeline (open at ui.perfetto.dev):
+phase slices and message instants per node, plus MHz and watt counter
+tracks. `stats` prints the PowerScope metrics registry (event counts,
+message-latency histograms, DVFS decisions, solver work). Both use
+simulated time only, so output bytes are deterministic.
 
 Sweeps fan their independent runs over worker threads (auto-detected;
 override with -j/--threads or PWRPERF_THREADS). Results are bit-identical

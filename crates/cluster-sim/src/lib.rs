@@ -133,7 +133,8 @@ mod tests {
         let mut c = Cluster::paper_testbed(4);
         let t = SimTime::from_secs(10);
         for id in 0..4 {
-            c.node_mut(id).set_activity(SimTime::ZERO, CpuActivity::Active);
+            c.node_mut(id)
+                .set_activity(SimTime::ZERO, CpuActivity::Active);
         }
         let total = c.total_energy(t);
         let single = c.node(0).energy(t);

@@ -2,8 +2,8 @@
 
 use mem_model::MemHierarchy;
 use power_model::{
-    CpuActivity, DvfsLadder, EnergyMeter, EnergyReport, OpIndex, OperatingPoint, SmartBattery,
-    NodePowerParams,
+    CpuActivity, DvfsLadder, EnergyMeter, EnergyReport, NodePowerParams, OpIndex, OperatingPoint,
+    SmartBattery,
 };
 use sim_core::{SimDuration, SimTime};
 
@@ -289,7 +289,10 @@ mod tests {
         let later = n.poll_battery(SimTime::from_secs(100));
         let measured_j = SmartBattery::energy_between(full, later);
         let true_j = n.energy(SimTime::from_secs(100)).total_j();
-        assert!((measured_j - true_j).abs() < 2.0 * 3.6, "measured {measured_j} true {true_j}");
+        assert!(
+            (measured_j - true_j).abs() < 2.0 * 3.6,
+            "measured {measured_j} true {true_j}"
+        );
     }
 
     #[test]

@@ -173,16 +173,16 @@ impl AutoTuner {
     /// batch, then all tuned runs as another. Outcomes match per-workload
     /// [`AutoTuner::tune`] calls exactly and come back in input order.
     pub fn tune_many(&self, workloads: &[Workload]) -> Vec<AutoTuneOutcome> {
-        let pilots = crate::runner::run_batch(
-            workloads.iter().map(|w| self.pilot_experiment(w)).collect(),
-        );
+        let pilots =
+            crate::runner::run_batch(workloads.iter().map(|w| self.pilot_experiment(w)).collect());
         let selections: Vec<Vec<String>> = pilots.iter().map(|p| self.select_phases(p)).collect();
         let jobs: Vec<(&Workload, BTreeSet<String>)> = workloads
             .iter()
             .zip(&selections)
             .map(|(w, sel)| (w, sel.iter().cloned().collect()))
             .collect();
-        let tuned = crate::runner::parallel_map(&jobs, |(w, phases)| AutoTuner::tuned_run(w, phases));
+        let tuned =
+            crate::runner::parallel_map(&jobs, |(w, phases)| AutoTuner::tuned_run(w, phases));
         selections
             .into_iter()
             .zip(pilots)
@@ -229,7 +229,10 @@ mod tests {
         let hand = Experiment::new(workload, DvsStrategy::DynamicBaseMhz(1400)).run();
         // Auto-tuned energy within a few percent of the hand-tuned run.
         let ratio = outcome.tuned.total_energy_j() / hand.total_energy_j();
-        assert!((0.93..=1.07).contains(&ratio), "auto/hand energy ratio {ratio}");
+        assert!(
+            (0.93..=1.07).contains(&ratio),
+            "auto/hand energy ratio {ratio}"
+        );
         assert!(outcome.tuned.total_energy_j() < outcome.pilot.total_energy_j());
     }
 

@@ -26,27 +26,117 @@ pub struct PaperTarget {
 pub fn paper_targets() -> Vec<PaperTarget> {
     vec![
         // Figure 3: FT class B on 8 nodes.
-        PaperTarget { experiment: "ft_b8", strategy: "stat", mhz: 600, norm_energy: 0.655, norm_delay: 1.068 },
-        PaperTarget { experiment: "ft_b8", strategy: "cpuspeed", mhz: 0, norm_energy: 0.966, norm_delay: 0.988 },
+        PaperTarget {
+            experiment: "ft_b8",
+            strategy: "stat",
+            mhz: 600,
+            norm_energy: 0.655,
+            norm_delay: 1.068,
+        },
+        PaperTarget {
+            experiment: "ft_b8",
+            strategy: "cpuspeed",
+            mhz: 0,
+            norm_energy: 0.966,
+            norm_delay: 0.988,
+        },
         // Figure 4: FT class C on 8 processors.
-        PaperTarget { experiment: "ft_c8", strategy: "stat", mhz: 800, norm_energy: 0.714, norm_delay: 1.042 },
-        PaperTarget { experiment: "ft_c8", strategy: "stat", mhz: 600, norm_energy: 0.663, norm_delay: 1.099 },
-        PaperTarget { experiment: "ft_c8", strategy: "cpuspeed", mhz: 0, norm_energy: 0.876, norm_delay: 1.039 },
-        PaperTarget { experiment: "ft_c8", strategy: "dyn", mhz: 1400, norm_energy: 0.674, norm_delay: 1.078 },
-        PaperTarget { experiment: "ft_c8", strategy: "dyn", mhz: 1000, norm_energy: 0.654, norm_delay: 1.0871 },
+        PaperTarget {
+            experiment: "ft_c8",
+            strategy: "stat",
+            mhz: 800,
+            norm_energy: 0.714,
+            norm_delay: 1.042,
+        },
+        PaperTarget {
+            experiment: "ft_c8",
+            strategy: "stat",
+            mhz: 600,
+            norm_energy: 0.663,
+            norm_delay: 1.099,
+        },
+        PaperTarget {
+            experiment: "ft_c8",
+            strategy: "cpuspeed",
+            mhz: 0,
+            norm_energy: 0.876,
+            norm_delay: 1.039,
+        },
+        PaperTarget {
+            experiment: "ft_c8",
+            strategy: "dyn",
+            mhz: 1400,
+            norm_energy: 0.674,
+            norm_delay: 1.078,
+        },
+        PaperTarget {
+            experiment: "ft_c8",
+            strategy: "dyn",
+            mhz: 1000,
+            norm_energy: 0.654,
+            norm_delay: 1.0871,
+        },
         // Figure 5: 12K x 12K transpose on 15 processors.
-        PaperTarget { experiment: "transpose15", strategy: "stat", mhz: 800, norm_energy: 0.838, norm_delay: 1.0078 },
-        PaperTarget { experiment: "transpose15", strategy: "stat", mhz: 600, norm_energy: 0.803, norm_delay: 1.024 },
-        PaperTarget { experiment: "transpose15", strategy: "cpuspeed", mhz: 0, norm_energy: 0.981, norm_delay: 0.9917 },
+        PaperTarget {
+            experiment: "transpose15",
+            strategy: "stat",
+            mhz: 800,
+            norm_energy: 0.838,
+            norm_delay: 1.0078,
+        },
+        PaperTarget {
+            experiment: "transpose15",
+            strategy: "stat",
+            mhz: 600,
+            norm_energy: 0.803,
+            norm_delay: 1.024,
+        },
+        PaperTarget {
+            experiment: "transpose15",
+            strategy: "cpuspeed",
+            mhz: 0,
+            norm_energy: 0.981,
+            norm_delay: 0.9917,
+        },
         // Figure 6: memory-bound microbenchmark.
-        PaperTarget { experiment: "memory_micro", strategy: "stat", mhz: 600, norm_energy: 0.593, norm_delay: 1.054 },
+        PaperTarget {
+            experiment: "memory_micro",
+            strategy: "stat",
+            mhz: 600,
+            norm_energy: 0.593,
+            norm_delay: 1.054,
+        },
         // Figure 7: CPU-bound (L2) microbenchmark.
-        PaperTarget { experiment: "cpu_micro", strategy: "stat", mhz: 600, norm_energy: 1.02, norm_delay: 2.34 },
-        PaperTarget { experiment: "cpu_micro", strategy: "stat", mhz: 800, norm_energy: 0.90, norm_delay: 1.75 },
+        PaperTarget {
+            experiment: "cpu_micro",
+            strategy: "stat",
+            mhz: 600,
+            norm_energy: 1.02,
+            norm_delay: 2.34,
+        },
+        PaperTarget {
+            experiment: "cpu_micro",
+            strategy: "stat",
+            mhz: 800,
+            norm_energy: 0.90,
+            norm_delay: 1.75,
+        },
         // Figure 8a: 256 KB round trip.
-        PaperTarget { experiment: "comm_256k", strategy: "stat", mhz: 600, norm_energy: 0.699, norm_delay: 1.06 },
+        PaperTarget {
+            experiment: "comm_256k",
+            strategy: "stat",
+            mhz: 600,
+            norm_energy: 0.699,
+            norm_delay: 1.06,
+        },
         // Figure 8b: 4 KB message, 64 B stride.
-        PaperTarget { experiment: "comm_4k", strategy: "stat", mhz: 600, norm_energy: 0.64, norm_delay: 1.04 },
+        PaperTarget {
+            experiment: "comm_4k",
+            strategy: "stat",
+            mhz: 600,
+            norm_energy: 0.64,
+            norm_delay: 1.04,
+        },
     ]
 }
 

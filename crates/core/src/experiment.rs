@@ -63,7 +63,8 @@ impl Experiment {
             (node, net) => Cluster::homogeneous(
                 ranks,
                 node.clone().unwrap_or_else(NodeConfig::inspiron_8600),
-                net.clone().unwrap_or_else(NetworkParams::catalyst_2950_100m),
+                net.clone()
+                    .unwrap_or_else(NetworkParams::catalyst_2950_100m),
             ),
         };
         let programs = self
@@ -92,7 +93,11 @@ pub fn static_crescendo(workload: &Workload) -> Crescendo {
 /// Run `workload` under dynamic control with every base operating point
 /// (the paper's "dyn" series).
 pub fn dynamic_crescendo(workload: &Workload) -> Crescendo {
-    crescendo_with(workload, EngineConfig::default(), DvsStrategy::DynamicBaseMhz)
+    crescendo_with(
+        workload,
+        EngineConfig::default(),
+        DvsStrategy::DynamicBaseMhz,
+    )
 }
 
 /// Crescendo sweep with a custom engine configuration.
@@ -101,9 +106,7 @@ pub fn crescendo_with(
     engine: EngineConfig,
     make: impl Fn(u32) -> DvsStrategy,
 ) -> Crescendo {
-    crescendo_of(|mhz| {
-        Experiment::new(workload.clone(), make(mhz)).with_engine(engine.clone())
-    })
+    crescendo_of(|mhz| Experiment::new(workload.clone(), make(mhz)).with_engine(engine.clone()))
 }
 
 /// Fully general crescendo sweep: build any experiment per ladder point.

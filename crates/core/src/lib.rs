@@ -34,15 +34,20 @@ pub mod calibration;
 pub mod experiment;
 pub mod report;
 pub mod runner;
+pub mod scope;
 pub mod strategy;
 pub mod workload;
 
+pub use adaptive::{AutoTuneOutcome, AutoTuner};
 pub use experiment::{
     cpuspeed_point, crescendo_of, crescendo_with, dynamic_crescendo, ladder_mhz_desc,
     static_crescendo, Experiment,
 };
-pub use adaptive::{AutoTuneOutcome, AutoTuner};
-pub use runner::{parallel_map, run_batch, thread_count, THREADS_ENV};
+pub use runner::{
+    parallel_map, parallel_map_telemetry, run_batch, run_batch_telemetry, thread_count,
+    BatchTelemetry, THREADS_ENV,
+};
+pub use scope::{metrics_ndjson, perfetto_json, stats_text};
 pub use strategy::DvsStrategy;
 pub use workload::Workload;
 

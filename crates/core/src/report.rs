@@ -1,7 +1,8 @@
 //! Plain-text tables for the figure/table regenerators.
 
-use edp_metrics::{best_operating_point, weighted_ed2p, Crescendo, DELTA_ENERGY, DELTA_HPC,
-    DELTA_PERFORMANCE};
+use edp_metrics::{
+    best_operating_point, weighted_ed2p, Crescendo, DELTA_ENERGY, DELTA_HPC, DELTA_PERFORMANCE,
+};
 
 /// Render a crescendo as the paper's normalized energy/delay series, with
 /// the weighted-ED²P column for the HPC weight.

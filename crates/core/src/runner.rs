@@ -17,8 +17,10 @@
 //! environment variable (`PWRPERF_THREADS=1` forces sequential execution).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 use mpi_sim::RunResult;
+use obs::WallTimer;
 
 use crate::experiment::Experiment;
 
@@ -44,6 +46,48 @@ pub fn thread_count(jobs: usize) -> usize {
     workers.min(jobs)
 }
 
+/// Wall-clock execution telemetry for one batch: how many workers ran,
+/// what each did, and how well the batch kept them fed. Host-timing only —
+/// never feeds simulated results, so determinism is untouched.
+#[derive(Debug, Clone, Default)]
+pub struct BatchTelemetry {
+    /// Worker threads used (1 = sequential path).
+    pub workers: usize,
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Jobs completed by each worker (dynamic load balancing makes these
+    /// uneven when job lengths vary).
+    pub per_worker_jobs: Vec<usize>,
+    /// Time each worker spent inside job closures.
+    pub per_worker_busy: Vec<Duration>,
+}
+
+impl BatchTelemetry {
+    /// Fraction of the batch wall-time each worker spent executing jobs.
+    pub fn utilization(&self) -> Vec<f64> {
+        let wall = self.wall.as_secs_f64();
+        self.per_worker_busy
+            .iter()
+            .map(|b| {
+                if wall > 0.0 {
+                    (b.as_secs_f64() / wall).min(1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate time workers sat idle (waiting on the claim cursor or for
+    /// the batch to end) — the queue-wait cost of imbalanced job lengths.
+    pub fn idle_total(&self) -> Duration {
+        let busy: Duration = self.per_worker_busy.iter().sum();
+        (self.wall * self.workers as u32).saturating_sub(busy)
+    }
+}
+
 /// Run every experiment and return the results in input order.
 ///
 /// Each experiment is a self-contained deterministic simulation, so the
@@ -51,6 +95,11 @@ pub fn thread_count(jobs: usize) -> usize {
 /// `tests/parallel_runner.rs`).
 pub fn run_batch(experiments: Vec<Experiment>) -> Vec<RunResult> {
     parallel_map(&experiments, Experiment::run)
+}
+
+/// [`run_batch`] with execution telemetry.
+pub fn run_batch_telemetry(experiments: Vec<Experiment>) -> (Vec<RunResult>, BatchTelemetry) {
+    parallel_map_telemetry(&experiments, Experiment::run)
 }
 
 /// Map `f` over `items` on [`thread_count`] worker threads, collecting
@@ -63,32 +112,61 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_telemetry(items, f).0
+}
+
+/// [`parallel_map`] plus a [`BatchTelemetry`] describing how the batch
+/// actually executed (per-worker job counts, busy time, utilization).
+pub fn parallel_map_telemetry<T, R, F>(items: &[T], f: F) -> (Vec<R>, BatchTelemetry)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let workers = thread_count(items.len());
+    let batch_timer = WallTimer::start();
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        let timer = WallTimer::start();
+        let results: Vec<R> = items.iter().map(f).collect();
+        let busy = timer.elapsed();
+        let telemetry = BatchTelemetry {
+            workers: 1,
+            jobs: items.len(),
+            wall: batch_timer.elapsed(),
+            per_worker_jobs: vec![items.len()],
+            per_worker_busy: vec![busy],
+        };
+        return (results, telemetry);
     }
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
     results.resize_with(items.len(), || None);
+    let mut per_worker_jobs = vec![0usize; workers];
+    let mut per_worker_busy = vec![Duration::ZERO; workers];
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
                     let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut busy = Duration::ZERO;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
+                        let timer = WallTimer::start();
                         local.push((i, f(&items[i])));
+                        busy += timer.elapsed();
                     }
-                    local
+                    (local, busy)
                 })
             })
             .collect();
-        for handle in handles {
+        for (w, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(local) => {
+                Ok((local, busy)) => {
+                    per_worker_jobs[w] = local.len();
+                    per_worker_busy[w] = busy;
                     for (i, r) in local {
                         results[i] = Some(r);
                     }
@@ -97,10 +175,18 @@ where
             }
         }
     });
-    results
+    let results: Vec<R> = results
         .into_iter()
         .map(|r| r.expect("every claimed index produces a result"))
-        .collect()
+        .collect();
+    let telemetry = BatchTelemetry {
+        workers,
+        jobs: items.len(),
+        wall: batch_timer.elapsed(),
+        per_worker_jobs,
+        per_worker_busy,
+    };
+    (results, telemetry)
 }
 
 #[cfg(test)]
@@ -127,6 +213,29 @@ mod tests {
         assert_eq!(thread_count(1), 1);
         assert!(thread_count(3) <= 3);
         assert!(thread_count(1000) >= 1);
+    }
+
+    #[test]
+    fn telemetry_accounts_for_every_job() {
+        let items: Vec<u64> = (0..64).collect();
+        let (out, t) = parallel_map_telemetry(&items, |&x| x + 1);
+        assert_eq!(out.len(), 64);
+        assert_eq!(t.jobs, 64);
+        assert_eq!(t.per_worker_jobs.len(), t.workers);
+        assert_eq!(t.per_worker_busy.len(), t.workers);
+        assert_eq!(t.per_worker_jobs.iter().sum::<usize>(), 64);
+        assert!(t.utilization().iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn telemetry_sequential_path_uses_one_worker() {
+        std::env::set_var(THREADS_ENV, "1");
+        let items: Vec<u64> = (0..16).collect();
+        let (out, t) = parallel_map_telemetry(&items, |&x| x * 2);
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(out[15], 30);
+        assert_eq!(t.workers, 1);
+        assert_eq!(t.per_worker_jobs, vec![16]);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! PowerScope: assembling a run's observability artifacts.
+//!
+//! The engine produces raw telemetry — a bounded [`TraceEvent`] stream,
+//! periodic [`SampleRow`]s, and an optional [`MetricsRegistry`] — and this
+//! module turns a finished [`RunResult`] into the three export formats the
+//! CLI serves:
+//!
+//! * [`perfetto_json`] — a Chrome/Perfetto `trace_event` timeline: one
+//!   track per node with phase slices and message instants, plus counter
+//!   tracks for per-node frequency (from the trace) and per-node/cluster
+//!   power (from the samples). Open it at <https://ui.perfetto.dev>.
+//! * [`metrics_ndjson`] — the metrics registry as newline-delimited JSON,
+//!   one object per metric, sorted by name.
+//! * [`stats_text`] — a human-readable run summary for the terminal.
+//!
+//! All three are deterministic: timestamps come from simulated time
+//! rendered with integer math, metric ordering is name-sorted, and no
+//! wall-clock value ever reaches an export.
+
+use mpi_sim::RunResult;
+use obs::PerfettoTrace;
+
+/// Render a run as Perfetto `trace_event` JSON.
+///
+/// Requires the run to have been executed with `trace_capacity > 0` for
+/// the timeline tracks; sample-driven power counters additionally need
+/// `sample_interval`. Either may be absent — the export degrades to
+/// whatever telemetry the run carried.
+pub fn perfetto_json(result: &RunResult) -> String {
+    let nodes = result.per_node.len();
+    let mut p = PerfettoTrace::from_trace(&result.trace, nodes);
+    for s in &result.samples {
+        let mut cluster_w = 0.0;
+        for (n, &w) in s.node_power_w.iter().enumerate() {
+            p.counter(0, &format!("node {n} W"), s.time, w);
+            cluster_w += w;
+        }
+        p.counter(0, "cluster W", s.time, cluster_w);
+    }
+    p.finish()
+}
+
+/// Render the run's metrics registry as NDJSON (empty string when the run
+/// was executed without `metrics` enabled).
+pub fn metrics_ndjson(result: &RunResult) -> String {
+    result
+        .metrics
+        .as_ref()
+        .map(|m| m.to_ndjson())
+        .unwrap_or_default()
+}
+
+/// Render a human-readable summary of the run: headline figures, per-node
+/// transition counts, trace accounting, and (when collected) the full
+/// metrics table.
+pub fn stats_text(result: &RunResult) -> String {
+    let mut out = String::new();
+    out.push_str("== run ==\n");
+    out.push_str(&format!("duration_s      {:.6}\n", result.duration_secs()));
+    out.push_str(&format!("energy_j        {:.3}\n", result.total_energy_j()));
+    out.push_str(&format!(
+        "avg_power_w     {:.3}\n",
+        result.average_power_w()
+    ));
+    out.push_str(&format!("events          {}\n", result.events));
+    out.push_str(&format!("nodes           {}\n", result.per_node.len()));
+    out.push_str(&format!(
+        "transitions     {}\n",
+        result.transitions.iter().sum::<u64>()
+    ));
+    out.push_str(&format!(
+        "trace_events    {} (+{} dropped)\n",
+        result.trace.len(),
+        result.trace_dropped
+    ));
+    out.push_str(&format!("samples         {}\n", result.samples.len()));
+    if let Some(m) = &result.metrics {
+        out.push_str("\n== metrics ==\n");
+        out.push_str(&m.render_stats());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DvsStrategy, Experiment, Workload};
+    use mpi_sim::EngineConfig;
+
+    fn traced_run() -> RunResult {
+        let mut e = Experiment::new(Workload::ft_test(2), DvsStrategy::StaticMhz(800));
+        e.engine = EngineConfig {
+            trace_capacity: 4096,
+            sample_interval: Some(sim_core::SimDuration::from_millis(50)),
+            metrics: true,
+            ..EngineConfig::default()
+        };
+        e.run()
+    }
+
+    #[test]
+    fn perfetto_export_carries_tracks_and_counters() {
+        let result = traced_run();
+        let json = perfetto_json(&result);
+        assert!(json.starts_with("{\"traceEvents\":[\n"));
+        assert!(json.ends_with("]}\n"));
+        assert!(json.contains(r#""name":"node 0""#));
+        assert!(json.contains(r#""name":"node 1""#));
+        assert!(json.contains(r#""name":"node 0 W""#));
+        assert!(json.contains(r#""name":"cluster W""#));
+        assert!(json.contains(r#""ph":"B""#));
+        assert!(json.contains(r#""ph":"E""#));
+    }
+
+    #[test]
+    fn perfetto_export_is_deterministic() {
+        let a = perfetto_json(&traced_run());
+        let b = perfetto_json(&traced_run());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ndjson_sorted_and_gated() {
+        let result = traced_run();
+        let ndjson = metrics_ndjson(&result);
+        let names: Vec<&str> = ndjson
+            .lines()
+            .map(|l| {
+                let start = l.find("\"name\":\"").unwrap() + 8;
+                let end = l[start..].find('"').unwrap();
+                &l[start..start + end]
+            })
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "NDJSON must be name-sorted");
+        assert!(ndjson.contains(r#""name":"engine.events.dispatched""#));
+
+        let bare = Experiment::new(Workload::ft_test(2), DvsStrategy::StaticMhz(800)).run();
+        assert!(metrics_ndjson(&bare).is_empty());
+    }
+
+    #[test]
+    fn stats_text_summarizes_run_and_metrics() {
+        let result = traced_run();
+        let text = stats_text(&result);
+        assert!(text.contains("== run =="));
+        assert!(text.contains("duration_s"));
+        assert!(text.contains("== metrics =="));
+        assert!(text.contains("engine.events.dispatched"));
+        assert!(text.contains(&format!("events          {}", result.events)));
+    }
+}

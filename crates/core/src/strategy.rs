@@ -72,7 +72,9 @@ mod tests {
     use cluster_sim::NodeConfig;
 
     fn nodes(n: usize) -> Vec<Node> {
-        (0..n).map(|i| Node::new(i, NodeConfig::inspiron_8600())).collect()
+        (0..n)
+            .map(|i| Node::new(i, NodeConfig::inspiron_8600()))
+            .collect()
     }
 
     #[test]

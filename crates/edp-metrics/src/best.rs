@@ -17,8 +17,7 @@ pub fn best_operating_point(crescendo: &Crescendo, delta: Delta) -> Option<u32> 
         .into_iter()
         .map(|(mhz, e, d)| (mhz, weighted_ed2p(e, d, delta)))
         .min_by(|a, b| {
-            a.1.total_cmp(&b.1)
-                .then_with(|| b.0.cmp(&a.0)) // prefer higher MHz on ties
+            a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)) // prefer higher MHz on ties
         })
         .map(|(mhz, _)| mhz)
 }
@@ -75,8 +74,14 @@ mod tests {
 
     #[test]
     fn performance_delta_always_picks_fastest() {
-        assert_eq!(best_operating_point(&swim_like(), DELTA_PERFORMANCE), Some(1400));
-        assert_eq!(best_operating_point(&mgrid_like(), DELTA_PERFORMANCE), Some(1400));
+        assert_eq!(
+            best_operating_point(&swim_like(), DELTA_PERFORMANCE),
+            Some(1400)
+        );
+        assert_eq!(
+            best_operating_point(&mgrid_like(), DELTA_PERFORMANCE),
+            Some(1400)
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ pub const DELTA_PERFORMANCE: Delta = 1.0;
 
 /// Plain energy-delay-squared product `E · D²` (Equation 4).
 pub fn ed2p(energy: f64, delay: f64) -> f64 {
-    assert!(energy >= 0.0 && delay >= 0.0, "E and D must be non-negative");
+    assert!(
+        energy >= 0.0 && delay >= 0.0,
+        "E and D must be non-negative"
+    );
     energy * delay * delay
 }
 

@@ -102,7 +102,12 @@ impl AccessPattern {
 /// one element, hardware-friendly): one miss per cache line plus `cycles
 /// per element` of core work. Used by the application models for their
 /// streaming phases.
-pub fn streaming_work(bytes: u64, elem_bytes: u64, cycles_per_elem: f64, hier: &MemHierarchy) -> WorkUnit {
+pub fn streaming_work(
+    bytes: u64,
+    elem_bytes: u64,
+    cycles_per_elem: f64,
+    hier: &MemHierarchy,
+) -> WorkUnit {
     assert!(elem_bytes > 0);
     let elems = bytes as f64 / elem_bytes as f64;
     let lines = bytes as f64 / hier.line_bytes as f64;

@@ -72,9 +72,7 @@ impl WorkUnit {
     #[inline(always)]
     pub fn split(&self, hier: &MemHierarchy, freq_hz: f64) -> TimeSplit {
         let active = cycles_to_duration(self.scaled_cycles(hier), freq_hz);
-        let stall = hier
-            .effective_dram_latency()
-            .mul_f64(self.dram_accesses);
+        let stall = hier.effective_dram_latency().mul_f64(self.dram_accesses);
         TimeSplit { active, stall }
     }
 
@@ -173,7 +171,7 @@ mod tests {
     #[test]
     fn mixed_segment_splits_correctly() {
         let w = WorkUnit {
-            cpu_cycles: 1e9,   // 1s at 1 GHz
+            cpu_cycles: 1e9, // 1s at 1 GHz
             l2_accesses: 0.0,
             dram_accesses: 1e7, // 1.1s of stall
         };

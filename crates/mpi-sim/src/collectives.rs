@@ -185,7 +185,14 @@ pub fn allgather(b: &mut ProgramBuilder, bytes_per_rank: u64) {
         let dst = (r + 1) % n;
         let src = (r + n - 1) % n;
         for round in 0..(n - 1) as u32 {
-            b.sendrecv(dst, bytes_per_rank, tag + round, src, bytes_per_rank, tag + round);
+            b.sendrecv(
+                dst,
+                bytes_per_rank,
+                tag + round,
+                src,
+                bytes_per_rank,
+                tag + round,
+            );
         }
     }
 }

@@ -54,6 +54,12 @@ pub struct EngineConfig {
     pub sample_interval: Option<SimDuration>,
     /// Capacity of the in-memory trace (0 disables tracing).
     pub trace_capacity: usize,
+    /// Collect engine metrics (event counts, queue stats, message latency
+    /// histograms, DVFS decision counters) into
+    /// [`crate::RunResult::metrics`]. Off by default: the registry is
+    /// passive observation only and never affects simulated behaviour, but
+    /// leaving it off keeps the hot path free of even the `Option` checks.
+    pub metrics: bool,
 }
 
 impl Default for EngineConfig {
@@ -63,6 +69,7 @@ impl Default for EngineConfig {
             wait_policy: WaitPolicy::BusyPoll,
             sample_interval: None,
             trace_capacity: 0,
+            metrics: false,
         }
     }
 }
@@ -86,5 +93,6 @@ mod tests {
         assert_eq!(c.eager_threshold, 64 * 1024);
         assert_eq!(c.wait_policy, WaitPolicy::BusyPoll);
         assert!(c.sample_interval.is_none());
+        assert!(!c.metrics, "metrics collection must be opt-in");
     }
 }

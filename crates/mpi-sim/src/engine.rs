@@ -35,9 +35,12 @@ use std::collections::VecDeque;
 use cluster_sim::Cluster;
 use dvfs::Governor;
 use net_model::{FlowId, FluidNetwork};
+use obs::{obs_count, obs_observe, MetricsRegistry};
 use power_model::{CpuActivity, OpIndex};
+use sim_core::time::PS_PER_US;
 use sim_core::{
-    duration_to_cycles, EventQueue, FxHashMap, FxHashSet, SimDuration, SimTime, Trace, TraceKind,
+    duration_to_cycles, EventQueue, FxHashMap, FxHashSet, SimDuration, SimTime, Trace, TraceDetail,
+    TraceKind,
 };
 
 use crate::config::{EngineConfig, WaitPolicy};
@@ -145,6 +148,13 @@ struct Msg {
     flow_started: bool,
     recv_posted: bool,
     drained_at: Option<SimTime>,
+    /// When the send was posted — start of the message's observable life,
+    /// used for the delivery-latency histograms.
+    posted_at: SimTime,
+    /// Whether the tag marks collective-internal traffic
+    /// ([`crate::ProgramBuilder`] lowers collectives onto a reserved tag
+    /// range), splitting the latency histograms by origin.
+    collective: bool,
 }
 
 /// The simulator. Construct with [`Engine::new`], run with [`Engine::run`].
@@ -167,6 +177,11 @@ pub struct Engine {
     finished: usize,
     samples: Vec<SampleRow>,
     trace: Trace,
+    /// PowerScope metrics, boxed to keep the engine small when disabled.
+    /// `None` unless [`EngineConfig::metrics`] is set; every update goes
+    /// through the `obs_*` macros, which compile out entirely when the
+    /// `obs/enabled` feature is off.
+    metrics: Option<Box<MetricsRegistry>>,
     /// Reused between network wakes to collect completed flows without
     /// allocating on every event.
     completed_buf: Vec<(FlowId, usize, usize)>,
@@ -196,6 +211,7 @@ impl Engine {
         } else {
             Trace::disabled()
         };
+        let config_metrics = config.metrics;
         Engine {
             config,
             network,
@@ -214,8 +230,14 @@ impl Engine {
                     breakdown: RankBreakdown::default(),
                     finish_time: None,
                     outstanding_sends: FxHashSet::with_capacity_and_hasher(16, Default::default()),
-                    outstanding_recvs_matched: FxHashSet::with_capacity_and_hasher(16, Default::default()),
-                    outstanding_recvs_unmatched: FxHashMap::with_capacity_and_hasher(16, Default::default()),
+                    outstanding_recvs_matched: FxHashSet::with_capacity_and_hasher(
+                        16,
+                        Default::default(),
+                    ),
+                    outstanding_recvs_unmatched: FxHashMap::with_capacity_and_hasher(
+                        16,
+                        Default::default(),
+                    ),
                 })
                 .collect(),
             msgs: Vec::with_capacity(total_ops),
@@ -229,6 +251,11 @@ impl Engine {
             samples: Vec::new(),
             cluster,
             trace,
+            metrics: if config_metrics {
+                Some(Box::new(MetricsRegistry::new()))
+            } else {
+                None
+            },
             completed_buf: Vec::new(),
         }
     }
@@ -263,11 +290,17 @@ impl Engine {
                 break;
             }
         }
-        assert_eq!(self.finished, n, "deadlock: events exhausted with ranks pending");
+        assert_eq!(
+            self.finished, n,
+            "deadlock: events exhausted with ranks pending"
+        );
         self.finalize()
     }
 
     fn dispatch(&mut self, ev: Event) {
+        if self.metrics.is_some() {
+            self.count_dispatch(&ev);
+        }
         match ev {
             Event::Resume(r) => {
                 if matches!(self.ranks[r].state, RState::Stalled) {
@@ -282,6 +315,25 @@ impl Engine {
             Event::WaitBlock(r) => self.on_wait_block(r),
             Event::Sample => self.on_sample(),
         }
+    }
+
+    /// Metrics-path event accounting, kept out of line so the default
+    /// (metrics-off) `dispatch` body stays small enough to inline.
+    #[cold]
+    #[inline(never)]
+    fn count_dispatch(&mut self, ev: &Event) {
+        let name = match ev {
+            Event::Resume(_) => "engine.events.resume",
+            Event::PhaseDone(_) => "engine.events.phase_done",
+            Event::Delivered(_) => "engine.events.delivered",
+            Event::NetworkWake => "engine.events.network_wake",
+            Event::TransitionDone(..) => "engine.events.transition_done",
+            Event::GovernorTick(_) => "engine.events.governor_tick",
+            Event::WaitBlock(_) => "engine.events.wait_block",
+            Event::Sample => "engine.events.sample",
+        };
+        obs_count!(self.metrics, name, 1);
+        obs_count!(self.metrics, "engine.events.dispatched", 1);
     }
 
     // ----- time accounting -------------------------------------------------
@@ -320,10 +372,12 @@ impl Engine {
                     let hier = &node.config().mem;
                     let split = w.split(hier, node.freq_hz());
                     let cycles = w.scaled_cycles(hier);
-                    let factor = node.config().power.cpu.activity.compute_blend(
-                        w.cpu_cycles,
-                        w.l2_accesses * hier.l2_latency_cycles,
-                    );
+                    let factor = node
+                        .config()
+                        .power
+                        .cpu
+                        .activity
+                        .compute_blend(w.cpu_cycles, w.l2_accesses * hier.l2_latency_cycles);
                     self.begin_active_phase(r, cycles, factor, split.stall);
                     return;
                 }
@@ -388,12 +442,17 @@ impl Engine {
                 Op::SetSpeed(req) => {
                     let decision =
                         self.governors[r].on_app_request(self.now, self.cluster.node(r), req);
+                    if decision.is_some() {
+                        obs_count!(self.metrics, "engine.dvfs.decisions", 1);
+                    }
                     if let Some(target) = decision {
                         let lat = self.request_transition(r, target);
                         if !lat.is_zero() {
                             self.ranks[r].state = RState::Stalled;
                             self.switch_bucket(r, Bucket::Transition);
-                            self.cluster.node_mut(r).set_activity(self.now, CpuActivity::Halt);
+                            self.cluster
+                                .node_mut(r)
+                                .set_activity(self.now, CpuActivity::Halt);
                             // TransitionDone was queued by request_transition
                             // first, so at the tied timestamp the new
                             // frequency applies before execution resumes.
@@ -403,10 +462,12 @@ impl Engine {
                     }
                 }
                 Op::PhaseBegin(name) => {
-                    self.trace.record(self.now, r, TraceKind::PhaseBegin, name);
+                    self.trace
+                        .record(self.now, r, TraceKind::PhaseBegin, TraceDetail::Phase(name));
                 }
                 Op::PhaseEnd(name) => {
-                    self.trace.record(self.now, r, TraceKind::PhaseEnd, name);
+                    self.trace
+                        .record(self.now, r, TraceKind::PhaseEnd, TraceDetail::Phase(name));
                 }
             }
         }
@@ -523,8 +584,7 @@ impl Engine {
     /// An outstanding non-blocking op completed; resume a rank parked in
     /// WaitAll once everything it posted has finished.
     fn maybe_resume_waitall(&mut self, r: Rank) {
-        if matches!(self.ranks[r].state, RState::WaitingAll { .. })
-            && !self.rank_has_outstanding(r)
+        if matches!(self.ranks[r].state, RState::WaitingAll { .. }) && !self.rank_has_outstanding(r)
         {
             if let RState::WaitingAll {
                 block_event: Some(ev),
@@ -563,6 +623,7 @@ impl Engine {
 
     fn post_send(&mut self, src: Rank, dst: Rank, bytes: u64, tag: Tag) -> MsgId {
         let id = self.msgs.len();
+        let collective = tag >= crate::program::ProgramBuilder::COLLECTIVE_TAG_BASE;
         self.msgs.push(Msg {
             src,
             dst,
@@ -570,11 +631,16 @@ impl Engine {
             flow_started: false,
             recv_posted: false,
             drained_at: None,
+            posted_at: self.now,
+            collective,
         });
-        if self.trace.is_enabled() {
-            self.trace
-                .record(self.now, src, TraceKind::MsgStart, format!("->{dst} {bytes}B"));
-        }
+        self.trace
+            .record_with(self.now, src, TraceKind::MsgStart, || TraceDetail::MsgTo {
+                dst,
+                bytes,
+            });
+        obs_count!(self.metrics, "engine.msgs.posted", 1);
+        obs_count!(self.metrics, "engine.msgs.bytes_posted", bytes);
         let key = (src, dst, tag);
         let matched = match self.pending_recvs.get_mut(&key) {
             Some(q) if !q.is_empty() => {
@@ -618,14 +684,11 @@ impl Engine {
                     Some(drained) => {
                         let deliver_at = drained + self.network.params().wire_latency;
                         if deliver_at <= self.now {
-                            if self.trace.is_enabled() {
-                                self.trace.record(
-                                    self.now,
-                                    dst,
-                                    TraceKind::MsgEnd,
-                                    format!("<-{src}"),
-                                );
-                            }
+                            self.trace
+                                .record_with(self.now, dst, TraceKind::MsgEnd, || {
+                                    TraceDetail::MsgFrom { src }
+                                });
+                            self.observe_delivery(id);
                             None // already here
                         } else {
                             self.queue.push(deliver_at, Event::Delivered(id));
@@ -729,12 +792,35 @@ impl Engine {
         self.reschedule_network();
     }
 
+    /// Record a completed message into the delivery metrics (latency from
+    /// post to arrival, split by p2p vs collective-internal traffic).
+    fn observe_delivery(&mut self, id: MsgId) {
+        if self.metrics.is_none() {
+            return;
+        }
+        let Msg {
+            posted_at,
+            collective,
+            ..
+        } = self.msgs[id];
+        let latency_us = self.now.since(posted_at).as_ps() as f64 / PS_PER_US as f64;
+        let name = if collective {
+            "engine.msg.latency_us.collective"
+        } else {
+            "engine.msg.latency_us.p2p"
+        };
+        obs_observe!(self.metrics, name, latency_us);
+        obs_count!(self.metrics, "engine.msgs.delivered", 1);
+    }
+
     fn on_delivered(&mut self, id: MsgId) {
         let dst = self.msgs[id].dst;
-        if self.trace.is_enabled() {
-            self.trace
-                .record(self.now, dst, TraceKind::MsgEnd, format!("<-{}", self.msgs[id].src));
-        }
+        let src = self.msgs[id].src;
+        self.trace
+            .record_with(self.now, dst, TraceKind::MsgEnd, || TraceDetail::MsgFrom {
+                src,
+            });
+        self.observe_delivery(id);
         if let RState::Waiting {
             need_recv: nr @ Some(RecvWait::Matched(_)),
             ..
@@ -763,7 +849,11 @@ impl Engine {
             }
         }
         let old_freq = self.cluster.node(node).freq_hz();
-        let lat = self.cluster.node_mut(node).begin_transition(self.now, target);
+        let from_mhz = self.cluster.node(node).operating_point().mhz();
+        let lat = self
+            .cluster
+            .node_mut(node)
+            .begin_transition(self.now, target);
         // Pause mid-flight active compute: bank progress in cycles.
         if let RState::ComputeActive {
             cycles_total,
@@ -788,19 +878,26 @@ impl Engine {
         }
         self.queue
             .push(self.now + lat, Event::TransitionDone(node, target));
-        if self.trace.is_enabled() {
-            self.trace.record(
-                self.now,
-                node,
-                TraceKind::FreqChange,
-                format!("->op{target}"),
-            );
-        }
+        self.trace
+            .record_with(self.now, node, TraceKind::FreqChange, || {
+                TraceDetail::Freq {
+                    from_mhz,
+                    to_mhz: self.cluster.node(node).config().ladder.point(target).mhz(),
+                }
+            });
+        obs_count!(self.metrics, "engine.dvfs.transitions", 1);
+        obs_observe!(
+            self.metrics,
+            "engine.dvfs.transition_latency_us",
+            lat.as_ps() as f64 / PS_PER_US as f64
+        );
         lat
     }
 
     fn on_transition_done(&mut self, node: usize, target: OpIndex) {
-        self.cluster.node_mut(node).complete_transition(self.now, target);
+        self.cluster
+            .node_mut(node)
+            .complete_transition(self.now, target);
         if let RState::PausedCompute {
             remaining_cycles,
             power_factor,
@@ -817,6 +914,7 @@ impl Engine {
         }
         let decision = self.governors[node].on_tick(self.now, self.cluster.node(node));
         if let Some(target) = decision {
+            obs_count!(self.metrics, "engine.dvfs.decisions", 1);
             self.request_transition(node, target);
         }
         if let Some(interval) = self.governors[node].poll_interval() {
@@ -840,7 +938,8 @@ impl Engine {
             row.node_power_w.push(self.cluster.node(i).power_now());
             row.node_energy_j
                 .push(self.cluster.node(i).energy(self.now).total_j());
-            row.node_mhz.push(self.cluster.node(i).operating_point().mhz());
+            row.node_mhz
+                .push(self.cluster.node(i).operating_point().mhz());
             row.node_battery_mwh
                 .push(self.cluster.node_mut(i).poll_battery(self.now));
         }
@@ -852,7 +951,7 @@ impl Engine {
 
     // ----- teardown --------------------------------------------------------
 
-    fn finalize(self) -> RunResult {
+    fn finalize(mut self) -> RunResult {
         let end = self
             .ranks
             .iter()
@@ -867,16 +966,67 @@ impl Engine {
             .map(|n| n.time_in_state(end))
             .collect();
         let total = self.cluster.total_energy(end);
+
+        // Fold teardown-time statistics into the registry: queue lifetime
+        // counters, fair-share solver work, trace accounting, and the
+        // cluster-wide per-frequency residency. These are derived from
+        // simulated state only, so the whole registry stays deterministic.
+        let trace_dropped = self.trace.dropped();
+        if let Some(m) = self.metrics.as_deref_mut() {
+            let pushed = self.queue.pushed_total();
+            let cancelled = self.queue.cancelled_total();
+            m.counter_add("engine.queue.pushed", pushed);
+            m.counter_add("engine.queue.cancelled", cancelled);
+            m.counter_add("engine.queue.processed", self.queue.processed_total());
+            m.gauge_set(
+                "engine.queue.depth_hwm",
+                self.queue.depth_high_water() as f64,
+            );
+            m.gauge_set(
+                "engine.queue.tombstone_ratio",
+                if pushed > 0 {
+                    cancelled as f64 / pushed as f64
+                } else {
+                    0.0
+                },
+            );
+            let s = self.network.solver_stats();
+            m.counter_add("net.solver.invocations", s.invocations);
+            m.counter_add("net.solver.rounds", s.rounds);
+            m.counter_add("net.solver.fallback_freezes", s.fallback_freezes);
+            m.counter_add("net.rate_recomputes", self.network.rate_recomputes());
+            m.counter_add("net.flows_completed", self.network.flows_completed());
+            m.gauge_set("net.bytes_delivered", self.network.bytes_delivered());
+            m.counter_add("engine.trace.recorded", self.trace.len() as u64);
+            m.counter_add("engine.trace.dropped", trace_dropped);
+            let mut per_mhz: std::collections::BTreeMap<u32, SimDuration> = Default::default();
+            for node_res in &freq_residency {
+                for &(mhz, d) in node_res {
+                    *per_mhz.entry(mhz).or_insert(SimDuration::ZERO) += d;
+                }
+            }
+            for (mhz, d) in per_mhz {
+                m.gauge_set_owned(format!("engine.freq.residency_s.{mhz}mhz"), d.as_secs_f64());
+            }
+        }
+
         RunResult {
             duration: end.since(SimTime::ZERO),
             per_node,
             total,
             breakdown: self.ranks.into_iter().map(|r| r.breakdown).collect(),
-            transitions: self.cluster.nodes().iter().map(|n| n.transitions()).collect(),
+            transitions: self
+                .cluster
+                .nodes()
+                .iter()
+                .map(|n| n.transitions())
+                .collect(),
             samples: self.samples,
             trace: self.trace.events().cloned().collect(),
+            trace_dropped,
             freq_residency,
             events: self.queue.processed_total(),
+            metrics: self.metrics.map(|b| *b),
         }
     }
 }

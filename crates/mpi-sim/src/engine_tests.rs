@@ -25,11 +25,7 @@ mod blocking_tests {
             .collect()
     }
 
-    fn run_programs(
-        n: usize,
-        idx: OpIndex,
-        build: impl Fn(&mut ProgramBuilder),
-    ) -> RunResult {
+    fn run_programs(n: usize, idx: OpIndex, build: impl Fn(&mut ProgramBuilder)) -> RunResult {
         let cluster = Cluster::paper_testbed(n);
         let programs: Vec<Program> = (0..n)
             .map(|r| {
@@ -38,7 +34,13 @@ mod blocking_tests {
                 b.build()
             })
             .collect();
-        Engine::new(cluster, programs, static_governors(n, idx), EngineConfig::default()).run()
+        Engine::new(
+            cluster,
+            programs,
+            static_governors(n, idx),
+            EngineConfig::default(),
+        )
+        .run()
     }
 
     #[test]
@@ -47,7 +49,11 @@ mod blocking_tests {
         let res = run_programs(1, 4, |b| {
             b.compute(WorkUnit::pure_cpu(1.4e9));
         });
-        assert!((res.duration_secs() - 1.0).abs() < 1e-6, "{}", res.duration_secs());
+        assert!(
+            (res.duration_secs() - 1.0).abs() < 1e-6,
+            "{}",
+            res.duration_secs()
+        );
         assert!((res.breakdown[0].compute.as_secs_f64() - 1.0).abs() < 1e-6);
     }
 
@@ -204,8 +210,7 @@ mod blocking_tests {
         b.compute(WorkUnit::pure_cpu(1.4e9)); // 2.333 s at 600 MHz
         b.set_speed(dvfs::AppSpeedRequest::Restore);
         b.compute(WorkUnit::pure_cpu(1.4e9)); // 1 s again
-        let governors: Vec<Box<dyn Governor>> =
-            vec![Box::new(AppDirectedGovernor::with_base(4))];
+        let governors: Vec<Box<dyn Governor>> = vec![Box::new(AppDirectedGovernor::with_base(4))];
         let res = Engine::new(cluster, vec![b.build()], governors, EngineConfig::default()).run();
         let expect = 1.0 + 1.4 / 0.6 + 1.0;
         assert!(
@@ -238,7 +243,11 @@ mod blocking_tests {
             ..EngineConfig::default()
         };
         let res = Engine::new(cluster, vec![b0.build(), b1.build()], governors, config).run();
-        assert!(res.transitions[1] >= 3, "receiver stepped down {} times", res.transitions[1]);
+        assert!(
+            res.transitions[1] >= 3,
+            "receiver stepped down {} times",
+            res.transitions[1]
+        );
         assert_eq!(res.transitions[0], 0, "busy sender never scales");
         assert!(res.breakdown[1].wait_blocked.as_secs_f64() > 4.0);
     }
@@ -278,17 +287,15 @@ mod blocking_tests {
         let cluster = Cluster::paper_testbed(1);
         let mut b = ProgramBuilder::new(0, 1);
         b.compute(WorkUnit::pure_cpu(1.4e9)); // 1 s
-        let res = Engine::new(
-            cluster,
-            vec![b.build()],
-            static_governors(1, 4),
-            config,
-        )
-        .run();
+        let res = Engine::new(cluster, vec![b.build()], static_governors(1, 4), config).run();
         assert!(res.samples.len() >= 9, "{} samples", res.samples.len());
         let s = &res.samples[0];
         assert_eq!(s.node_power_w.len(), 1);
-        assert!(s.node_power_w[0] > 20.0, "active node power {}", s.node_power_w[0]);
+        assert!(
+            s.node_power_w[0] > 20.0,
+            "active node power {}",
+            s.node_power_w[0]
+        );
         assert_eq!(s.node_mhz[0], 1400);
     }
 

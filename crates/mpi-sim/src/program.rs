@@ -150,7 +150,12 @@ impl ProgramBuilder {
     /// A builder for `rank` of a `size`-rank job with default cost model
     /// and the paper's memory hierarchy.
     pub fn new(rank: Rank, size: usize) -> Self {
-        ProgramBuilder::with_cost(rank, size, MsgCostModel::default(), MemHierarchy::pentium_m_1400())
+        ProgramBuilder::with_cost(
+            rank,
+            size,
+            MsgCostModel::default(),
+            MemHierarchy::pentium_m_1400(),
+        )
     }
 
     /// Full-control constructor.
@@ -230,7 +235,10 @@ impl ProgramBuilder {
         recv_bytes: u64,
         recv_tag: Tag,
     ) -> &mut Self {
-        assert!(dst < self.size && src < self.size, "sendrecv peer out of range");
+        assert!(
+            dst < self.size && src < self.size,
+            "sendrecv peer out of range"
+        );
         self.compute(self.msg_cost(send_bytes));
         self.ops.push(Op::SendRecv {
             dst,
@@ -407,7 +415,14 @@ mod tests {
         let p = b.build();
         assert_eq!(p.len(), 2);
         assert!(matches!(p.ops()[0], Op::Compute(_)));
-        assert!(matches!(p.ops()[1], Op::Send { dst: 1, bytes: 1024, tag: 7 }));
+        assert!(matches!(
+            p.ops()[1],
+            Op::Send {
+                dst: 1,
+                bytes: 1024,
+                tag: 7
+            }
+        ));
     }
 
     #[test]
@@ -456,10 +471,19 @@ mod tests {
     #[test]
     fn isend_charges_cost_and_does_not_block_shape() {
         let mut b = ProgramBuilder::new(0, 2);
-        b.isend(1, 2048, 3).compute(WorkUnit::pure_cpu(10.0)).wait_all(2048);
+        b.isend(1, 2048, 3)
+            .compute(WorkUnit::pure_cpu(10.0))
+            .wait_all(2048);
         let p = b.build();
         assert!(matches!(p.ops()[0], Op::Compute(_))); // send-side copy
-        assert!(matches!(p.ops()[1], Op::Isend { dst: 1, bytes: 2048, tag: 3 }));
+        assert!(matches!(
+            p.ops()[1],
+            Op::Isend {
+                dst: 1,
+                bytes: 2048,
+                tag: 3
+            }
+        ));
         assert!(matches!(p.ops()[3], Op::WaitAll));
         assert!(matches!(p.ops()[4], Op::Compute(_))); // recv-side copy
     }
@@ -478,15 +502,31 @@ mod tests {
         let mut b = ProgramBuilder::new(0, 4);
         b.alltoall_nonblocking(1000);
         let p = b.build();
-        let irecvs = p.ops().iter().filter(|op| matches!(op, Op::Irecv { .. })).count();
-        let isends = p.ops().iter().filter(|op| matches!(op, Op::Isend { .. })).count();
-        let waits = p.ops().iter().filter(|op| matches!(op, Op::WaitAll)).count();
+        let irecvs = p
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Op::Irecv { .. }))
+            .count();
+        let isends = p
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Op::Isend { .. }))
+            .count();
+        let waits = p
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Op::WaitAll))
+            .count();
         assert_eq!(irecvs, 3);
         assert_eq!(isends, 3);
         assert_eq!(waits, 1);
         // All irecvs precede all isends (posting order avoids unexpected
         // eager buffering in real MPIs; we mirror the idiom).
-        let first_isend = p.ops().iter().position(|op| matches!(op, Op::Isend { .. })).unwrap();
+        let first_isend = p
+            .ops()
+            .iter()
+            .position(|op| matches!(op, Op::Isend { .. }))
+            .unwrap();
         let last_irecv = p
             .ops()
             .iter()

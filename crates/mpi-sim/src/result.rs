@@ -1,5 +1,6 @@
 //! Simulation outputs.
 
+use obs::MetricsRegistry;
 use power_model::EnergyReport;
 use sim_core::{SimDuration, SimTime, TraceEvent};
 
@@ -65,6 +66,9 @@ pub struct RunResult {
     /// Structured trace (phase markers, frequency changes, message
     /// lifecycles); empty unless `trace_capacity` was set.
     pub trace: Vec<TraceEvent>,
+    /// Events the bounded trace discarded under capacity pressure. The
+    /// retained `trace` plus this count covers every record attempt.
+    pub trace_dropped: u64,
     /// Per-node cpufreq `time_in_state`: `(mhz, residency)` per ladder
     /// point, summing to the run duration.
     pub freq_residency: Vec<Vec<(u32, SimDuration)>>,
@@ -72,6 +76,9 @@ pub struct RunResult {
     /// simulator's work metric (events / wall-clock second is the
     /// benchmark throughput figure).
     pub events: u64,
+    /// PowerScope metrics collected during the run; `None` unless
+    /// [`crate::EngineConfig::metrics`] was set.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl RunResult {
@@ -126,8 +133,10 @@ mod tests {
             transitions: vec![],
             samples: vec![],
             trace: vec![],
+            trace_dropped: 0,
             freq_residency: vec![],
             events: 0,
+            metrics: None,
         };
         assert_eq!(r.total_energy_j(), 300.0);
         assert_eq!(r.duration_secs(), 10.0);
@@ -144,8 +153,10 @@ mod tests {
             transitions: vec![],
             samples: vec![],
             trace: vec![],
+            trace_dropped: 0,
             freq_residency: vec![],
             events: 0,
+            metrics: None,
         };
         assert_eq!(r.average_power_w(), 0.0);
     }

@@ -22,6 +22,20 @@ pub struct FlowEndpoints {
     pub dst: usize,
 }
 
+/// Lifetime counters describing how hard the solver has worked — exposed
+/// through the observability layer to spot pathological contention (many
+/// filling rounds per call) and the rare float-degenerate fallback freezes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Calls to [`FairShare::compute_into`].
+    pub invocations: u64,
+    /// Progressive-filling rounds across all calls (each round freezes at
+    /// least one link's flows).
+    pub rounds: u64,
+    /// Times the degenerate-float fallback freeze rule fired.
+    pub fallback_freezes: u64,
+}
+
 /// Progressive-filling solver with reusable scratch buffers.
 #[derive(Debug, Default)]
 pub struct FairShare {
@@ -31,6 +45,7 @@ pub struct FairShare {
     down_cap: Vec<f64>,
     up_count: Vec<usize>,
     down_count: Vec<usize>,
+    stats: SolverStats,
 }
 
 impl FairShare {
@@ -65,7 +80,9 @@ impl FairShare {
             down_cap,
             up_count,
             down_count,
+            stats,
         } = self;
+        stats.invocations += 1;
 
         // Loopback flows bypass the fabric.
         active.clear();
@@ -92,6 +109,7 @@ impl FairShare {
         }
 
         while !active.is_empty() {
+            stats.rounds += 1;
             // The bottleneck link is the one offering the least share per flow.
             let mut bottleneck_share = f64::INFINITY;
             for node in 0..nodes {
@@ -126,6 +144,7 @@ impl FairShare {
             }
 
             if !frozen_any {
+                stats.fallback_freezes += 1;
                 // Degenerate float case: residual capacities can drift a few
                 // ulps negative after many subtractions, and once the
                 // bottleneck share is negative the relative tolerance above
@@ -176,6 +195,11 @@ impl FairShare {
             }
             std::mem::swap(active, still_active);
         }
+    }
+
+    /// Lifetime work counters for this solver instance.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
     }
 }
 
@@ -269,6 +293,24 @@ mod tests {
     #[test]
     fn empty_input_is_empty_output() {
         assert!(max_min_fair(&[], 4, C, C).is_empty());
+    }
+
+    #[test]
+    fn solver_stats_count_work() {
+        let mut solver = FairShare::new();
+        let mut rates = Vec::new();
+        solver.compute_into(&[flow(0, 1), flow(0, 2), flow(3, 2)], 4, C, C, &mut rates);
+        solver.compute_into(&[flow(1, 0)], 4, C, C, &mut rates);
+        let s = solver.stats();
+        assert_eq!(s.invocations, 2);
+        assert!(
+            s.rounds >= 2,
+            "at least one round per non-empty call: {s:?}"
+        );
+        assert_eq!(
+            s.fallback_freezes, 0,
+            "benign inputs never hit the fallback"
+        );
     }
 
     #[test]

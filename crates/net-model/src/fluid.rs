@@ -22,7 +22,7 @@
 
 use sim_core::{SimDuration, SimTime};
 
-use crate::fair_share::{FairShare, FlowEndpoints};
+use crate::fair_share::{FairShare, FlowEndpoints, SolverStats};
 use crate::params::NetworkParams;
 
 /// Handle to an active transfer.
@@ -63,6 +63,7 @@ pub struct FluidNetwork {
     last_advance: SimTime,
     total_bytes_delivered: f64,
     total_flows_completed: u64,
+    total_rate_recomputes: u64,
     // Reused across rate recomputations so the event loop stays
     // allocation-free after warm-up.
     solver: FairShare,
@@ -86,6 +87,7 @@ impl FluidNetwork {
             last_advance: SimTime::ZERO,
             total_bytes_delivered: 0.0,
             total_flows_completed: 0,
+            total_rate_recomputes: 0,
             solver: FairShare::new(),
             scratch_endpoints: Vec::new(),
             scratch_rates: Vec::new(),
@@ -118,7 +120,10 @@ impl FluidNetwork {
     /// Zero-byte flows are legal and complete immediately (control
     /// messages' payload; their latency cost is handled by the MPI layer).
     pub fn start_flow(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> FlowId {
-        assert!(src < self.nodes && dst < self.nodes, "endpoint out of range");
+        assert!(
+            src < self.nodes && dst < self.nodes,
+            "endpoint out of range"
+        );
         self.advance(now);
         let flow = ActiveFlow {
             src,
@@ -158,11 +163,15 @@ impl FluidNetwork {
         self.scratch_endpoints.clear();
         for &slot in &self.active_slots {
             let f = self.flows[slot].as_ref().unwrap();
-            self.scratch_endpoints.push(FlowEndpoints { src: f.src, dst: f.dst });
+            self.scratch_endpoints.push(FlowEndpoints {
+                src: f.src,
+                dst: f.dst,
+            });
         }
         if self.scratch_endpoints.is_empty() {
             return;
         }
+        self.total_rate_recomputes += 1;
         self.solver.compute_into(
             &self.scratch_endpoints,
             self.nodes,
@@ -193,7 +202,9 @@ impl FluidNetwork {
                 Some(b) => b.min(secs),
             });
         }
-        best.map(|secs| self.last_advance + SimDuration::from_secs_f64(secs) + SimDuration::from_ps(1))
+        best.map(|secs| {
+            self.last_advance + SimDuration::from_secs_f64(secs) + SimDuration::from_ps(1)
+        })
     }
 
     /// Advance to `now` and remove every drained flow, returning
@@ -280,6 +291,18 @@ impl FluidNetwork {
     /// Total flows completed so far.
     pub fn flows_completed(&self) -> u64 {
         self.total_flows_completed
+    }
+
+    /// How many times the full progressive-filling recompute ran (the
+    /// loopback / lone-fabric fast paths don't count — that's the point
+    /// of tracking it).
+    pub fn rate_recomputes(&self) -> u64 {
+        self.total_rate_recomputes
+    }
+
+    /// Work counters of the embedded max-min fair solver.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.stats()
     }
 }
 
@@ -398,6 +421,20 @@ mod tests {
         n.take_completed(t);
         assert_eq!(n.flows_completed(), 1);
         assert!((n.bytes_delivered() - 500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn recompute_counter_skips_fast_paths() {
+        let mut n = net(3);
+        // Lone fabric flow and loopback: both fast paths, no recompute.
+        n.start_flow(SimTime::ZERO, 0, 1, 1_000_000);
+        n.start_flow(SimTime::ZERO, 2, 2, 1_000_000);
+        assert_eq!(n.rate_recomputes(), 0);
+        assert_eq!(n.solver_stats().invocations, 0);
+        // A second fabric flow forces the solver.
+        n.start_flow(SimTime::ZERO, 0, 2, 1_000_000);
+        assert_eq!(n.rate_recomputes(), 1);
+        assert_eq!(n.solver_stats().invocations, 1);
     }
 
     #[test]

@@ -20,5 +20,6 @@ pub mod fair_share;
 pub mod fluid;
 pub mod params;
 
+pub use fair_share::SolverStats;
 pub use fluid::{FlowId, FluidNetwork};
 pub use params::NetworkParams;

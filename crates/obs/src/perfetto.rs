@@ -1,0 +1,273 @@
+//! Chrome/Perfetto `trace_event` JSON export.
+//!
+//! Builds the legacy JSON trace format understood by
+//! <https://ui.perfetto.dev> and `chrome://tracing`: duration slices
+//! (`ph: "B"/"E"`), instants (`"i"`), counter tracks (`"C"`), and metadata
+//! records naming processes and threads.
+//!
+//! Timestamps in the format are microseconds. Simulated picoseconds are
+//! rendered with pure integer math — `ps / PS_PER_US` whole microseconds,
+//! `ps % PS_PER_US` as a six-digit fraction — so the emitted bytes are
+//! exact and identical across hosts; no float formatting is involved.
+
+use std::fmt::Write as _;
+
+use sim_core::time::PS_PER_US;
+use sim_core::trace::CLUSTER_NODE;
+use sim_core::{SimTime, TraceDetail, TraceEvent, TraceKind};
+
+/// Format a simulated instant as a Perfetto `ts` value (microseconds with
+/// picosecond precision), deterministically.
+fn ts(t: SimTime) -> String {
+    format!("{}.{:06}", t.0 / PS_PER_US, t.0 % PS_PER_US)
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An incremental `trace_event` JSON builder.
+///
+/// Records are emitted in call order; callers are expected to feed events
+/// chronologically (the simulator's [`sim_core::Trace`] already is).
+#[derive(Debug, Default)]
+pub struct PerfettoTrace {
+    records: Vec<String>,
+}
+
+impl PerfettoTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Name a process (a top-level group in the UI).
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.records.push(format!(
+            r#"{{"ph":"M","pid":{pid},"name":"process_name","args":{{"name":"{}"}}}}"#,
+            escape(name)
+        ));
+    }
+
+    /// Name a thread (one timeline track within a process).
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.records.push(format!(
+            r#"{{"ph":"M","pid":{pid},"tid":{tid},"name":"thread_name","args":{{"name":"{}"}}}}"#,
+            escape(name)
+        ));
+    }
+
+    /// Open a duration slice on (pid, tid).
+    pub fn begin_slice(&mut self, pid: u64, tid: u64, name: &str, t: SimTime) {
+        self.records.push(format!(
+            r#"{{"ph":"B","pid":{pid},"tid":{tid},"ts":{},"name":"{}"}}"#,
+            ts(t),
+            escape(name)
+        ));
+    }
+
+    /// Close the most recent open slice on (pid, tid).
+    pub fn end_slice(&mut self, pid: u64, tid: u64, t: SimTime) {
+        self.records.push(format!(
+            r#"{{"ph":"E","pid":{pid},"tid":{tid},"ts":{}}}"#,
+            ts(t)
+        ));
+    }
+
+    /// A zero-duration instant marker on (pid, tid).
+    pub fn instant(&mut self, pid: u64, tid: u64, name: &str, t: SimTime) {
+        self.records.push(format!(
+            r#"{{"ph":"i","pid":{pid},"tid":{tid},"ts":{},"s":"t","name":"{}"}}"#,
+            ts(t),
+            escape(name)
+        ));
+    }
+
+    /// A counter-track sample. Counter tracks are keyed by (pid, name); the
+    /// UI draws one stepped line per track.
+    pub fn counter(&mut self, pid: u64, name: &str, t: SimTime, value: f64) {
+        self.records.push(format!(
+            r#"{{"ph":"C","pid":{pid},"ts":{},"name":"{}","args":{{"value":{value}}}}}"#,
+            ts(t),
+            escape(name)
+        ));
+    }
+
+    /// Number of records emitted so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Assemble the final JSON document.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, rec) in self.records.iter().enumerate() {
+            out.push_str(rec);
+            if i + 1 < self.records.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Convert a simulation trace into a timeline: one thread track per
+    /// node carrying phase slices and message instants, one `MHz` counter
+    /// track per node fed by frequency-change events, and a `cluster`
+    /// track for node-agnostic events.
+    pub fn from_trace(events: &[TraceEvent], nodes: usize) -> Self {
+        let mut p = PerfettoTrace::new();
+        p.process_name(0, "pwrperf cluster");
+        for n in 0..nodes {
+            p.thread_name(0, n as u64, &format!("node {n}"));
+        }
+        p.thread_name(0, nodes as u64, "cluster");
+
+        for ev in events {
+            let tid = if ev.node == CLUSTER_NODE {
+                nodes as u64
+            } else {
+                ev.node as u64
+            };
+            match ev.kind {
+                TraceKind::PhaseBegin => {
+                    let name = ev.detail.phase().unwrap_or("phase");
+                    p.begin_slice(0, tid, name, ev.time);
+                }
+                TraceKind::PhaseEnd => {
+                    p.end_slice(0, tid, ev.time);
+                }
+                TraceKind::MsgStart => {
+                    p.instant(0, tid, &format!("send {}", ev.detail), ev.time);
+                }
+                TraceKind::MsgEnd => {
+                    p.instant(0, tid, &format!("recv {}", ev.detail), ev.time);
+                }
+                TraceKind::FreqChange => {
+                    if let TraceDetail::Freq { to_mhz, .. } = ev.detail {
+                        p.counter(0, &format!("node {} MHz", ev.node), ev.time, to_mhz as f64);
+                    }
+                    p.instant(0, tid, &format!("freq {}", ev.detail), ev.time);
+                }
+                TraceKind::Sample => {
+                    // Samples are exported through the richer SampleRow
+                    // path by callers; a raw trace renders them as marks.
+                    p.instant(0, tid, "sample", ev.time);
+                }
+                TraceKind::Control | TraceKind::Other => {
+                    p.instant(0, tid, &ev.detail.to_string(), ev.time);
+                }
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_are_integer_formatted_microseconds() {
+        assert_eq!(ts(SimTime(0)), "0.000000");
+        assert_eq!(ts(SimTime(1)), "0.000001");
+        assert_eq!(ts(SimTime(1_500_000)), "1.500000");
+        assert_eq!(ts(SimTime(12_000_000_000_007)), "12000000.000007");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn finish_produces_wellformed_document() {
+        let mut p = PerfettoTrace::new();
+        p.process_name(0, "test");
+        p.begin_slice(0, 0, "work", SimTime(0));
+        p.end_slice(0, 0, SimTime(1_000_000));
+        p.counter(0, "mhz", SimTime(0), 1400.0);
+        let json = p.finish();
+        assert!(json.starts_with("{\"traceEvents\":[\n"));
+        assert!(json.ends_with("]}\n"));
+        // Commas between records, none after the last.
+        assert_eq!(json.matches("},\n").count(), 3);
+        assert!(json.contains(r#""ph":"B""#));
+        assert!(json.contains(r#""ph":"C""#));
+        assert!(json.contains(r#""args":{"value":1400}"#));
+    }
+
+    #[test]
+    fn from_trace_maps_kinds_to_records() {
+        use sim_core::TraceKind::*;
+        let events = vec![
+            TraceEvent {
+                time: SimTime(0),
+                node: 0,
+                kind: PhaseBegin,
+                detail: TraceDetail::Phase("fft"),
+            },
+            TraceEvent {
+                time: SimTime(10),
+                node: 0,
+                kind: MsgStart,
+                detail: TraceDetail::MsgTo { dst: 1, bytes: 64 },
+            },
+            TraceEvent {
+                time: SimTime(20),
+                node: 1,
+                kind: FreqChange,
+                detail: TraceDetail::Freq {
+                    from_mhz: 1400,
+                    to_mhz: 600,
+                },
+            },
+            TraceEvent {
+                time: SimTime(30),
+                node: 0,
+                kind: PhaseEnd,
+                detail: TraceDetail::Phase("fft"),
+            },
+        ];
+        let json = PerfettoTrace::from_trace(&events, 2).finish();
+        assert!(json.contains(r#""name":"node 0""#));
+        assert!(json.contains(r#""name":"node 1""#));
+        assert!(json.contains(r#""name":"cluster""#));
+        assert!(json.contains(r#""name":"fft""#));
+        assert!(json.contains(r#""name":"send ->1 64B""#));
+        assert!(json.contains(r#""name":"node 1 MHz""#));
+        assert!(json.contains(r#""args":{"value":600}"#));
+        assert!(json.contains(r#""ph":"E""#));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events = vec![TraceEvent {
+            time: SimTime(123_456),
+            node: 0,
+            kind: TraceKind::PhaseBegin,
+            detail: TraceDetail::Phase("init"),
+        }];
+        let a = PerfettoTrace::from_trace(&events, 1).finish();
+        let b = PerfettoTrace::from_trace(&events, 1).finish();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! Span profiling over both clocks.
+//!
+//! A span is a named scope on a numbered track (typically a node rank or a
+//! worker index). Each span accumulates two durations:
+//!
+//! * **simulated** time — the difference between the [`SimTime`] at open
+//!   and close, exact and deterministic;
+//! * **wall-clock** time — how long the host actually spent inside the
+//!   scope, useful for finding where the *simulator* burns cycles.
+//!
+//! The deterministic export ([`SpanProfiler::sorted`],
+//! [`SpanProfiler::to_ndjson`]) contains only simulated totals; wall time
+//! is reachable only through [`SpanProfiler::wall_total`] and the human
+//! summary, so golden files never capture host speed.
+
+use std::time::{Duration, Instant};
+
+use sim_core::{FxHashMap, SimDuration, SimTime};
+
+/// Aggregated totals for one span name on one track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// Completed open/close pairs.
+    pub count: u64,
+    /// Total simulated time spent inside the span.
+    pub sim_total: SimDuration,
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct SpanProfiler {
+    /// Open spans: (track, name) -> (sim open time, wall open time).
+    open: FxHashMap<(usize, &'static str), (SimTime, Instant)>,
+    /// Closed-span aggregates, insertion ordered.
+    stats: Vec<((usize, &'static str), SpanStats)>,
+    idx: FxHashMap<(usize, &'static str), usize>,
+    /// Wall totals kept separate from [`SpanStats`] so the deterministic
+    /// side stays `Copy + Eq` and never smuggles host timing.
+    wall: FxHashMap<(usize, &'static str), Duration>,
+}
+
+impl SpanProfiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open span `name` on `track` at simulated time `sim_now`. Re-opening
+    /// an already-open span restarts it (the earlier open is discarded).
+    pub fn open(&mut self, track: usize, name: &'static str, sim_now: SimTime) {
+        self.open.insert((track, name), (sim_now, Instant::now()));
+    }
+
+    /// Close span `name` on `track` at simulated time `sim_now`,
+    /// accumulating into the aggregate. Closing a span that is not open is
+    /// a no-op (robust to truncated traces).
+    pub fn close(&mut self, track: usize, name: &'static str, sim_now: SimTime) {
+        let Some((sim_open, wall_open)) = self.open.remove(&(track, name)) else {
+            return;
+        };
+        let key = (track, name);
+        let i = match self.idx.get(&key) {
+            Some(&i) => i,
+            None => {
+                self.idx.insert(key, self.stats.len());
+                self.stats.push((key, SpanStats::default()));
+                self.stats.len() - 1
+            }
+        };
+        let s = &mut self.stats[i].1;
+        s.count += 1;
+        s.sim_total += sim_now.since(sim_open);
+        *self.wall.entry(key).or_default() += wall_open.elapsed();
+    }
+
+    /// Number of spans currently open.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Aggregate for one (track, name), if any span completed there.
+    pub fn stats(&self, track: usize, name: &str) -> Option<SpanStats> {
+        self.idx.get(&(track, name)).map(|&i| self.stats[i].1)
+    }
+
+    /// Wall-clock total for one (track, name). Non-deterministic by
+    /// nature; excluded from all deterministic exports.
+    pub fn wall_total(&self, track: usize, name: &str) -> Option<Duration> {
+        self.wall.get(&(track, name)).copied()
+    }
+
+    /// All aggregates sorted by (track, name) — deterministic order,
+    /// simulated time only.
+    pub fn sorted(&self) -> Vec<(usize, &'static str, SpanStats)> {
+        let mut out: Vec<_> = self
+            .stats
+            .iter()
+            .map(|&((track, name), s)| (track, name, s))
+            .collect();
+        out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        out
+    }
+
+    /// Newline-delimited JSON of the deterministic aggregates (simulated
+    /// microseconds; wall time deliberately absent).
+    pub fn to_ndjson(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (track, name, s) in self.sorted() {
+            let _ = writeln!(
+                out,
+                r#"{{"type":"span","track":{track},"name":"{name}","count":{},"sim_ps":{}}}"#,
+                s.count,
+                s.sim_total.as_ps(),
+            );
+        }
+        out
+    }
+}
+
+/// RAII wall-clock timer for coarse host-side phases (build, run, export).
+/// Purely a measurement convenience; never feeds deterministic output.
+#[derive(Debug)]
+pub struct WallTimer {
+    start: Instant,
+}
+
+impl WallTimer {
+    pub fn start() -> Self {
+        WallTimer {
+            start: Instant::now(),
+        }
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn open_close_accumulates_sim_time() {
+        let mut p = SpanProfiler::new();
+        p.open(0, "compute", t(0));
+        p.close(0, "compute", t(100));
+        p.open(0, "compute", t(200));
+        p.close(0, "compute", t(250));
+        let s = p.stats(0, "compute").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sim_total, SimDuration::from_micros(150));
+        assert!(p.wall_total(0, "compute").is_some());
+    }
+
+    #[test]
+    fn tracks_are_independent() {
+        let mut p = SpanProfiler::new();
+        p.open(0, "mpi", t(0));
+        p.open(1, "mpi", t(0));
+        p.close(0, "mpi", t(10));
+        p.close(1, "mpi", t(30));
+        assert_eq!(
+            p.stats(0, "mpi").unwrap().sim_total,
+            SimDuration::from_micros(10)
+        );
+        assert_eq!(
+            p.stats(1, "mpi").unwrap().sim_total,
+            SimDuration::from_micros(30)
+        );
+    }
+
+    #[test]
+    fn close_without_open_is_noop() {
+        let mut p = SpanProfiler::new();
+        p.close(0, "never", t(5));
+        assert!(p.stats(0, "never").is_none());
+        assert_eq!(p.open_count(), 0);
+    }
+
+    #[test]
+    fn ndjson_is_sorted_and_has_no_wall_time() {
+        let mut p = SpanProfiler::new();
+        p.open(1, "b", t(0));
+        p.close(1, "b", t(5));
+        p.open(0, "a", t(0));
+        p.close(0, "a", t(7));
+        let nd = p.to_ndjson();
+        let lines: Vec<&str> = nd.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""track":0"#) && lines[0].contains(r#""name":"a""#));
+        assert!(lines[1].contains(r#""track":1"#) && lines[1].contains(r#""name":"b""#));
+        assert!(!nd.contains("wall"));
+        assert_eq!(nd, p.to_ndjson());
+    }
+
+    #[test]
+    fn wall_timer_runs() {
+        let w = WallTimer::start();
+        assert!(w.elapsed_secs() >= 0.0);
+        assert!(w.elapsed() >= Duration::ZERO);
+    }
+}

@@ -28,5 +28,5 @@ pub mod params;
 pub use activity::{ActivityFactors, CpuActivity};
 pub use battery::SmartBattery;
 pub use meter::{Component, EnergyMeter, EnergyReport};
-pub use op_point::{DvfsLadder, OperatingPoint, OpIndex};
+pub use op_point::{DvfsLadder, OpIndex, OperatingPoint};
 pub use params::{CpuPowerParams, NodePowerParams};

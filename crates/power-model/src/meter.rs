@@ -154,14 +154,25 @@ impl EnergyMeter {
                 .cpu
                 .dynamic_power_with_factor(self.op, self.dyn_factor()),
         );
-        self.cpu_static.set(now, self.params.cpu.static_power(self.op));
+        self.cpu_static
+            .set(now, self.params.cpu.static_power(self.op));
         self.base.set(now, self.params.base_w);
         self.memory.set(
             now,
-            if self.mem_active { self.params.mem_active_w } else { 0.0 },
+            if self.mem_active {
+                self.params.mem_active_w
+            } else {
+                0.0
+            },
         );
-        self.nic
-            .set(now, if self.nic_active { self.params.nic_active_w } else { 0.0 });
+        self.nic.set(
+            now,
+            if self.nic_active {
+                self.params.nic_active_w
+            } else {
+                0.0
+            },
+        );
     }
 
     /// CPU moved to a new operating point at `now`; charges the transition
@@ -195,7 +206,10 @@ impl EnergyMeter {
     /// compute segments mixing execution with L2-stall cycles.
     #[inline]
     pub fn set_active_blended(&mut self, now: SimTime, factor: f64) {
-        assert!(factor.is_finite() && (0.0..=1.5).contains(&factor), "bad factor {factor}");
+        assert!(
+            factor.is_finite() && (0.0..=1.5).contains(&factor),
+            "bad factor {factor}"
+        );
         self.activity = CpuActivity::Active;
         self.custom_factor = Some(factor);
         self.reapply(now);
@@ -228,10 +242,21 @@ impl EnergyMeter {
     /// Instantaneous whole-node power draw, watts.
     pub fn power_now(&self) -> f64 {
         self.params.base_w
-            + self.params.cpu.dynamic_power_with_factor(self.op, self.dyn_factor())
+            + self
+                .params
+                .cpu
+                .dynamic_power_with_factor(self.op, self.dyn_factor())
             + self.params.cpu.static_power(self.op)
-            + if self.mem_active { self.params.mem_active_w } else { 0.0 }
-            + if self.nic_active { self.params.nic_active_w } else { 0.0 }
+            + if self.mem_active {
+                self.params.mem_active_w
+            } else {
+                0.0
+            }
+            + if self.nic_active {
+                self.params.nic_active_w
+            } else {
+                0.0
+            }
     }
 
     /// Number of DVFS transitions charged so far.

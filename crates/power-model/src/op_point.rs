@@ -42,7 +42,10 @@ impl DvfsLadder {
         assert!(!points.is_empty(), "ladder needs at least one point");
         for p in &points {
             assert!(
-                p.freq_hz.is_finite() && p.freq_hz > 0.0 && p.voltage.is_finite() && p.voltage > 0.0,
+                p.freq_hz.is_finite()
+                    && p.freq_hz > 0.0
+                    && p.voltage.is_finite()
+                    && p.voltage > 0.0,
                 "invalid operating point {p:?}"
             );
         }
@@ -59,11 +62,26 @@ impl DvfsLadder {
     pub fn pentium_m_1400() -> Self {
         DvfsLadder::new(
             vec![
-                OperatingPoint { freq_hz: 0.6e9, voltage: 0.956 },
-                OperatingPoint { freq_hz: 0.8e9, voltage: 1.180 },
-                OperatingPoint { freq_hz: 1.0e9, voltage: 1.308 },
-                OperatingPoint { freq_hz: 1.2e9, voltage: 1.436 },
-                OperatingPoint { freq_hz: 1.4e9, voltage: 1.484 },
+                OperatingPoint {
+                    freq_hz: 0.6e9,
+                    voltage: 0.956,
+                },
+                OperatingPoint {
+                    freq_hz: 0.8e9,
+                    voltage: 1.180,
+                },
+                OperatingPoint {
+                    freq_hz: 1.0e9,
+                    voltage: 1.308,
+                },
+                OperatingPoint {
+                    freq_hz: 1.2e9,
+                    voltage: 1.436,
+                },
+                OperatingPoint {
+                    freq_hz: 1.4e9,
+                    voltage: 1.484,
+                },
             ],
             SimDuration::from_micros(10),
         )
@@ -157,8 +175,14 @@ mod tests {
     fn ladder_sorts_ascending() {
         let l = DvfsLadder::new(
             vec![
-                OperatingPoint { freq_hz: 2e9, voltage: 1.2 },
-                OperatingPoint { freq_hz: 1e9, voltage: 1.0 },
+                OperatingPoint {
+                    freq_hz: 2e9,
+                    voltage: 1.2,
+                },
+                OperatingPoint {
+                    freq_hz: 1e9,
+                    voltage: 1.0,
+                },
             ],
             SimDuration::ZERO,
         );
@@ -200,7 +224,10 @@ mod tests {
     #[should_panic(expected = "invalid operating point")]
     fn negative_voltage_panics() {
         let _ = DvfsLadder::new(
-            vec![OperatingPoint { freq_hz: 1e9, voltage: -1.0 }],
+            vec![OperatingPoint {
+                freq_hz: 1e9,
+                voltage: -1.0,
+            }],
             SimDuration::ZERO,
         );
     }

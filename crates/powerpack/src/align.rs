@@ -6,8 +6,10 @@
 //! aggregations over the engine's sample rows — but the interfaces mirror
 //! the real tool's outputs: cluster power profiles and per-node averages.
 
-use mpi_sim::SampleRow;
+use mpi_sim::{RunResult, SampleRow};
 use sim_core::SimTime;
+
+use crate::phases::phase_intervals;
 
 /// Cluster-wide power profile: `(time, total watts)` per sample.
 pub fn aligned_cluster_power(samples: &[SampleRow]) -> Vec<(SimTime, f64)> {
@@ -50,6 +52,29 @@ pub fn most_deviant_node(samples: &[SampleRow]) -> Option<(usize, f64)> {
         .max_by(|a, b| a.1.total_cmp(&b.1))
 }
 
+/// Align the exported power samples with the run's phase spans: every
+/// sample row is tagged with the names of phases active (on any node) at
+/// its timestamp, in first-begin order. This is the join the paper's
+/// post-processing performs between the external power profile and the
+/// application's instrumentation timeline; samples falling outside every
+/// span get an empty tag list rather than being dropped, so the profile
+/// keeps its sampling cadence.
+pub fn align_samples_with_spans(result: &RunResult) -> Vec<(SimTime, f64, Vec<&'static str>)> {
+    let intervals = phase_intervals(&result.trace);
+    aligned_cluster_power(&result.samples)
+        .into_iter()
+        .map(|(t, watts)| {
+            let mut active: Vec<&'static str> = Vec::new();
+            for &(_, name, start, end) in &intervals {
+                if start <= t && t <= end && !active.contains(&name) {
+                    active.push(name);
+                }
+            }
+            (t, watts, active)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,7 +108,10 @@ mod tests {
 
     #[test]
     fn deviant_node_identified() {
-        let samples = vec![row(0, vec![30.0, 30.0, 55.0]), row(1, vec![30.0, 30.0, 55.0])];
+        let samples = vec![
+            row(0, vec![30.0, 30.0, 55.0]),
+            row(1, vec![30.0, 30.0, 55.0]),
+        ];
         let (node, dev) = most_deviant_node(&samples).unwrap();
         assert_eq!(node, 2);
         assert!(dev > 10.0);
@@ -94,5 +122,47 @@ mod tests {
         assert!(aligned_cluster_power(&[]).is_empty());
         assert!(node_average_power(&[]).is_empty());
         assert!(most_deviant_node(&[]).is_none());
+    }
+
+    #[test]
+    fn samples_tagged_with_active_spans() {
+        use mpi_sim::RunResult;
+        use power_model::EnergyReport;
+        use sim_core::{SimDuration, TraceDetail, TraceEvent, TraceKind};
+
+        let ev = |t: u64, kind, name| TraceEvent {
+            time: SimTime::from_secs(t),
+            node: 0,
+            kind,
+            detail: TraceDetail::Phase(name),
+        };
+        let result = RunResult {
+            duration: SimDuration::from_secs(4),
+            per_node: vec![EnergyReport::default()],
+            total: EnergyReport::default(),
+            breakdown: vec![Default::default()],
+            transitions: vec![0],
+            samples: (0..=4).map(|t| row(t, vec![25.0])).collect(),
+            trace: vec![
+                ev(1, TraceKind::PhaseBegin, "fft"),
+                ev(3, TraceKind::PhaseEnd, "fft"),
+            ],
+            trace_dropped: 0,
+            freq_residency: vec![],
+            events: 0,
+            metrics: None,
+        };
+        let aligned = align_samples_with_spans(&result);
+        assert_eq!(aligned.len(), 5);
+        let tags: Vec<&[&str]> = aligned.iter().map(|(_, _, a)| a.as_slice()).collect();
+        assert_eq!(
+            tags[0],
+            &[] as &[&str],
+            "sample before the span is untagged"
+        );
+        assert_eq!(tags[1], &["fft"]);
+        assert_eq!(tags[3], &["fft"], "span end is inclusive");
+        assert_eq!(tags[4], &[] as &[&str]);
+        assert!((aligned[2].1 - 25.0).abs() < 1e-12);
     }
 }

@@ -56,8 +56,10 @@ mod tests {
             transitions: vec![0],
             samples: vec![],
             trace: vec![],
+            trace_dropped: 0,
             freq_residency: vec![],
             events: 0,
+            metrics: None,
         }
     }
 

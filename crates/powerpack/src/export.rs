@@ -14,7 +14,9 @@ pub fn samples_to_csv(samples: &[SampleRow]) -> String {
     let nodes = samples[0].node_power_w.len();
     out.push_str("time_s");
     for n in 0..nodes {
-        out.push_str(&format!(",power_w_{n},energy_j_{n},mhz_{n},battery_mwh_{n}"));
+        out.push_str(&format!(
+            ",power_w_{n},energy_j_{n},mhz_{n},battery_mwh_{n}"
+        ));
     }
     out.push('\n');
     for s in samples {
@@ -46,7 +48,7 @@ pub fn trace_to_csv(trace: &[TraceEvent]) -> String {
         };
         // Details are engine-generated (no commas/quotes by construction),
         // but escape defensively.
-        let detail = ev.detail.replace('"', "\"\"");
+        let detail = ev.detail.to_string().replace('"', "\"\"");
         out.push_str(&format!(
             "{:.9},{},{kind},\"{detail}\"\n",
             ev.time.as_secs_f64(),
@@ -62,12 +64,7 @@ pub fn summary_to_csv(result: &RunResult) -> String {
         "node,cpu_dynamic_j,cpu_static_j,base_j,memory_j,nic_j,transition_j,total_j,\
          compute_s,mem_stall_s,wait_busy_s,wait_blocked_s,transition_s,transitions\n",
     );
-    for (node, (report, breakdown)) in result
-        .per_node
-        .iter()
-        .zip(&result.breakdown)
-        .enumerate()
-    {
+    for (node, (report, breakdown)) in result.per_node.iter().zip(&result.breakdown).enumerate() {
         out.push_str(&format!(
             "{node},{:.3},{:.3},{:.3},{:.3},{:.3},{:.6},{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{}\n",
             report.cpu_dynamic_j,
@@ -127,7 +124,7 @@ mod tests {
             time: SimTime::from_secs(1),
             node: 3,
             kind: TraceKind::PhaseBegin,
-            detail: "fft".to_string(),
+            detail: sim_core::TraceDetail::Phase("fft"),
         }];
         let csv = trace_to_csv(&trace);
         assert!(csv.contains("phase_begin"));
@@ -145,8 +142,10 @@ mod tests {
             transitions: vec![4, 0],
             samples: vec![],
             trace: vec![],
+            trace_dropped: 0,
             freq_residency: vec![],
             events: 0,
+            metrics: None,
         };
         let csv = summary_to_csv(&result);
         assert_eq!(csv.lines().count(), 3);

@@ -26,7 +26,9 @@ pub mod phases;
 pub mod protocol;
 
 pub use acpi::{acpi_measured_energy, AcpiPoller};
-pub use align::{aligned_cluster_power, most_deviant_node, node_average_power};
+pub use align::{
+    align_samples_with_spans, aligned_cluster_power, most_deviant_node, node_average_power,
+};
 pub use battery_life::{battery_life_secs, runs_per_charge};
 pub use baytech::{baytech_energy, baytech_minute_averages};
 pub use export::{samples_to_csv, summary_to_csv, trace_to_csv};

@@ -75,9 +75,8 @@ pub fn cpu_bound_program(config: &MicroConfig) -> Program {
 /// memory traffic (so durations are comparable across the three probes).
 pub fn register_program(config: &MicroConfig) -> Program {
     let accesses_per_pass = 32 * 1024 * 1024 / 128;
-    let cycles = config.passes as f64
-        * accesses_per_pass as f64
-        * mem_model::pattern::CYCLES_PER_ACCESS;
+    let cycles =
+        config.passes as f64 * accesses_per_pass as f64 * mem_model::pattern::CYCLES_PER_ACCESS;
     let mut b = ProgramBuilder::new(0, 1);
     b.phase_begin("register");
     b.compute(WorkUnit::pure_cpu(cycles));

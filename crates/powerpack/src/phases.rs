@@ -31,17 +31,20 @@ pub type PhaseMap = HashMap<String, PhaseProfile>;
 /// Unbalanced markers (an end without a begin, or a begin never closed)
 /// are ignored, mirroring the paper's tooling which drops truncated
 /// records at run edges.
-pub fn phase_intervals(trace: &[TraceEvent]) -> Vec<(usize, String, SimTime, SimTime)> {
-    let mut open: HashMap<(usize, &str), SimTime> = HashMap::new();
+pub fn phase_intervals(trace: &[TraceEvent]) -> Vec<(usize, &'static str, SimTime, SimTime)> {
+    let mut open: HashMap<(usize, &'static str), SimTime> = HashMap::new();
     let mut out = Vec::new();
     for ev in trace {
+        let Some(name) = ev.detail.phase() else {
+            continue;
+        };
         match ev.kind {
             TraceKind::PhaseBegin => {
-                open.insert((ev.node, ev.detail.as_str()), ev.time);
+                open.insert((ev.node, name), ev.time);
             }
             TraceKind::PhaseEnd => {
-                if let Some(start) = open.remove(&(ev.node, ev.detail.as_str())) {
-                    out.push((ev.node, ev.detail.clone(), start, ev.time));
+                if let Some(start) = open.remove(&(ev.node, name)) {
+                    out.push((ev.node, name, start, ev.time));
                 }
             }
             _ => {}
@@ -79,7 +82,12 @@ fn energy_at(samples: &[SampleRow], node: usize, t: SimTime) -> Option<f64> {
 }
 
 /// Energy consumed by `node` over `[start, end]`, from the sample series.
-fn interval_energy(samples: &[SampleRow], node: usize, start: SimTime, end: SimTime) -> Option<f64> {
+fn interval_energy(
+    samples: &[SampleRow],
+    node: usize,
+    start: SimTime,
+    end: SimTime,
+) -> Option<f64> {
     Some((energy_at(samples, node, end)? - energy_at(samples, node, start)?).max(0.0))
 }
 
@@ -87,7 +95,7 @@ fn interval_energy(samples: &[SampleRow], node: usize, start: SimTime, end: SimT
 pub fn profile_phases(result: &RunResult) -> PhaseMap {
     let mut map: PhaseMap = HashMap::new();
     for (node, name, start, end) in phase_intervals(&result.trace) {
-        let entry = map.entry(name).or_default();
+        let entry = map.entry(name.to_string()).or_default();
         entry.occurrences += 1;
         let span = end.since(start);
         entry.total_time += span;
@@ -114,12 +122,12 @@ mod tests {
     use super::*;
     use sim_core::TraceKind;
 
-    fn ev(t: u64, node: usize, kind: TraceKind, name: &str) -> TraceEvent {
+    fn ev(t: u64, node: usize, kind: TraceKind, name: &'static str) -> TraceEvent {
         TraceEvent {
             time: SimTime::from_secs(t),
             node,
             kind,
-            detail: name.to_string(),
+            detail: sim_core::TraceDetail::Phase(name),
         }
     }
 
@@ -182,8 +190,10 @@ mod tests {
             transitions: vec![0],
             samples,
             trace,
+            trace_dropped: 0,
             freq_residency: vec![],
             events: 0,
+            metrics: None,
         };
         let profiles = profile_phases(&result);
         let comm = &profiles["comm"];

@@ -101,8 +101,10 @@ mod tests {
             transitions: vec![],
             samples: vec![],
             trace: vec![],
+            trace_dropped: 0,
             freq_residency: vec![],
             events: 0,
+            metrics: None,
         }
     }
 

@@ -151,6 +151,12 @@ pub struct EventQueue<E> {
     live: usize,
     /// Events returned by [`EventQueue::pop`] over the queue's lifetime.
     processed: u64,
+    /// Events ever pushed.
+    pushed: u64,
+    /// Events cancelled before firing (each leaves a heap tombstone).
+    cancelled: u64,
+    /// High-water mark of the live event count.
+    depth_hwm: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -176,6 +182,9 @@ impl<E> EventQueue<E> {
             free_slots: Vec::with_capacity(capacity),
             live: 0,
             processed: 0,
+            pushed: 0,
+            cancelled: 0,
+            depth_hwm: 0,
         }
     }
 
@@ -199,6 +208,10 @@ impl<E> EventQueue<E> {
             event,
         });
         self.live += 1;
+        self.pushed += 1;
+        if self.live > self.depth_hwm {
+            self.depth_hwm = self.live;
+        }
         handle
     }
 
@@ -214,6 +227,7 @@ impl<E> EventQueue<E> {
                 *current = current.wrapping_add(1);
                 self.free_slots.push(slot as u32);
                 self.live -= 1;
+                self.cancelled += 1;
             }
         }
     }
@@ -270,6 +284,23 @@ impl<E> EventQueue<E> {
     /// simulator's work metric, e.g. for events-per-second throughput.
     pub fn processed_total(&self) -> u64 {
         self.processed
+    }
+
+    /// Total events ever pushed.
+    pub fn pushed_total(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total events cancelled before firing. Each cancellation leaves a
+    /// heap tombstone, so `cancelled_total / pushed_total` is the fraction
+    /// of heap traffic wasted on dead entries.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// Highest number of simultaneously live events the queue ever held.
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_hwm
     }
 }
 
@@ -362,7 +393,11 @@ mod tests {
         }
         // One slot (recycled every round) plus at most a handful of
         // tombstone-displaced ones — not one per push.
-        assert!(q.generations.len() <= 2, "slab grew to {}", q.generations.len());
+        assert!(
+            q.generations.len() <= 2,
+            "slab grew to {}",
+            q.generations.len()
+        );
     }
 
     #[test]
@@ -384,6 +419,22 @@ mod tests {
         assert_eq!(q.len(), 0);
         assert_eq!(q.peek_time(), None);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn lifetime_counters_track_push_cancel_pop() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime(1), "a");
+        q.push(SimTime(2), "b");
+        q.push(SimTime(3), "c");
+        assert_eq!(q.depth_high_water(), 3);
+        q.cancel(a);
+        q.cancel(a); // double-cancel must not double-count
+        while q.pop().is_some() {}
+        assert_eq!(q.pushed_total(), 3);
+        assert_eq!(q.cancelled_total(), 1);
+        assert_eq!(q.processed_total(), 2);
+        assert_eq!(q.depth_high_water(), 3, "high water survives draining");
     }
 
     #[test]

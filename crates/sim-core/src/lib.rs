@@ -30,4 +30,4 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rng::DetRng;
 pub use stats::{OnlineStats, TimeWeighted};
 pub use time::{cycles_to_duration, duration_to_cycles, SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent, TraceKind};
+pub use trace::{Trace, TraceDetail, TraceEvent, TraceKind};

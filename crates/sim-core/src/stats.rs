@@ -160,10 +160,7 @@ impl OnlineStats {
 /// Convenience: duration-weighted sum of `(value, duration)` segments,
 /// returning `unit * seconds`.
 pub fn weighted_integral(segments: &[(f64, SimDuration)]) -> f64 {
-    segments
-        .iter()
-        .map(|(v, d)| v * d.as_secs_f64())
-        .sum()
+    segments.iter().map(|(v, d)| v * d.as_secs_f64()).sum()
 }
 
 #[cfg(test)]
@@ -200,7 +197,10 @@ mod tests {
         let avg = tw.average(SimTime::ZERO, SimTime::from_secs(10));
         assert!((avg - 5.0).abs() < 1e-9);
         // Empty window yields zero rather than NaN.
-        assert_eq!(tw.average(SimTime::from_secs(3), SimTime::from_secs(3)), 0.0);
+        assert_eq!(
+            tw.average(SimTime::from_secs(3), SimTime::from_secs(3)),
+            0.0
+        );
     }
 
     #[test]
@@ -228,7 +228,10 @@ mod tests {
 
     #[test]
     fn weighted_integral_sums_segments() {
-        let segs = [(10.0, SimDuration::from_secs(2)), (5.0, SimDuration::from_secs(4))];
+        let segs = [
+            (10.0, SimDuration::from_secs(2)),
+            (5.0, SimDuration::from_secs(4)),
+        ];
         assert!((weighted_integral(&segs) - 40.0).abs() < 1e-9);
     }
 

@@ -231,7 +231,11 @@ mod tests {
             })
             .max_by(|a, b| a.dram_accesses.total_cmp(&b.dram_accesses))
             .unwrap();
-        assert!(spmv.scaled_fraction(&hier, 1.4e9) < 0.5, "{}", spmv.scaled_fraction(&hier, 1.4e9));
+        assert!(
+            spmv.scaled_fraction(&hier, 1.4e9) < 0.5,
+            "{}",
+            spmv.scaled_fraction(&hier, 1.4e9)
+        );
     }
 
     #[test]

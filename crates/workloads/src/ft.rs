@@ -105,7 +105,10 @@ const EVOLVE_FLOPS_PER_POINT: f64 = 6.0;
 
 /// Build all ranks' programs for one FT run.
 pub fn ft_programs(config: &FtConfig) -> Vec<Program> {
-    assert!(config.ranks > 0 && config.ranks.is_power_of_two(), "NPB FT needs a power-of-two rank count");
+    assert!(
+        config.ranks > 0 && config.ranks.is_power_of_two(),
+        "NPB FT needs a power-of-two rank count"
+    );
     let root = DetRng::new(config.seed);
     (0..config.ranks)
         .map(|rank| build_rank(config, rank, root.fork(rank as u64)))
@@ -136,7 +139,12 @@ fn build_rank(config: &FtConfig, rank: usize, mut rng: DetRng) -> Program {
             cpu_cycles: EVOLVE_FLOPS_PER_POINT * local_points as f64 * CYCLES_PER_FLOP,
             ..WorkUnit::ZERO
         }
-        .add(&streaming_work(2 * local_bytes, BYTES_PER_POINT, 0.0, &hier));
+        .add(&streaming_work(
+            2 * local_bytes,
+            BYTES_PER_POINT,
+            0.0,
+            &hier,
+        ));
         b.phase_begin("evolve");
         b.compute(jittered(evolve, &mut rng, config.jitter));
         b.phase_end("evolve");
@@ -152,7 +160,12 @@ fn build_rank(config: &FtConfig, rank: usize, mut rng: DetRng) -> Program {
             cpu_cycles: fft_flops * (2.0 / 3.0) * CYCLES_PER_FLOP,
             ..WorkUnit::ZERO
         }
-        .add(&streaming_work(4 * local_bytes, BYTES_PER_POINT, 0.0, &hier));
+        .add(&streaming_work(
+            4 * local_bytes,
+            BYTES_PER_POINT,
+            0.0,
+            &hier,
+        ));
         b.compute(jittered(pre, &mut rng, config.jitter));
         // The distributed transpose.
         b.alltoall(alltoall_bytes_per_pair);
@@ -161,7 +174,12 @@ fn build_rank(config: &FtConfig, rank: usize, mut rng: DetRng) -> Program {
             cpu_cycles: fft_flops * (1.0 / 3.0) * CYCLES_PER_FLOP,
             ..WorkUnit::ZERO
         }
-        .add(&streaming_work(2 * local_bytes, BYTES_PER_POINT, 0.0, &hier));
+        .add(&streaming_work(
+            2 * local_bytes,
+            BYTES_PER_POINT,
+            0.0,
+            &hier,
+        ));
         b.compute(jittered(post, &mut rng, config.jitter));
         if config.dynamic_dvs {
             b.set_speed(dvfs::AppSpeedRequest::Restore);
@@ -219,7 +237,10 @@ mod tests {
         let per_iter_transpose = local_bytes / 4 * 3; // 3 peers
         let lower_bound = per_iter_transpose * FtClass::Test.iterations() as u64;
         let sent = p[0].bytes_sent();
-        assert!(sent >= lower_bound, "sent {sent} < transpose volume {lower_bound}");
+        assert!(
+            sent >= lower_bound,
+            "sent {sent} < transpose volume {lower_bound}"
+        );
         assert!(sent < lower_bound * 2, "sent {sent} unreasonably high");
     }
 
@@ -235,10 +256,7 @@ mod tests {
         };
         assert_eq!(count(&plain[0]), 0);
         // Two requests (down + restore) per iteration.
-        assert_eq!(
-            count(&dynamic[0]),
-            2 * FtClass::Test.iterations() as usize
-        );
+        assert_eq!(count(&dynamic[0]), 2 * FtClass::Test.iterations() as usize);
     }
 
     #[test]

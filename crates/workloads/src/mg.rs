@@ -155,7 +155,9 @@ pub fn mg_programs(config: &MgConfig) -> Vec<Program> {
     let grid = process_grid_3d(config.ranks);
     let n = config.class.n();
     assert!(
-        (n as usize).is_multiple_of(grid.0) && (n as usize).is_multiple_of(grid.1) && (n as usize).is_multiple_of(grid.2),
+        (n as usize).is_multiple_of(grid.0)
+            && (n as usize).is_multiple_of(grid.1)
+            && (n as usize).is_multiple_of(grid.2),
         "grid {n}^3 must divide the {grid:?} process grid"
     );
     let root = DetRng::new(config.seed);

@@ -124,7 +124,11 @@ mod tests {
         let w = total_work(&p);
         let hier = MemHierarchy::pentium_m_1400();
         // Under a third of swim's time scales with frequency.
-        assert!(w.scaled_fraction(&hier, 1.4e9) < 0.35, "{}", w.scaled_fraction(&hier, 1.4e9));
+        assert!(
+            w.scaled_fraction(&hier, 1.4e9) < 0.35,
+            "{}",
+            w.scaled_fraction(&hier, 1.4e9)
+        );
     }
 
     #[test]
@@ -132,13 +136,20 @@ mod tests {
         let p = mgrid_program(&SpecConfig::small());
         let w = total_work(&p);
         let hier = MemHierarchy::pentium_m_1400();
-        assert!(w.scaled_fraction(&hier, 1.4e9) > 0.85, "{}", w.scaled_fraction(&hier, 1.4e9));
+        assert!(
+            w.scaled_fraction(&hier, 1.4e9) > 0.85,
+            "{}",
+            w.scaled_fraction(&hier, 1.4e9)
+        );
     }
 
     #[test]
     fn paper_config_runs_minutes_at_full_speed() {
         let hier = MemHierarchy::pentium_m_1400();
-        for p in [swim_program(&SpecConfig::paper()), mgrid_program(&SpecConfig::paper())] {
+        for p in [
+            swim_program(&SpecConfig::paper()),
+            mgrid_program(&SpecConfig::paper()),
+        ] {
             let secs = total_work(&p).duration(&hier, 1.4e9).as_secs_f64();
             assert!(secs > 60.0, "run too short for ACPI methodology: {secs}s");
             assert!(secs < 900.0, "run unreasonably long: {secs}s");

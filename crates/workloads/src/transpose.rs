@@ -144,7 +144,14 @@ fn build_rank(config: &TransposeConfig, rank: usize, mut rng: DetRng) -> Program
         // Fixed points of the permutation (e.g. rank 0 = grid (0,0)) keep
         // their block: the paper's load imbalance.
         if partner != rank {
-            b.sendrecv(partner, block, EXCHANGE_TAG, partner_inv, block, EXCHANGE_TAG);
+            b.sendrecv(
+                partner,
+                block,
+                EXCHANGE_TAG,
+                partner_inv,
+                block,
+                EXCHANGE_TAG,
+            );
         }
         b.phase_end("exchange");
 
@@ -152,12 +159,8 @@ fn build_rank(config: &TransposeConfig, rank: usize, mut rng: DetRng) -> Program
         b.gather(0, block);
         if rank == 0 {
             // Root assembles the received blocks (streaming copy).
-            let assemble = mem_model::streaming_work(
-                block * (config.ranks() as u64 - 1),
-                8,
-                1.0,
-                &hier,
-            );
+            let assemble =
+                mem_model::streaming_work(block * (config.ranks() as u64 - 1), 8, 1.0, &hier);
             b.compute(assemble.scale(rng.jitter(config.jitter)));
         }
         b.phase_end("gather");
@@ -206,14 +209,17 @@ mod tests {
         // Exchange sendrecvs carry a full block; barrier sendrecvs are tiny.
         let block = c.block_bytes();
         let sends_exchange = |p: &Program| {
-            p.ops().iter().any(
-                |op| matches!(op, Op::SendRecv { send_bytes, .. } if *send_bytes == block),
-            )
+            p.ops()
+                .iter()
+                .any(|op| matches!(op, Op::SendRecv { send_bytes, .. } if *send_bytes == block))
         };
         for (r, program) in programs.iter().enumerate() {
             let has = sends_exchange(program);
             let is_fixed = c.partner(r) == r;
-            assert_eq!(has, !is_fixed, "rank {r}: fixed={is_fixed}, exchanges={has}");
+            assert_eq!(
+                has, !is_fixed,
+                "rank {r}: fixed={is_fixed}, exchanges={has}"
+            );
         }
     }
 

@@ -7,36 +7,54 @@
 //! it is also a convenient target for profilers, which need one
 //! long-running process rather than many 100 ms ones:
 //!
+//! A second argument `traced` runs the same mix with full PowerScope
+//! instrumentation (metrics registry + bounded trace); `scripts/bench.sh`
+//! runs both modes and reports the overhead ratio:
+//!
 //! ```sh
 //! cargo run --release --example bench_throughput -- 200
+//! cargo run --release --example bench_throughput -- 200 traced
 //! ```
 
 use std::time::Instant;
 
-use pwrperf::{DvsStrategy, Experiment, Workload};
+use pwrperf::{DvsStrategy, EngineConfig, Experiment, Workload};
 
 fn main() {
     let loops: u32 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(50);
+    let traced = std::env::args().nth(2).as_deref() == Some("traced");
+    let engine = EngineConfig {
+        metrics: traced,
+        trace_capacity: if traced { 1 << 16 } else { 0 },
+        ..EngineConfig::default()
+    };
+    let experiment = |workload: Workload, strategy| {
+        Experiment::new(workload, strategy).with_engine(engine.clone())
+    };
 
     // Warm caches so the timed section measures steady state.
-    let _ = Experiment::new(Workload::ft_c8(), DvsStrategy::StaticMhz(1400)).run();
+    let _ = experiment(Workload::ft_c8(), DvsStrategy::StaticMhz(1400)).run();
 
     let mut events: u64 = 0;
     let t0 = Instant::now();
     for _ in 0..loops {
-        for strategy in [DvsStrategy::StaticMhz(1400), DvsStrategy::DynamicBaseMhz(1400)] {
-            events += Experiment::new(Workload::ft_c8(), strategy).run().events;
+        for strategy in [
+            DvsStrategy::StaticMhz(1400),
+            DvsStrategy::DynamicBaseMhz(1400),
+        ] {
+            events += experiment(Workload::ft_c8(), strategy).run().events;
         }
-        events += Experiment::new(Workload::ft_b8(), DvsStrategy::StaticMhz(600))
+        events += experiment(Workload::ft_b8(), DvsStrategy::StaticMhz(600))
             .run()
             .events;
     }
     let secs = t0.elapsed().as_secs_f64();
 
     println!("loops: {loops}");
+    println!("traced: {traced}");
     println!("events: {events}");
     println!("wall_secs: {secs:.4}");
     println!("events_per_sec: {:.0}", events as f64 / secs);

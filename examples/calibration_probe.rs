@@ -6,8 +6,8 @@
 //! cargo run --release --example calibration_probe
 //! ```
 
-use pwrperf::{static_crescendo, dynamic_crescendo, cpuspeed_point, Workload};
-use powerpack::{MicroConfig, CommMicroConfig};
+use powerpack::{CommMicroConfig, MicroConfig};
+use pwrperf::{cpuspeed_point, dynamic_crescendo, static_crescendo, Workload};
 
 fn show(name: &str, c: &edp_metrics::Crescendo) {
     print!("{name:14}");
@@ -25,9 +25,15 @@ fn main() {
     show("cpu(L2)", &cpu);
     let reg = static_crescendo(&Workload::RegisterMicro(MicroConfig { passes: 100 }));
     show("register", &reg);
-    let c256 = static_crescendo(&Workload::Comm(CommMicroConfig { round_trips: 50, ..CommMicroConfig::paper_256k() }));
+    let c256 = static_crescendo(&Workload::Comm(CommMicroConfig {
+        round_trips: 50,
+        ..CommMicroConfig::paper_256k()
+    }));
     show("comm256k", &c256);
-    let c4k = static_crescendo(&Workload::Comm(CommMicroConfig { round_trips: 200, ..CommMicroConfig::paper_4k_strided() }));
+    let c4k = static_crescendo(&Workload::Comm(CommMicroConfig {
+        round_trips: 200,
+        ..CommMicroConfig::paper_4k_strided()
+    }));
     show("comm4k", &c4k);
     println!("micro took {:?}", t0.elapsed());
 
@@ -36,7 +42,11 @@ fn main() {
     show("FT.B stat", &ftb);
     let (e, d) = cpuspeed_point(&Workload::ft_b8());
     let r = ftb.points().iter().find(|p| p.mhz == 1400).unwrap();
-    println!("FT.B cpuspeed: E={:.3} D={:.3}", e / r.energy_j, d / r.delay_s);
+    println!(
+        "FT.B cpuspeed: E={:.3} D={:.3}",
+        e / r.energy_j,
+        d / r.delay_s
+    );
     println!("FT.B took {:?}", t1.elapsed());
 
     let t2 = std::time::Instant::now();
@@ -46,11 +56,20 @@ fn main() {
     let rc = ftc.points().iter().find(|p| p.mhz == 1400).unwrap();
     print!("FT.C dyn    ");
     for p in ftcd.points() {
-        print!("  {}: E={:.3} D={:.3}", p.mhz, p.energy_j / rc.energy_j, p.delay_s / rc.delay_s);
+        print!(
+            "  {}: E={:.3} D={:.3}",
+            p.mhz,
+            p.energy_j / rc.energy_j,
+            p.delay_s / rc.delay_s
+        );
     }
     println!();
     let (e, d) = cpuspeed_point(&Workload::ft_c8());
-    println!("FT.C cpuspeed: E={:.3} D={:.3}", e / rc.energy_j, d / rc.delay_s);
+    println!(
+        "FT.C cpuspeed: E={:.3} D={:.3}",
+        e / rc.energy_j,
+        d / rc.delay_s
+    );
     println!("FT.C took {:?}", t2.elapsed());
 
     let t3 = std::time::Instant::now();
@@ -60,11 +79,20 @@ fn main() {
     let rt = tr.points().iter().find(|p| p.mhz == 1400).unwrap();
     print!("transp dyn  ");
     for p in trd.points() {
-        print!("  {}: E={:.3} D={:.3}", p.mhz, p.energy_j / rt.energy_j, p.delay_s / rt.delay_s);
+        print!(
+            "  {}: E={:.3} D={:.3}",
+            p.mhz,
+            p.energy_j / rt.energy_j,
+            p.delay_s / rt.delay_s
+        );
     }
     println!();
     let (e, d) = cpuspeed_point(&Workload::transpose_paper());
-    println!("transp cpuspeed: E={:.3} D={:.3}", e / rt.energy_j, d / rt.delay_s);
+    println!(
+        "transp cpuspeed: E={:.3} D={:.3}",
+        e / rt.energy_j,
+        d / rt.delay_s
+    );
     println!("transpose took {:?}", t3.elapsed());
 
     let sw = static_crescendo(&Workload::Swim);

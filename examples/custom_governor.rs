@@ -15,8 +15,8 @@ use cluster_sim::{Cluster, Node, ProcStat, ProcStatSnapshot};
 use dvfs::{CpuspeedGovernor, Governor, StaticGovernor};
 use mpi_sim::{Engine, EngineConfig, WaitPolicy};
 use power_model::OpIndex;
-use sim_core::{SimDuration, SimTime};
 use pwrperf::Workload;
+use sim_core::{SimDuration, SimTime};
 
 /// Step down only after two consecutive low-utilization windows; jump to
 /// maximum on one busy window. More stable than cpuspeed's single-window
@@ -88,7 +88,10 @@ fn main() {
     println!("workload: {} (blocking-wait transport)\n", workload.label());
 
     let (e_ref, d_ref) = run_with(&workload, || Box::new(StaticGovernor::performance()));
-    println!("{:>12}: {d_ref:.1} s, {e_ref:.0} J (reference)", "performance");
+    println!(
+        "{:>12}: {d_ref:.1} s, {e_ref:.0} J (reference)",
+        "performance"
+    );
     for (name, make) in [
         (
             "cpuspeed",

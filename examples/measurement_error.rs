@@ -26,7 +26,11 @@ fn main() {
         .run();
 
     println!("workload: {} at static 1000 MHz", workload.label());
-    println!("duration: {:.1} s, samples: {}\n", run.duration_secs(), run.samples.len());
+    println!(
+        "duration: {:.1} s, samples: {}\n",
+        run.duration_secs(),
+        run.samples.len()
+    );
 
     let truth: f64 = run.per_node.iter().map(|r| r.total_j()).sum();
     let acpi: f64 = acpi_measured_energy(&run.samples, SimDuration::from_secs(18))

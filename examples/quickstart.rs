@@ -5,7 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use edp_metrics::{best_operating_point, efficiency_gain, DELTA_ENERGY, DELTA_HPC, DELTA_PERFORMANCE};
+use edp_metrics::{
+    best_operating_point, efficiency_gain, DELTA_ENERGY, DELTA_HPC, DELTA_PERFORMANCE,
+};
 use pwrperf::{cpuspeed_point, static_crescendo, DvsStrategy, Experiment, Workload};
 
 fn main() {

@@ -6,7 +6,8 @@
 #     peak RSS — the whole-paper regeneration that the batch runner and
 #     engine hot path both feed into;
 #   * engine throughput in simulated events per wall-clock second
-#     (examples/bench_throughput.rs);
+#     (examples/bench_throughput.rs), untraced and with PowerScope
+#     instrumentation on, plus the traced/untraced overhead ratio;
 #   * per-scenario Criterion timings from the `engine` bench.
 #
 # Usage: scripts/bench.sh [output.json]    (default BENCH_PR1.json)
@@ -23,9 +24,11 @@ cargo build --release -q -p pwrperf-bench --bin all_figures
 cargo build --release -q --example bench_throughput
 
 THROUGHPUT="$(./target/release/examples/bench_throughput 100)"
+THROUGHPUT_TRACED="$(./target/release/examples/bench_throughput 100 traced)"
 BENCH="$(cargo bench -q -p pwrperf-bench --bench engine 2>/dev/null | grep 'time:' || true)"
 
-RUNS="$RUNS" OUT="$OUT" THROUGHPUT="$THROUGHPUT" BENCH="$BENCH" python3 - <<'EOF'
+RUNS="$RUNS" OUT="$OUT" THROUGHPUT="$THROUGHPUT" \
+  THROUGHPUT_TRACED="$THROUGHPUT_TRACED" BENCH="$BENCH" python3 - <<'EOF'
 import json, os, re, resource, statistics, subprocess, time
 
 runs = int(os.environ["RUNS"])
@@ -41,6 +44,11 @@ maxrss_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
 
 tp = dict(
     line.split(": ") for line in os.environ["THROUGHPUT"].splitlines() if ": " in line
+)
+tpt = dict(
+    line.split(": ")
+    for line in os.environ["THROUGHPUT_TRACED"].splitlines()
+    if ": " in line
 )
 criterion = {
     m[1].strip(): int(m[2])
@@ -58,6 +66,16 @@ report = {
         "events": int(tp["events"]),
         "wall_secs": float(tp["wall_secs"]),
         "events_per_sec": int(float(tp["events_per_sec"])),
+    },
+    "engine_throughput_traced": {
+        "events": int(tpt["events"]),
+        "wall_secs": float(tpt["wall_secs"]),
+        "events_per_sec": int(float(tpt["events_per_sec"])),
+        # Wall-clock cost of full PowerScope instrumentation (metrics
+        # registry + 64k-event trace) relative to the untraced run.
+        "overhead_ratio": round(
+            float(tp["events_per_sec"]) / float(tpt["events_per_sec"]), 4
+        ),
     },
     "criterion_engine_ns_per_iter": criterion,
 }

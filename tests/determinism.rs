@@ -8,7 +8,12 @@ fn run_twice(strategy: DvsStrategy) {
     let make = || Experiment::new(Workload::ft_test(4), strategy).run();
     let a = make();
     let b = make();
-    assert_eq!(a.duration, b.duration, "{}: duration differs", strategy.label());
+    assert_eq!(
+        a.duration,
+        b.duration,
+        "{}: duration differs",
+        strategy.label()
+    );
     assert_eq!(
         a.total_energy_j().to_bits(),
         b.total_energy_j().to_bits(),
@@ -83,7 +88,11 @@ fn sampled_power_integrates_to_metered_energy() {
     let r = Experiment::new(Workload::ft_test(4), DvsStrategy::StaticMhz(1400))
         .with_engine(engine)
         .run();
-    assert!(r.samples.len() > 20, "need samples, got {}", r.samples.len());
+    assert!(
+        r.samples.len() > 20,
+        "need samples, got {}",
+        r.samples.len()
+    );
     let dt = 0.005;
     let riemann: f64 = r
         .samples

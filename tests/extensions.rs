@@ -104,8 +104,14 @@ fn faster_network_shrinks_savings_and_grows_delay_penalty() {
     };
     let (e_slow, d_slow) = sweep(100e6);
     let (e_fast, d_fast) = sweep(1e9);
-    assert!(e_fast > e_slow, "faster net must save less: {e_fast} vs {e_slow}");
-    assert!(d_fast > d_slow, "faster net must penalize delay more: {d_fast} vs {d_slow}");
+    assert!(
+        e_fast > e_slow,
+        "faster net must save less: {e_fast} vs {e_slow}"
+    );
+    assert!(
+        d_fast > d_slow,
+        "faster net must penalize delay more: {d_fast} vs {d_slow}"
+    );
 }
 
 #[test]
@@ -134,7 +140,11 @@ fn phase_profile_attributes_ft_time_to_fft() {
     // undercount the inter-phase gaps).
     let attributed: f64 = profiles.values().map(|p| p.energy_j).sum();
     assert!(attributed > 0.0);
-    assert!(attributed <= r.total_energy_j() * 1.05, "attributed {attributed} vs total {}", r.total_energy_j());
+    assert!(
+        attributed <= r.total_energy_j() * 1.05,
+        "attributed {attributed} vs total {}",
+        r.total_energy_j()
+    );
 }
 
 #[test]
@@ -150,7 +160,11 @@ fn transition_latency_only_bites_when_huge() {
     let slow = run_with_latency(SimDuration::from_millis(50));
     assert!(slow.duration >= fast.duration);
     // 6 transitions x 50 ms = 0.3 s of stall appears in the breakdown.
-    let stall: f64 = slow.breakdown.iter().map(|b| b.transition.as_secs_f64()).sum();
+    let stall: f64 = slow
+        .breakdown
+        .iter()
+        .map(|b| b.transition.as_secs_f64())
+        .sum();
     assert!(stall > 0.29 * 4.0 * 0.9, "transition stall {stall}");
 }
 
@@ -217,7 +231,10 @@ fn battery_life_improves_at_the_energy_point() {
     let capacity = 72_000.0;
     let life_fast = battery_life_secs(&fast, capacity).unwrap();
     let life_slow = battery_life_secs(&slow, capacity).unwrap();
-    assert!(life_slow > life_fast, "slower point must outlast: {life_slow} vs {life_fast}");
+    assert!(
+        life_slow > life_fast,
+        "slower point must outlast: {life_slow} vs {life_fast}"
+    );
     // And because FT saves energy per run at 600 MHz, runs-per-charge wins too.
     assert!(runs_per_charge(&slow, capacity).unwrap() > runs_per_charge(&fast, capacity).unwrap());
 }

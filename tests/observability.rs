@@ -1,0 +1,131 @@
+//! PowerScope end-to-end guarantees: deterministic exports, zero behaviour
+//! change under instrumentation, and honest trace/metric accounting.
+
+use pwrperf::{metrics_ndjson, perfetto_json, DvsStrategy, EngineConfig, Experiment, Workload};
+use sim_core::SimDuration;
+
+/// The golden scenario: small enough to keep the reference file readable,
+/// rich enough to exercise every record type (phase slices, messages,
+/// frequency changes, power counters).
+fn scenario() -> Experiment {
+    Experiment::new(Workload::ft_test(2), DvsStrategy::DynamicBaseMhz(1400)).with_engine(
+        EngineConfig {
+            trace_capacity: 4096,
+            sample_interval: Some(SimDuration::from_millis(25)),
+            metrics: true,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// The Perfetto export must be byte-for-byte reproducible across runs and
+/// across hosts (simulated timestamps only, integer formatting). The
+/// reference bytes live in `tests/golden/`; regenerate with
+/// `BLESS=1 cargo test --test observability`.
+#[test]
+fn perfetto_export_matches_golden_bytes() {
+    let json = perfetto_json(&scenario().run());
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/ft_test2_dyn1400.perfetto.json"
+    );
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(path, &json).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file (BLESS=1 to regenerate)");
+    assert_eq!(
+        json, golden,
+        "Perfetto export drifted from tests/golden/ft_test2_dyn1400.perfetto.json \
+         (BLESS=1 cargo test --test observability to re-bless a deliberate change)"
+    );
+}
+
+#[test]
+fn exports_are_deterministic_across_runs() {
+    let a = scenario().run();
+    let b = scenario().run();
+    assert_eq!(perfetto_json(&a), perfetto_json(&b));
+    assert_eq!(metrics_ndjson(&a), metrics_ndjson(&b));
+    // And re-exporting the same result is a pure function.
+    assert_eq!(perfetto_json(&a), perfetto_json(&a));
+}
+
+/// Instrumentation is observation only: every simulated quantity must be
+/// bit-identical with metrics + tracing on or off.
+#[test]
+fn instrumentation_never_changes_simulation_bits() {
+    let base = Experiment::new(Workload::ft_test(4), DvsStrategy::DynamicBaseMhz(1200));
+    let plain = base.clone().run();
+    let observed = base
+        .with_engine(EngineConfig {
+            trace_capacity: 1 << 16,
+            metrics: true,
+            ..EngineConfig::default()
+        })
+        .run();
+    assert_eq!(plain.duration, observed.duration);
+    assert_eq!(
+        plain.total_energy_j().to_bits(),
+        observed.total_energy_j().to_bits(),
+        "energy must match at the bit level"
+    );
+    assert_eq!(plain.transitions, observed.transitions);
+    assert_eq!(plain.breakdown, observed.breakdown);
+    assert_eq!(plain.events, observed.events);
+    assert_eq!(plain.freq_residency, observed.freq_residency);
+}
+
+/// `RunResult::events` (the throughput figure) and the metrics registry
+/// count the same thing through independent code paths.
+#[test]
+fn dispatched_counter_matches_events_figure() {
+    let result = scenario().run();
+    let metrics = result.metrics.as_ref().expect("metrics enabled");
+    assert_eq!(
+        metrics.counter("engine.events.dispatched"),
+        Some(result.events)
+    );
+    assert_eq!(
+        metrics.counter("engine.trace.recorded"),
+        Some(result.trace.len() as u64)
+    );
+    assert_eq!(
+        metrics.counter("engine.trace.dropped"),
+        Some(result.trace_dropped)
+    );
+}
+
+/// Under capacity pressure the trace keeps the most recent `capacity`
+/// events and counts every discard: retained + dropped covers exactly the
+/// record attempts an unbounded run observes.
+#[test]
+fn bounded_trace_accounts_for_every_event() {
+    let run_with_capacity = |cap: usize| {
+        Experiment::new(Workload::ft_test(2), DvsStrategy::DynamicBaseMhz(1400))
+            .with_engine(EngineConfig {
+                trace_capacity: cap,
+                ..EngineConfig::default()
+            })
+            .run()
+    };
+    let full = run_with_capacity(1 << 20);
+    assert_eq!(full.trace_dropped, 0, "huge capacity must not drop");
+    let total = full.trace.len() as u64;
+    assert!(total > 16, "scenario too small to pressure the trace");
+
+    let cap = 16;
+    let squeezed = run_with_capacity(cap);
+    assert_eq!(squeezed.trace.len(), cap, "ring keeps exactly `capacity`");
+    assert_eq!(
+        squeezed.trace.len() as u64 + squeezed.trace_dropped,
+        total,
+        "retained + dropped must cover every record attempt"
+    );
+    // The ring keeps the *most recent* events: its contents are the tail
+    // of the unbounded trace.
+    assert_eq!(
+        squeezed.trace.as_slice(),
+        &full.trace[full.trace.len() - cap..]
+    );
+}

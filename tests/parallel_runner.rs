@@ -34,8 +34,7 @@ fn energy_bits(results: &[RunResult]) -> Vec<u64> {
 
 fn assert_parallel_matches_sequential(workload: &Workload) {
     std::env::set_var(THREADS_ENV, "4");
-    let sequential: Vec<RunResult> =
-        batch_for(workload).iter().map(Experiment::run).collect();
+    let sequential: Vec<RunResult> = batch_for(workload).iter().map(Experiment::run).collect();
     let parallel = run_batch(batch_for(workload));
     assert_eq!(parallel.len(), sequential.len());
     for (i, (p, s)) in parallel.iter().zip(&sequential).enumerate() {

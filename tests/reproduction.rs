@@ -14,8 +14,14 @@ fn assert_monotone_energy_down_delay_up(c: &Crescendo, label: &str) {
         let (m0, e0, d0) = pair[0];
         let (m1, e1, d1) = pair[1];
         assert!(m0 > m1, "{label}: expected descending MHz order");
-        assert!(e1 <= e0 + 1e-9, "{label}: energy must fall as MHz drops ({m1} MHz)");
-        assert!(d1 >= d0 - 1e-9, "{label}: delay must rise as MHz drops ({m1} MHz)");
+        assert!(
+            e1 <= e0 + 1e-9,
+            "{label}: energy must fall as MHz drops ({m1} MHz)"
+        );
+        assert!(
+            d1 >= d0 - 1e-9,
+            "{label}: delay must rise as MHz drops ({m1} MHz)"
+        );
     }
 }
 
@@ -35,8 +41,16 @@ fn fig3_cpuspeed_rides_the_top_frequency() {
     let r = c.reference();
     let (e, d) = cpuspeed_point(&Workload::ft_b8());
     // Paper: cpuspeed ~= static 1.4 GHz (E=0.966, D=0.988).
-    assert!((e / r.energy_j - 1.0).abs() < 0.05, "cpuspeed E {}", e / r.energy_j);
-    assert!((d / r.delay_s - 1.0).abs() < 0.03, "cpuspeed D {}", d / r.delay_s);
+    assert!(
+        (e / r.energy_j - 1.0).abs() < 0.05,
+        "cpuspeed E {}",
+        e / r.energy_j
+    );
+    assert!(
+        (d / r.delay_s - 1.0).abs() < 0.03,
+        "cpuspeed D {}",
+        d / r.delay_s
+    );
 }
 
 #[test]
@@ -111,7 +125,10 @@ fn fig7_cpu_micro_punishes_downscaling() {
     let (e600, d600) = c.normalized_for(600).unwrap();
     // Paper: delay +134%; energy *increases* at the bottom point.
     assert!((d600 - 1.4 / 0.6).abs() < 0.01, "cpu D600 = {d600}");
-    assert!(e600 > 1.0, "cpu E600 = {e600} should exceed the 1.4 GHz energy");
+    assert!(
+        e600 > 1.0,
+        "cpu E600 = {e600} should exceed the 1.4 GHz energy"
+    );
     // Energy at 600 exceeds the mid-ladder minimum (paper: min at 800).
     let (e800, _) = c.normalized_for(800).unwrap();
     let (e1000, _) = c.normalized_for(1000).unwrap();
@@ -152,7 +169,10 @@ fn fig1_spec_proxies_bracket_the_behaviour_space() {
     assert_eq!(best_operating_point(&swim, DELTA_ENERGY), Some(600));
     let swim_hpc = best_operating_point(&swim, DELTA_HPC).unwrap();
     let mgrid_hpc = best_operating_point(&mgrid, DELTA_HPC).unwrap();
-    assert!(swim_hpc < mgrid_hpc, "HPC picks must separate: swim {swim_hpc}, mgrid {mgrid_hpc}");
+    assert!(
+        swim_hpc < mgrid_hpc,
+        "HPC picks must separate: swim {swim_hpc}, mgrid {mgrid_hpc}"
+    );
     assert_eq!(mgrid_hpc, 1400);
 }
 
