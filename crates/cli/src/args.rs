@@ -3,14 +3,14 @@
 //! heavier than the parser).
 
 use powerpack::{CommMicroConfig, MicroConfig};
-use pwrperf::{DvsStrategy, Workload};
+use pwrperf::{DvsStrategy, FaultSpec, Workload};
 use workloads::{CgClass, FtClass, MgClass};
 
 /// A parsed invocation.
 #[derive(Debug)]
 pub enum Command {
     /// `pwrperf run -w <workload> -s <strategy> [--blocking-waits <ms>]
-    /// [--metrics] [--trace-capacity <n>]`
+    /// [--metrics] [--trace-capacity <n>] [--faults <spec>]`
     Run {
         /// Workload to execute.
         workload: Workload,
@@ -22,6 +22,8 @@ pub enum Command {
         metrics: bool,
         /// Trace ring capacity override (`None` = subcommand default).
         trace_capacity: Option<usize>,
+        /// Deterministic fault injection (empty = none).
+        faults: FaultSpec,
     },
     /// `pwrperf sweep -w <workload> [--dynamic] [-j <n>]`
     Sweep {
@@ -42,7 +44,7 @@ pub enum Command {
         threads: Option<usize>,
     },
     /// `pwrperf export -w <workload> -s <strategy> -o <dir> [--metrics]
-    /// [--trace-capacity <n>]`
+    /// [--trace-capacity <n>] [--faults <spec>]`
     Export {
         /// Workload to execute.
         workload: Workload,
@@ -54,9 +56,11 @@ pub enum Command {
         metrics: bool,
         /// Trace ring capacity override (`None` = subcommand default).
         trace_capacity: Option<usize>,
+        /// Deterministic fault injection (empty = none).
+        faults: FaultSpec,
     },
     /// `pwrperf trace -w <workload> -s <strategy> [--out <file>]
-    /// [--trace-capacity <n>] [--blocking-waits <ms>]`
+    /// [--trace-capacity <n>] [--blocking-waits <ms>] [--faults <spec>]`
     Trace {
         /// Workload to execute.
         workload: Workload,
@@ -68,9 +72,11 @@ pub enum Command {
         trace_capacity: Option<usize>,
         /// Poll-then-block window in ms (`None` = busy-poll).
         blocking_ms: Option<u64>,
+        /// Deterministic fault injection (empty = none).
+        faults: FaultSpec,
     },
     /// `pwrperf stats -w <workload> -s <strategy> [--out <file>]
-    /// [--trace-capacity <n>] [--blocking-waits <ms>]`
+    /// [--trace-capacity <n>] [--blocking-waits <ms>] [--faults <spec>]`
     Stats {
         /// Workload to execute.
         workload: Workload,
@@ -82,6 +88,8 @@ pub enum Command {
         trace_capacity: Option<usize>,
         /// Poll-then-block window in ms (`None` = busy-poll).
         blocking_ms: Option<u64>,
+        /// Deterministic fault injection (empty = none).
+        faults: FaultSpec,
     },
     /// `pwrperf list`
     List,
@@ -191,6 +199,10 @@ fn parse_blocking(value: &str) -> Result<u64, String> {
         .map_err(|_| "bad --blocking-waits value".to_string())
 }
 
+fn parse_faults(value: &str) -> Result<FaultSpec, String> {
+    FaultSpec::parse(value).map_err(|e| format!("bad --faults spec: {e}"))
+}
+
 fn take_value<'a>(args: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<&'a str, String> {
     args.next().ok_or_else(|| format!("{flag} needs a value"))
 }
@@ -213,6 +225,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
             let mut blocking_ms = None;
             let mut metrics = false;
             let mut trace_capacity = None;
+            let mut faults = FaultSpec::default();
             while let Some(flag) = it.next() {
                 match flag {
                     "-w" | "--workload" => {
@@ -228,6 +241,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                     "--trace-capacity" => {
                         trace_capacity = Some(parse_capacity(take_value(&mut it, flag)?)?)
                     }
+                    "--faults" => faults = parse_faults(take_value(&mut it, flag)?)?,
                     other => return Err(format!("unknown flag '{other}'")),
                 }
             }
@@ -237,6 +251,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                 blocking_ms,
                 metrics,
                 trace_capacity,
+                faults,
             })
         }
         "sweep" => {
@@ -296,6 +311,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
             let mut out_dir = "pwrperf-out".to_string();
             let mut metrics = false;
             let mut trace_capacity = None;
+            let mut faults = FaultSpec::default();
             while let Some(flag) = it.next() {
                 match flag {
                     "-w" | "--workload" => {
@@ -309,6 +325,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                     "--trace-capacity" => {
                         trace_capacity = Some(parse_capacity(take_value(&mut it, flag)?)?)
                     }
+                    "--faults" => faults = parse_faults(take_value(&mut it, flag)?)?,
                     other => return Err(format!("unknown flag '{other}'")),
                 }
             }
@@ -318,6 +335,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                 out_dir,
                 metrics,
                 trace_capacity,
+                faults,
             })
         }
         "trace" => {
@@ -326,6 +344,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
             let mut out = "run.perfetto.json".to_string();
             let mut trace_capacity = None;
             let mut blocking_ms = None;
+            let mut faults = FaultSpec::default();
             while let Some(flag) = it.next() {
                 match flag {
                     "-w" | "--workload" => {
@@ -341,6 +360,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                     "--blocking-waits" => {
                         blocking_ms = Some(parse_blocking(take_value(&mut it, flag)?)?)
                     }
+                    "--faults" => faults = parse_faults(take_value(&mut it, flag)?)?,
                     other => return Err(format!("unknown flag '{other}'")),
                 }
             }
@@ -350,6 +370,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                 out,
                 trace_capacity,
                 blocking_ms,
+                faults,
             })
         }
         "stats" => {
@@ -358,6 +379,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
             let mut out = None;
             let mut trace_capacity = None;
             let mut blocking_ms = None;
+            let mut faults = FaultSpec::default();
             while let Some(flag) = it.next() {
                 match flag {
                     "-w" | "--workload" => {
@@ -373,6 +395,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                     "--blocking-waits" => {
                         blocking_ms = Some(parse_blocking(take_value(&mut it, flag)?)?)
                     }
+                    "--faults" => faults = parse_faults(take_value(&mut it, flag)?)?,
                     other => return Err(format!("unknown flag '{other}'")),
                 }
             }
@@ -382,6 +405,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                 out,
                 trace_capacity,
                 blocking_ms,
+                faults,
             })
         }
         "list" => Ok(Command::List),
@@ -638,6 +662,61 @@ mod tests {
             Command::Export { metrics, .. } => assert!(metrics),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_faults_spec() {
+        use pwrperf::Fault;
+        match parse(&[
+            "run",
+            "-w",
+            "swim",
+            "-s",
+            "static-800",
+            "--faults",
+            "seed:9,slow:1:1.5,skip-sample:0.1",
+        ]) {
+            Command::Run { faults, .. } => {
+                assert_eq!(faults.seed, 9);
+                assert_eq!(faults.faults.len(), 2);
+                assert!(matches!(
+                    faults.faults[0],
+                    Fault::ComputeSlowdown { node: 1, .. }
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Default: empty spec (no fault runtime armed).
+        match parse(&["run", "-w", "swim", "-s", "static-800"]) {
+            Command::Run { faults, .. } => assert!(faults.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        // Stats and trace accept the flag too.
+        assert!(matches!(
+            parse(&[
+                "stats",
+                "-w",
+                "swim",
+                "-s",
+                "static-600",
+                "--faults",
+                "dvfs-fail:0:1.0"
+            ]),
+            Command::Stats { .. }
+        ));
+        // Bad specs surface as help with a message.
+        assert!(matches!(
+            parse(&[
+                "run",
+                "-w",
+                "swim",
+                "-s",
+                "static-800",
+                "--faults",
+                "bogus:1"
+            ]),
+            Command::Help(Some(_))
+        ));
     }
 
     #[test]

@@ -13,7 +13,8 @@ mod args;
 use args::{Command, STRATEGY_NAMES, WORKLOAD_NAMES};
 use edp_metrics::{best_operating_point, efficiency_gain, weighted_ed2p, DELTA_HPC};
 use pwrperf::{
-    dynamic_crescendo, static_crescendo, EngineConfig, Experiment, WaitPolicy, Workload,
+    dynamic_crescendo, static_crescendo, EngineConfig, Experiment, FaultCounts, FaultSpec,
+    WaitPolicy, Workload,
 };
 use sim_core::SimDuration;
 
@@ -27,7 +28,15 @@ fn main() {
             blocking_ms,
             metrics,
             trace_capacity,
-        } => run(workload, strategy, blocking_ms, metrics, trace_capacity),
+            faults,
+        } => run(
+            workload,
+            strategy,
+            blocking_ms,
+            metrics,
+            trace_capacity,
+            faults,
+        ),
         Command::Sweep {
             workload,
             dynamic,
@@ -42,26 +51,44 @@ fn main() {
             out_dir,
             metrics,
             trace_capacity,
-        } => export(workload, strategy, &out_dir, metrics, trace_capacity),
+            faults,
+        } => export(
+            workload,
+            strategy,
+            &out_dir,
+            metrics,
+            trace_capacity,
+            faults,
+        ),
         Command::Trace {
             workload,
             strategy,
             out,
             trace_capacity,
             blocking_ms,
-        } => trace(workload, strategy, &out, trace_capacity, blocking_ms),
+            faults,
+        } => trace(
+            workload,
+            strategy,
+            &out,
+            trace_capacity,
+            blocking_ms,
+            faults,
+        ),
         Command::Stats {
             workload,
             strategy,
             out,
             trace_capacity,
             blocking_ms,
+            faults,
         } => stats(
             workload,
             strategy,
             out.as_deref(),
             trace_capacity,
             blocking_ms,
+            faults,
         ),
         Command::Best {
             workload,
@@ -103,16 +130,40 @@ fn engine_for(blocking_ms: Option<u64>) -> EngineConfig {
     }
 }
 
+/// Print the injected-fault tally when any fault fired.
+fn print_faults(c: &FaultCounts) {
+    if c.total() == 0 {
+        return;
+    }
+    println!(
+        "faults   : {} injected (slowdowns {}, dvfs fail/spike {}/{}, \
+         battery stuck/noisy/err {}/{}/{}, samples skipped {}, \
+         meter-biased {}, degraded links {})",
+        c.total(),
+        c.compute_slowdowns,
+        c.dvfs_failures,
+        c.dvfs_latency_spikes,
+        c.battery_stuck_reads,
+        c.battery_noisy_reads,
+        c.battery_errors,
+        c.samples_skipped,
+        c.meter_biased_samples,
+        c.degraded_links
+    );
+}
+
 fn run(
     workload: Workload,
     strategy: pwrperf::DvsStrategy,
     blocking_ms: Option<u64>,
     metrics: bool,
     trace_capacity: Option<usize>,
+    faults: FaultSpec,
 ) {
     let engine = EngineConfig {
         metrics,
         trace_capacity: trace_capacity.unwrap_or(0),
+        faults,
         ..engine_for(blocking_ms)
     };
     let result = Experiment::new(workload.clone(), strategy)
@@ -139,6 +190,7 @@ fn run(
         result.transitions.iter().sum::<u64>(),
         result.transitions.len()
     );
+    print_faults(&result.faults);
     let avg_compute: f64 = result
         .breakdown
         .iter()
@@ -183,11 +235,13 @@ fn trace(
     out: &str,
     trace_capacity: Option<usize>,
     blocking_ms: Option<u64>,
+    faults: FaultSpec,
 ) {
     let engine = EngineConfig {
         trace_capacity: trace_capacity.unwrap_or(1 << 20),
         sample_interval: Some(SimDuration::from_millis(100)),
         metrics: true,
+        faults,
         ..engine_for(blocking_ms)
     };
     let result = Experiment::new(workload.clone(), strategy)
@@ -211,6 +265,7 @@ fn trace(
         result.duration_secs(),
         result.total_energy_j()
     );
+    print_faults(&result.faults);
 }
 
 /// `pwrperf stats`: run under metrics collection and print the PowerScope
@@ -221,10 +276,12 @@ fn stats(
     out: Option<&str>,
     trace_capacity: Option<usize>,
     blocking_ms: Option<u64>,
+    faults: FaultSpec,
 ) {
     let engine = EngineConfig {
         trace_capacity: trace_capacity.unwrap_or(0),
         metrics: true,
+        faults,
         ..engine_for(blocking_ms)
     };
     let result = Experiment::new(workload.clone(), strategy)
@@ -232,6 +289,7 @@ fn stats(
         .run();
     println!("workload : {}", workload.label());
     println!("strategy : {}", strategy.label());
+    print_faults(&result.faults);
     print!("{}", pwrperf::stats_text(&result));
     if let Some(path) = out {
         let ndjson = pwrperf::metrics_ndjson(&result);
@@ -287,11 +345,13 @@ fn export(
     out_dir: &str,
     metrics: bool,
     trace_capacity: Option<usize>,
+    faults: FaultSpec,
 ) {
     let engine = EngineConfig {
         sample_interval: Some(SimDuration::from_millis(100)),
         trace_capacity: trace_capacity.unwrap_or(1 << 20),
         metrics,
+        faults,
         ..EngineConfig::default()
     };
     let result = Experiment::new(workload.clone(), strategy)
@@ -325,6 +385,7 @@ fn export(
         result.duration_secs(),
         result.total_energy_j()
     );
+    print_faults(&result.faults);
 }
 
 fn list() {
@@ -345,15 +406,17 @@ fn help() {
 
 USAGE:
   pwrperf run    -w <workload> -s <strategy> [--blocking-waits <ms>]
-                 [--metrics] [--trace-capacity <n>]
+                 [--metrics] [--trace-capacity <n>] [--faults <spec>]
   pwrperf sweep  -w <workload> [--dynamic] [-j <threads>]
   pwrperf best   -w <workload> [--delta <-1..1>] [-j <threads>]
   pwrperf export -w <workload> -s <strategy> [-o <dir>] [--metrics]
-                 [--trace-capacity <n>]
+                 [--trace-capacity <n>] [--faults <spec>]
   pwrperf trace  -w <workload> -s <strategy> [-o <file>]
                  [--trace-capacity <n>] [--blocking-waits <ms>]
+                 [--faults <spec>]
   pwrperf stats  -w <workload> -s <strategy> [-o <ndjson-file>]
                  [--trace-capacity <n>] [--blocking-waits <ms>]
+                 [--faults <spec>]
   pwrperf list
 
 EXAMPLES:
@@ -363,6 +426,22 @@ EXAMPLES:
   pwrperf sweep -w ft-c8 -j 5       # ladder points in parallel
   pwrperf trace -w ft-test4 -s dynamic-1400 -o run.perfetto.json
   pwrperf stats -w swim -s cpuspeed -o metrics.ndjson
+  pwrperf run   -w ft-test4 -s dynamic-1400 \\
+                --faults seed:7,slow:2:1.5,battery-stuck:1:40
+
+FAULT SPECS (comma-separated; deterministic under a fixed seed):
+  seed:<u64>                  RNG seed (default 0x5EEDFA17)
+  slow:<node>:<factor>        scale node's compute cost (straggler)
+  battery-stuck:<node>:<secs> battery reading freezes after <secs>
+  battery-noise:<node>:<mwh>  +/- quantization noise on readings
+  meter-bias:<node>:<factor>  scale the node's *reported* power
+  skip-sample:<prob>          drop whole sampling windows
+  dvfs-fail:<node>:<prob>     DVFS transition requests silently fail
+  dvfs-latency:<node>:<factor> scale the 10 us transition stall
+  weak-link:<node>:<factor>   scale node's link bandwidth, (0,1]
+An empty spec (the default) leaves every run bit-identical to an
+unfaulted simulation; injected-fault counts are printed after a run
+and recorded in the metrics registry (engine.faults.*).
 
 `trace` writes a Chrome/Perfetto timeline (open at ui.perfetto.dev):
 phase slices and message instants per node, plus MHz and watt counter

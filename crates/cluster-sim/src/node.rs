@@ -2,8 +2,8 @@
 
 use mem_model::MemHierarchy;
 use power_model::{
-    CpuActivity, DvfsLadder, EnergyMeter, EnergyReport, NodePowerParams, OpIndex, OperatingPoint,
-    SmartBattery,
+    CpuActivity, DvfsLadder, EnergyMeter, EnergyReport, MeasurementError, NodePowerParams, OpIndex,
+    OperatingPoint, SmartBattery,
 };
 use sim_core::{SimDuration, SimTime};
 
@@ -205,9 +205,19 @@ impl Node {
     }
 
     /// Poll the ACPI battery at `now`: sync it to the meter's ground truth
-    /// and return the quantized remaining capacity in mWh.
-    pub fn poll_battery(&mut self, now: SimTime) -> u64 {
-        self.battery.set_drawn(self.meter.total_at(now));
+    /// and return the quantized remaining capacity in mWh. A reading the
+    /// pack rejects (the meter total going backwards would mean the
+    /// battery recharged mid-run) is surfaced as a [`MeasurementError`]
+    /// so the engine can degrade instead of aborting the run.
+    pub fn poll_battery(&mut self, now: SimTime) -> Result<u64, MeasurementError> {
+        self.battery.set_drawn(self.meter.total_at(now))?;
+        Ok(self.battery.reading_mwh())
+    }
+
+    /// The battery's current quantized reading *without* syncing it to
+    /// the meter — the last value a successful [`Node::poll_battery`]
+    /// would have produced. Degraded-mode fallback for faulted polls.
+    pub fn battery_reading(&self) -> u64 {
         self.battery.reading_mwh()
     }
 
@@ -284,10 +294,11 @@ mod tests {
     fn battery_drains_with_metered_energy() {
         let mut n = node();
         n.set_activity(SimTime::ZERO, CpuActivity::Active);
-        let full = n.poll_battery(SimTime::ZERO);
+        let full = n.poll_battery(SimTime::ZERO).unwrap();
         // ~37 W for 100 s ~ 3.7 kJ ~ 1027 mWh.
-        let later = n.poll_battery(SimTime::from_secs(100));
-        let measured_j = SmartBattery::energy_between(full, later);
+        let later = n.poll_battery(SimTime::from_secs(100)).unwrap();
+        assert_eq!(n.battery_reading(), later);
+        let measured_j = SmartBattery::energy_between(full, later).unwrap();
         let true_j = n.energy(SimTime::from_secs(100)).total_j();
         assert!(
             (measured_j - true_j).abs() < 2.0 * 3.6,

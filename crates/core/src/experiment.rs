@@ -43,6 +43,14 @@ impl Experiment {
         self
     }
 
+    /// Arm deterministic fault injection for this run (see
+    /// [`mpi_sim::FaultSpec`]). An empty spec is the default and leaves
+    /// the simulation bit-identical to an unfaulted run.
+    pub fn with_faults(mut self, faults: mpi_sim::FaultSpec) -> Self {
+        self.engine.faults = faults;
+        self
+    }
+
     /// Replace the node hardware model (base power, ladder, memory...).
     pub fn with_node_config(mut self, config: NodeConfig) -> Self {
         self.node_config = Some(config);

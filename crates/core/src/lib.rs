@@ -44,8 +44,9 @@ pub use experiment::{
     static_crescendo, Experiment,
 };
 pub use runner::{
-    parallel_map, parallel_map_telemetry, run_batch, run_batch_telemetry, thread_count,
-    BatchTelemetry, THREADS_ENV,
+    parallel_map, parallel_map_telemetry, parallel_map_telemetry_with, run_batch,
+    run_batch_checked, run_batch_checked_with, run_batch_telemetry, run_batch_with, thread_count,
+    thread_count_with, BatchPolicy, BatchTelemetry, ExperimentError, THREADS_ENV,
 };
 pub use scope::{metrics_ndjson, perfetto_json, stats_text};
 pub use strategy::DvsStrategy;
@@ -53,4 +54,4 @@ pub use workload::Workload;
 
 // Convenience re-exports for downstream binaries.
 pub use edp_metrics;
-pub use mpi_sim::{EngineConfig, RunResult, WaitPolicy};
+pub use mpi_sim::{EngineConfig, Fault, FaultCounts, FaultSpec, RunResult, WaitPolicy};

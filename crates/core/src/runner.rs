@@ -13,9 +13,27 @@
 //! * with one worker (or one job) the exact sequential path runs.
 //!
 //! Worker count comes from [`std::thread::available_parallelism`], clamped
-//! to the job count, and can be overridden with the `PWRPERF_THREADS`
-//! environment variable (`PWRPERF_THREADS=1` forces sequential execution).
+//! to the job count; callers can pin it with the `_with` variants'
+//! explicit override (tests use this — mutating `PWRPERF_THREADS` from a
+//! test races sibling tests reading it), or process-wide with the
+//! `PWRPERF_THREADS` environment variable (`PWRPERF_THREADS=1` forces
+//! sequential execution).
+//!
+//! ## Degraded batches
+//!
+//! Every job runs under `catch_unwind`, so one poisoned experiment can
+//! never take down a 500-run figure sweep:
+//!
+//! * [`run_batch`] / [`parallel_map`] keep the legacy contract — a panic
+//!   propagates to the caller — but only after **every** job has run, so
+//!   no completed work is discarded mid-batch;
+//! * [`run_batch_checked`] converts each panic into a per-slot
+//!   [`ExperimentError`] (after the bounded retry of [`BatchPolicy`]),
+//!   returning `Err` for exactly the poisoned slots with all other
+//!   results intact and in input order.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
@@ -27,18 +45,30 @@ use crate::experiment::Experiment;
 /// Environment variable overriding the worker thread count.
 pub const THREADS_ENV: &str = "PWRPERF_THREADS";
 
+/// The `PWRPERF_THREADS` override, if set to a positive integer.
+fn env_threads() -> Option<usize> {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
 /// Number of worker threads a batch of `jobs` independent tasks will use:
 /// the `PWRPERF_THREADS` override if set (minimum 1), otherwise the
 /// machine's available parallelism; never more than `jobs`.
 pub fn thread_count(jobs: usize) -> usize {
+    thread_count_with(jobs, env_threads())
+}
+
+/// [`thread_count`] with the override passed explicitly instead of read
+/// from the environment — the pure core, and what tests should use
+/// (mutating the process environment from one test races every sibling
+/// test that reads it). `None` means "use available parallelism".
+pub fn thread_count_with(jobs: usize, override_workers: Option<usize>) -> usize {
     if jobs <= 1 {
         return 1;
     }
-    let configured = std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1);
-    let workers = configured.unwrap_or_else(|| {
+    let workers = override_workers.filter(|&n| n >= 1).unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -88,13 +118,84 @@ impl BatchTelemetry {
     }
 }
 
+/// One experiment of a checked batch failed (panicked on every attempt).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentError {
+    /// Input-order index of the failed experiment.
+    pub index: usize,
+    /// How many times it was attempted (1 + retries).
+    pub attempts: u32,
+    /// The last panic's message, when it carried one.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "experiment {} failed after {} attempt{}: {}",
+            self.index,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// How a checked batch executes.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Worker-thread override; `None` defers to `PWRPERF_THREADS` and
+    /// then available parallelism.
+    pub workers: Option<usize>,
+    /// Sequential re-attempts for a job whose first run panicked, before
+    /// its slot becomes `Err`. Simulations are deterministic, so a panic
+    /// caused by the experiment itself will simply repeat; the retry
+    /// budget exists for host-level transients (allocation failure,
+    /// thread-spawn limits) that a rerun can survive.
+    pub retries: u32,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            workers: None,
+            retries: 1,
+        }
+    }
+}
+
+/// A job outcome before panic handling: the value, or the caught payload.
+type Caught<R> = Result<R, Box<dyn Any + Send + 'static>>;
+
+/// Best-effort text of a panic payload (`panic!` carries `&str`/`String`).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Run every experiment and return the results in input order.
 ///
 /// Each experiment is a self-contained deterministic simulation, so the
 /// output is bit-identical whatever the worker count (asserted by
-/// `tests/parallel_runner.rs`).
+/// `tests/parallel_runner.rs`). A panicking experiment propagates after
+/// the whole batch has drained; use [`run_batch_checked`] to get per-slot
+/// errors instead.
 pub fn run_batch(experiments: Vec<Experiment>) -> Vec<RunResult> {
     parallel_map(&experiments, Experiment::run)
+}
+
+/// [`run_batch`] with an explicit worker-count override (`None` defers to
+/// `PWRPERF_THREADS`, then available parallelism).
+pub fn run_batch_with(experiments: Vec<Experiment>, workers: Option<usize>) -> Vec<RunResult> {
+    parallel_map_telemetry_with(&experiments, Experiment::run, workers).0
 }
 
 /// [`run_batch`] with execution telemetry.
@@ -102,10 +203,53 @@ pub fn run_batch_telemetry(experiments: Vec<Experiment>) -> (Vec<RunResult>, Bat
     parallel_map_telemetry(&experiments, Experiment::run)
 }
 
+/// Run every experiment, converting per-job panics into per-slot errors:
+/// one poisoned experiment yields `Err` for its slot only, with every
+/// other result intact and in input order. Uses [`BatchPolicy::default`]
+/// (environment-driven worker count, one retry); see
+/// [`run_batch_checked_with`] to tune either.
+pub fn run_batch_checked(experiments: Vec<Experiment>) -> Vec<Result<RunResult, ExperimentError>> {
+    run_batch_checked_with(experiments, BatchPolicy::default())
+}
+
+/// [`run_batch_checked`] under an explicit [`BatchPolicy`].
+pub fn run_batch_checked_with(
+    experiments: Vec<Experiment>,
+    policy: BatchPolicy,
+) -> Vec<Result<RunResult, ExperimentError>> {
+    let workers = thread_count_with(experiments.len(), policy.workers.or_else(env_threads));
+    let (slots, _telemetry) = parallel_map_caught(&experiments, &|e: &Experiment| e.run(), workers);
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, first)| {
+            let mut last = match first {
+                Ok(r) => return Ok(r),
+                Err(payload) => payload,
+            };
+            let mut attempts = 1u32;
+            while attempts <= policy.retries {
+                attempts += 1;
+                match catch_unwind(AssertUnwindSafe(|| experiments[index].run())) {
+                    Ok(r) => return Ok(r),
+                    Err(payload) => last = payload,
+                }
+            }
+            Err(ExperimentError {
+                index,
+                attempts,
+                message: panic_message(last.as_ref()),
+            })
+        })
+        .collect()
+}
+
 /// Map `f` over `items` on [`thread_count`] worker threads, collecting
 /// results in input order. Workers claim items through a shared atomic
 /// cursor (dynamic load balancing: simulations vary widely in length).
-/// A panic in `f` propagates to the caller after the scope unwinds.
+/// A panic in `f` propagates to the caller — but only after every job has
+/// run, so a crash late in a batch never discards completed work that a
+/// `catch_unwind`-wrapping caller could have observed.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -123,11 +267,63 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = thread_count(items.len());
+    parallel_map_telemetry_with(items, f, None)
+}
+
+/// [`parallel_map_telemetry`] with an explicit worker-count override
+/// (`None` defers to `PWRPERF_THREADS`, then available parallelism).
+pub fn parallel_map_telemetry_with<T, R, F>(
+    items: &[T],
+    f: F,
+    workers: Option<usize>,
+) -> (Vec<R>, BatchTelemetry)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = thread_count_with(items.len(), workers.or_else(env_threads));
+    let (slots, telemetry) = parallel_map_caught(items, &f, workers);
+    let mut results = Vec::with_capacity(slots.len());
+    let mut first_panic: Option<Box<dyn Any + Send>> = None;
+    for slot in slots {
+        match slot {
+            Ok(r) => results.push(r),
+            Err(payload) => {
+                // Keep the lowest-index panic: it is what a sequential
+                // run would have surfaced.
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    (results, telemetry)
+}
+
+/// The worker core: map `f` over `items` on exactly `workers` threads,
+/// catching each job's panic in its slot. Workers therefore never die
+/// mid-batch — every item is always attempted exactly once here.
+fn parallel_map_caught<T, R, F>(
+    items: &[T],
+    f: &F,
+    workers: usize,
+) -> (Vec<Caught<R>>, BatchTelemetry)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let batch_timer = WallTimer::start();
     if workers <= 1 {
         let timer = WallTimer::start();
-        let results: Vec<R> = items.iter().map(f).collect();
+        let results: Vec<Caught<R>> = items
+            .iter()
+            .map(|item| catch_unwind(AssertUnwindSafe(|| f(item))))
+            .collect();
         let busy = timer.elapsed();
         let telemetry = BatchTelemetry {
             workers: 1,
@@ -139,7 +335,7 @@ where
         return (results, telemetry);
     }
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    let mut results: Vec<Option<Caught<R>>> = Vec::with_capacity(items.len());
     results.resize_with(items.len(), || None);
     let mut per_worker_jobs = vec![0usize; workers];
     let mut per_worker_busy = vec![Duration::ZERO; workers];
@@ -147,7 +343,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut local: Vec<(usize, Caught<R>)> = Vec::new();
                     let mut busy = Duration::ZERO;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -155,7 +351,7 @@ where
                             break;
                         }
                         let timer = WallTimer::start();
-                        local.push((i, f(&items[i])));
+                        local.push((i, catch_unwind(AssertUnwindSafe(|| f(&items[i])))));
                         busy += timer.elapsed();
                     }
                     (local, busy)
@@ -163,19 +359,15 @@ where
             })
             .collect();
         for (w, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
-                Ok((local, busy)) => {
-                    per_worker_jobs[w] = local.len();
-                    per_worker_busy[w] = busy;
-                    for (i, r) in local {
-                        results[i] = Some(r);
-                    }
-                }
-                Err(panic) => std::panic::resume_unwind(panic),
+            let (local, busy) = handle.join().expect("worker closures catch panics");
+            per_worker_jobs[w] = local.len();
+            per_worker_busy[w] = busy;
+            for (i, r) in local {
+                results[i] = Some(r);
             }
         }
     });
-    let results: Vec<R> = results
+    let results: Vec<Caught<R>> = results
         .into_iter()
         .map(|r| r.expect("every claimed index produces a result"))
         .collect();
@@ -192,6 +384,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn parallel_map_preserves_input_order() {
@@ -216,11 +409,22 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_with_explicit_override() {
+        assert_eq!(thread_count_with(8, Some(3)), 3);
+        assert_eq!(thread_count_with(2, Some(16)), 2, "clamped to jobs");
+        assert_eq!(thread_count_with(0, Some(4)), 1);
+        assert_eq!(thread_count_with(1, None), 1);
+        assert_eq!(thread_count_with(8, Some(0)), thread_count_with(8, None));
+        assert!(thread_count_with(1000, None) >= 1);
+    }
+
+    #[test]
     fn telemetry_accounts_for_every_job() {
         let items: Vec<u64> = (0..64).collect();
-        let (out, t) = parallel_map_telemetry(&items, |&x| x + 1);
+        let (out, t) = parallel_map_telemetry_with(&items, |&x| x + 1, Some(4));
         assert_eq!(out.len(), 64);
         assert_eq!(t.jobs, 64);
+        assert_eq!(t.workers, 4);
         assert_eq!(t.per_worker_jobs.len(), t.workers);
         assert_eq!(t.per_worker_busy.len(), t.workers);
         assert_eq!(t.per_worker_jobs.iter().sum::<usize>(), 64);
@@ -229,10 +433,8 @@ mod tests {
 
     #[test]
     fn telemetry_sequential_path_uses_one_worker() {
-        std::env::set_var(THREADS_ENV, "1");
         let items: Vec<u64> = (0..16).collect();
-        let (out, t) = parallel_map_telemetry(&items, |&x| x * 2);
-        std::env::remove_var(THREADS_ENV);
+        let (out, t) = parallel_map_telemetry_with(&items, |&x| x * 2, Some(1));
         assert_eq!(out[15], 30);
         assert_eq!(t.workers, 1);
         assert_eq!(t.per_worker_jobs, vec![16]);
@@ -248,5 +450,79 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn panic_propagates_only_after_all_jobs_ran() {
+        // The result-loss regression: a panic at item 5 must not discard
+        // the other workers' completed jobs — every item still runs.
+        let ran = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..8).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_telemetry_with(
+                &items,
+                |&x| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    if x == 5 {
+                        panic!("deliberate");
+                    }
+                    x
+                },
+                Some(2),
+            )
+        }));
+        assert!(outcome.is_err(), "the panic still propagates");
+        assert_eq!(ran.load(Ordering::SeqCst), 8, "no job was abandoned");
+    }
+
+    #[test]
+    fn lowest_index_panic_wins() {
+        // Sequential semantics: the panic a sequential run would hit
+        // first is the one the caller sees, whatever thread interleaving.
+        let items: Vec<u64> = (0..8).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_telemetry_with(
+                &items,
+                |&x| {
+                    if x >= 3 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                },
+                Some(4),
+            )
+        }));
+        let payload = outcome.unwrap_err();
+        assert_eq!(panic_message(payload.as_ref()), "boom at 3");
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let p = catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "plain str");
+        let p = catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted 7");
+        let p = catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn experiment_error_displays_context() {
+        let e = ExperimentError {
+            index: 3,
+            attempts: 2,
+            message: "battery".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("experiment 3"), "{s}");
+        assert!(s.contains("2 attempts"), "{s}");
+        assert!(s.contains("battery"), "{s}");
+    }
+
+    #[test]
+    fn batch_policy_default_is_env_workers_one_retry() {
+        let p = BatchPolicy::default();
+        assert_eq!(p.workers, None);
+        assert_eq!(p.retries, 1);
     }
 }

@@ -1,6 +1,6 @@
 //! Engine and message-cost configuration.
 
-use sim_core::SimDuration;
+use sim_core::{FaultSpec, SimDuration};
 
 /// The frequency-scaled CPU cost of sending or receiving one message —
 /// the MPI software stack the DVS literature calls the "communication
@@ -60,6 +60,11 @@ pub struct EngineConfig {
     /// passive observation only and never affects simulated behaviour, but
     /// leaving it off keeps the hot path free of even the `Option` checks.
     pub metrics: bool,
+    /// Deterministic fault injection. Empty by default; the engine only
+    /// builds a fault runtime when at least one fault is armed, so an
+    /// empty spec is guaranteed bit-identical to a build without fault
+    /// support (the determinism suite checks exactly this).
+    pub faults: FaultSpec,
 }
 
 impl Default for EngineConfig {
@@ -70,6 +75,7 @@ impl Default for EngineConfig {
             sample_interval: None,
             trace_capacity: 0,
             metrics: false,
+            faults: FaultSpec::default(),
         }
     }
 }
@@ -94,5 +100,6 @@ mod tests {
         assert_eq!(c.wait_policy, WaitPolicy::BusyPoll);
         assert!(c.sample_interval.is_none());
         assert!(!c.metrics, "metrics collection must be opt-in");
+        assert!(c.faults.is_empty(), "fault injection must be opt-in");
     }
 }

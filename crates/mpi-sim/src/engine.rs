@@ -39,11 +39,12 @@ use obs::{obs_count, obs_observe, MetricsRegistry};
 use power_model::{CpuActivity, OpIndex};
 use sim_core::time::PS_PER_US;
 use sim_core::{
-    duration_to_cycles, EventQueue, FxHashMap, FxHashSet, SimDuration, SimTime, Trace, TraceDetail,
-    TraceKind,
+    duration_to_cycles, EventQueue, FaultCounts, FxHashMap, FxHashSet, SimDuration, SimTime, Trace,
+    TraceDetail, TraceKind,
 };
 
 use crate::config::{EngineConfig, WaitPolicy};
+use crate::faults::FaultRuntime;
 use crate::program::{Op, Program, Rank, Tag};
 use crate::result::{RankBreakdown, RunResult, SampleRow};
 
@@ -182,6 +183,15 @@ pub struct Engine {
     /// through the `obs_*` macros, which compile out entirely when the
     /// `obs/enabled` feature is off.
     metrics: Option<Box<MetricsRegistry>>,
+    /// Fault-injection runtime, boxed for the same reason as `metrics`.
+    /// `None` unless [`EngineConfig::faults`] armed at least one fault,
+    /// which is what guarantees empty specs are bit-identical to today.
+    faults: Option<Box<FaultRuntime>>,
+    /// Injected-fault and degraded-measurement tallies for the run.
+    fault_counts: FaultCounts,
+    /// Last good battery reading per node — the degraded-mode fallback
+    /// when a poll errors or a stuck register repeats itself.
+    last_battery: Vec<Option<u64>>,
     /// Reused between network wakes to collect completed flows without
     /// allocating on every event.
     completed_buf: Vec<(FlowId, usize, usize)>,
@@ -202,7 +212,9 @@ impl Engine {
         );
         assert_eq!(governors.len(), cluster.len(), "one governor per node");
         let n = cluster.len();
-        let network = FluidNetwork::new(cluster.network().clone(), n);
+        let mut network = FluidNetwork::new(cluster.network().clone(), n);
+        let mut fault_counts = FaultCounts::default();
+        let faults = FaultRuntime::build(&config.faults, n, &mut network, &mut fault_counts);
         // Nearly every message-bearing op posts one message; sizing the
         // arena to the total op count keeps hot-loop pushes reallocation-free.
         let total_ops: usize = programs.iter().map(|p| p.len()).sum();
@@ -256,6 +268,9 @@ impl Engine {
             } else {
                 None
             },
+            faults,
+            fault_counts,
+            last_battery: vec![None; n],
             completed_buf: Vec::new(),
         }
     }
@@ -371,7 +386,13 @@ impl Engine {
                     let node = self.cluster.node(r);
                     let hier = &node.config().mem;
                     let split = w.split(hier, node.freq_hz());
-                    let cycles = w.scaled_cycles(hier);
+                    let mut cycles = w.scaled_cycles(hier);
+                    if let Some(f) = self.faults.as_deref() {
+                        // Straggler fault: stretch the cycle cost, not the
+                        // wall time, so transition pause/resume banking
+                        // stays consistent.
+                        cycles = f.scale_compute(r, cycles, &mut self.fault_counts);
+                    }
                     let factor = node
                         .config()
                         .power
@@ -848,12 +869,26 @@ impl Engine {
                 return SimDuration::ZERO;
             }
         }
+        if let Some(f) = self.faults.as_deref_mut() {
+            // Injected DVFS failure: the governor's request is silently
+            // dropped and the node stays at its current operating point,
+            // exactly like a cpufreq write that returned -EBUSY.
+            if f.dvfs_fails(node, &mut self.fault_counts) {
+                return SimDuration::ZERO;
+            }
+        }
         let old_freq = self.cluster.node(node).freq_hz();
         let from_mhz = self.cluster.node(node).operating_point().mhz();
-        let lat = self
+        let mut lat = self
             .cluster
             .node_mut(node)
             .begin_transition(self.now, target);
+        if let Some(f) = self.faults.as_deref() {
+            // Latency-spike fault: the engine stalls the CPU for the
+            // stretched latency. The node only tracks *that* it is in
+            // transition, so completing later is safe.
+            lat = f.spike_dvfs_latency(node, lat, &mut self.fault_counts);
+        }
         // Pause mid-flight active compute: bank progress in cycles.
         if let RState::ComputeActive {
             cycles_total,
@@ -926,6 +961,16 @@ impl Engine {
     // ----- sampling --------------------------------------------------------
 
     fn on_sample(&mut self) {
+        if let Some(f) = self.faults.as_deref_mut() {
+            // Skipped ACPI window: the whole row is dropped but the
+            // sampling cadence continues at the next interval.
+            if f.skip_sample(&mut self.fault_counts) {
+                if let Some(interval) = self.config.sample_interval {
+                    self.queue.push(self.now + interval, Event::Sample);
+                }
+                return;
+            }
+        }
         let n = self.cluster.len();
         let mut row = SampleRow {
             time: self.now,
@@ -935,18 +980,55 @@ impl Engine {
             node_battery_mwh: Vec::with_capacity(n),
         };
         for i in 0..n {
-            row.node_power_w.push(self.cluster.node(i).power_now());
+            let mut power = self.cluster.node(i).power_now();
+            if let Some(f) = self.faults.as_deref() {
+                // Meter bias only lies to the measurement tap; the
+                // ground-truth energy column stays honest so the outlier
+                // filter can spot the sick meter.
+                power = f.bias_power(i, power, &mut self.fault_counts);
+            }
+            row.node_power_w.push(power);
             row.node_energy_j
                 .push(self.cluster.node(i).energy(self.now).total_j());
             row.node_mhz
                 .push(self.cluster.node(i).operating_point().mhz());
-            row.node_battery_mwh
-                .push(self.cluster.node_mut(i).poll_battery(self.now));
+            row.node_battery_mwh.push(self.sample_battery(i));
         }
         self.samples.push(row);
         if let Some(interval) = self.config.sample_interval {
             self.queue.push(self.now + interval, Event::Sample);
         }
+    }
+
+    /// One node's battery reading for the current sample row, with the
+    /// degraded-mode ladder: a stuck register repeats its last reading; a
+    /// poll the battery model rejects falls back to the node's last
+    /// consistent reading (counted, never panicking); injected noise
+    /// perturbs whatever was read.
+    fn sample_battery(&mut self, i: usize) -> u64 {
+        if let Some(f) = self.faults.as_deref() {
+            if f.battery_stuck(i, self.now) {
+                if let Some(last) = self.last_battery[i] {
+                    self.fault_counts.battery_stuck_reads += 1;
+                    return last;
+                }
+                // No reading captured before the register froze: take one
+                // real poll below to have something to stick to.
+            }
+        }
+        let reading = match self.cluster.node_mut(i).poll_battery(self.now) {
+            Ok(r) => r,
+            Err(_) => {
+                self.fault_counts.battery_errors += 1;
+                self.last_battery[i].unwrap_or_else(|| self.cluster.node(i).battery_reading())
+            }
+        };
+        let reading = match self.faults.as_deref_mut() {
+            Some(f) => f.battery_noise(i, reading, &mut self.fault_counts),
+            None => reading,
+        };
+        self.last_battery[i] = Some(reading);
+        reading
     }
 
     // ----- teardown --------------------------------------------------------
@@ -1008,6 +1090,20 @@ impl Engine {
             for (mhz, d) in per_mhz {
                 m.gauge_set_owned(format!("engine.freq.residency_s.{mhz}mhz"), d.as_secs_f64());
             }
+            // Fault counters are only published when something was
+            // injected, so a fault-free run's registry is unchanged.
+            let c = self.fault_counts;
+            if c.total() > 0 {
+                m.counter_add("engine.faults.compute_slowdowns", c.compute_slowdowns);
+                m.counter_add("engine.faults.dvfs_failures", c.dvfs_failures);
+                m.counter_add("engine.faults.dvfs_latency_spikes", c.dvfs_latency_spikes);
+                m.counter_add("engine.faults.battery_stuck_reads", c.battery_stuck_reads);
+                m.counter_add("engine.faults.battery_noisy_reads", c.battery_noisy_reads);
+                m.counter_add("engine.faults.battery_errors", c.battery_errors);
+                m.counter_add("engine.faults.samples_skipped", c.samples_skipped);
+                m.counter_add("engine.faults.meter_biased_samples", c.meter_biased_samples);
+                m.counter_add("engine.faults.degraded_links", c.degraded_links);
+            }
         }
 
         RunResult {
@@ -1026,6 +1122,7 @@ impl Engine {
             trace_dropped,
             freq_residency,
             events: self.queue.processed_total(),
+            faults: self.fault_counts,
             metrics: self.metrics.map(|b| *b),
         }
     }

@@ -58,6 +58,7 @@ pub mod config;
 pub mod engine;
 #[cfg(test)]
 mod engine_tests;
+mod faults;
 pub mod program;
 pub mod result;
 
@@ -65,3 +66,7 @@ pub use config::{EngineConfig, MsgCostModel, WaitPolicy};
 pub use engine::Engine;
 pub use program::{Op, Program, ProgramBuilder, Rank, Tag};
 pub use result::{RankBreakdown, RunResult, SampleRow};
+// Fault-injection types come from sim-core; re-exported here because they
+// are configured through [`EngineConfig::faults`] and reported through
+// [`RunResult::faults`].
+pub use sim_core::{Fault, FaultCounts, FaultSpec};

@@ -2,7 +2,7 @@
 
 use obs::MetricsRegistry;
 use power_model::EnergyReport;
-use sim_core::{SimDuration, SimTime, TraceEvent};
+use sim_core::{FaultCounts, SimDuration, SimTime, TraceEvent};
 
 /// One periodic sample of cluster state (the engine's measurement tap;
 /// the `powerpack` crate turns these into ACPI/Baytech-style readings).
@@ -76,6 +76,10 @@ pub struct RunResult {
     /// simulator's work metric (events / wall-clock second is the
     /// benchmark throughput figure).
     pub events: u64,
+    /// How many faults the engine injected (and measurement errors it
+    /// degraded) during the run. All-zero unless
+    /// [`crate::EngineConfig::faults`] armed something.
+    pub faults: FaultCounts,
     /// PowerScope metrics collected during the run; `None` unless
     /// [`crate::EngineConfig::metrics`] was set.
     pub metrics: Option<MetricsRegistry>,
@@ -136,6 +140,7 @@ mod tests {
             trace_dropped: 0,
             freq_residency: vec![],
             events: 0,
+            faults: Default::default(),
             metrics: None,
         };
         assert_eq!(r.total_energy_j(), 300.0);
@@ -156,6 +161,7 @@ mod tests {
             trace_dropped: 0,
             freq_residency: vec![],
             events: 0,
+            faults: Default::default(),
             metrics: None,
         };
         assert_eq!(r.average_power_w(), 0.0);

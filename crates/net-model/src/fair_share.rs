@@ -27,7 +27,8 @@ pub struct FlowEndpoints {
 /// filling rounds per call) and the rare float-degenerate fallback freezes.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SolverStats {
-    /// Calls to [`FairShare::compute_into`].
+    /// Solver calls ([`FairShare::compute_into`] or
+    /// [`FairShare::compute_with_capacities_into`]).
     pub invocations: u64,
     /// Progressive-filling rounds across all calls (each round freezes at
     /// least one link's flows).
@@ -69,6 +70,37 @@ impl FairShare {
         rates: &mut Vec<f64>,
     ) {
         assert!(link_capacity > 0.0);
+        self.fill(flows, nodes, |_| link_capacity, loopback_capacity, rates);
+    }
+
+    /// Like [`FairShare::compute_into`] but with an individual full-duplex
+    /// link capacity per node (`capacities[n]` bounds both node `n`'s
+    /// uplink and downlink) — the degraded-link fault-injection path,
+    /// where one node's cable runs below the nominal rate. With uniform
+    /// capacities the allocation is bit-identical to `compute_into`.
+    pub fn compute_with_capacities_into(
+        &mut self,
+        flows: &[FlowEndpoints],
+        nodes: usize,
+        capacities: &[f64],
+        loopback_capacity: f64,
+        rates: &mut Vec<f64>,
+    ) {
+        assert_eq!(capacities.len(), nodes, "one capacity per node");
+        for &c in capacities {
+            assert!(c > 0.0 && c.is_finite(), "link capacity must be positive");
+        }
+        self.fill(flows, nodes, |n| capacities[n], loopback_capacity, rates);
+    }
+
+    fn fill<C: Fn(usize) -> f64>(
+        &mut self,
+        flows: &[FlowEndpoints],
+        nodes: usize,
+        capacity_of: C,
+        loopback_capacity: f64,
+        rates: &mut Vec<f64>,
+    ) {
         let n = flows.len();
         rates.clear();
         rates.resize(n, 0.0);
@@ -96,9 +128,12 @@ impl FairShare {
         }
 
         up_cap.clear();
-        up_cap.resize(nodes, link_capacity);
         down_cap.clear();
-        down_cap.resize(nodes, link_capacity);
+        for node in 0..nodes {
+            let c = capacity_of(node);
+            up_cap.push(c);
+            down_cap.push(c);
+        }
         up_count.clear();
         up_count.resize(nodes, 0);
         down_count.clear();
@@ -340,6 +375,67 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_endpoint_panics() {
         let _ = max_min_fair(&[flow(0, 9)], 2, C, C);
+    }
+
+    #[test]
+    fn uniform_capacities_match_compute_into_bitwise() {
+        let scenarios: Vec<Vec<FlowEndpoints>> = vec![
+            vec![flow(0, 1), flow(0, 2), flow(3, 2)],
+            vec![flow(0, 0), flow(0, 1), flow(2, 1), flow(2, 3)],
+            (0..20).map(|i| flow(i % 4, (i + 1) % 4)).collect(),
+        ];
+        let caps = [C; 4];
+        let mut uniform = Vec::new();
+        let mut per_node = Vec::new();
+        for flows in &scenarios {
+            FairShare::new().compute_into(flows, 4, C, C, &mut uniform);
+            FairShare::new().compute_with_capacities_into(flows, 4, &caps, C, &mut per_node);
+            assert_eq!(uniform.len(), per_node.len());
+            for (a, b) in uniform.iter().zip(&per_node) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_uplink_caps_its_flows_and_frees_the_rest() {
+        // Node 0's link runs at a quarter rate; its flow to 1 is capped at
+        // 25 while the untouched 2->3 pair still gets the full link.
+        let caps = [C / 4.0, C, C, C];
+        let mut rates = Vec::new();
+        FairShare::new().compute_with_capacities_into(
+            &[flow(0, 1), flow(2, 3)],
+            4,
+            &caps,
+            C,
+            &mut rates,
+        );
+        assert!((rates[0] - C / 4.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates[1] - C).abs() < 1e-9, "{rates:?}");
+    }
+
+    #[test]
+    fn degraded_downlink_redistributes_incast_share() {
+        // Two senders into a degraded node 0: they split the weak downlink.
+        let caps = [C / 2.0, C, C];
+        let mut rates = Vec::new();
+        FairShare::new().compute_with_capacities_into(
+            &[flow(1, 0), flow(2, 0)],
+            3,
+            &caps,
+            C,
+            &mut rates,
+        );
+        for r in &rates {
+            assert!((r - C / 4.0).abs() < 1e-9, "{rates:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacity per node")]
+    fn capacity_slice_must_cover_every_node() {
+        let mut rates = Vec::new();
+        FairShare::new().compute_with_capacities_into(&[flow(0, 1)], 3, &[C, C], C, &mut rates);
     }
 
     proptest! {

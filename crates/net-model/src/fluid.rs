@@ -60,6 +60,11 @@ pub struct FluidNetwork {
     /// Per node: how many live flows touch it as src or dst (a loopback
     /// flow counts twice). Makes `node_busy` O(1).
     node_touch: Vec<usize>,
+    /// Per-node link capacity overrides (bytes/s), present only when a
+    /// degraded-link fault is armed; `None` keeps every fast path on the
+    /// uniform-capacity code and the output bit-identical to a build
+    /// without fault support.
+    link_caps: Option<Vec<f64>>,
     last_advance: SimTime,
     total_bytes_delivered: f64,
     total_flows_completed: u64,
@@ -84,6 +89,7 @@ impl FluidNetwork {
             active_slots: Vec::new(),
             fabric_count: 0,
             node_touch: vec![0; nodes],
+            link_caps: None,
             last_advance: SimTime::ZERO,
             total_bytes_delivered: 0.0,
             total_flows_completed: 0,
@@ -97,6 +103,34 @@ impl FluidNetwork {
     /// Network parameters in force.
     pub fn params(&self) -> &NetworkParams {
         &self.params
+    }
+
+    /// Degrade `node`'s link to `factor` (in (0, 1]) of the nominal
+    /// goodput — the fault-injection path for a failing cable or duplex
+    /// mismatch. Call before traffic starts; cumulative if called twice
+    /// for the same node. A factor of exactly 1.0 on every node still
+    /// switches the solver to the per-node-capacity path, so only call
+    /// this when a link is genuinely degraded.
+    pub fn set_link_bandwidth_factor(&mut self, node: usize, factor: f64) {
+        assert!(node < self.nodes, "endpoint out of range");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "bandwidth factor must be in (0, 1]"
+        );
+        let goodput = self.params.goodput_bytes_per_sec();
+        let caps = self
+            .link_caps
+            .get_or_insert_with(|| vec![goodput; self.nodes]);
+        caps[node] *= factor;
+    }
+
+    /// The capacity of a lone fabric flow from `src` to `dst`: the full
+    /// nominal goodput unless either endpoint's link is degraded.
+    fn lone_flow_rate(&self, src: usize, dst: usize) -> f64 {
+        match &self.link_caps {
+            None => self.params.goodput_bytes_per_sec(),
+            Some(caps) => caps[src].min(caps[dst]),
+        }
     }
 
     /// Move the fluid state forward to `now`, draining flows at their
@@ -149,9 +183,10 @@ impl FluidNetwork {
         } else {
             self.fabric_count += 1;
             if self.fabric_count == 1 {
-                // A lone fabric flow takes the whole link.
-                self.flows[id].as_mut().unwrap().rate_bytes_per_sec =
-                    self.params.goodput_bytes_per_sec();
+                // A lone fabric flow takes the whole link (or the weaker
+                // of its two endpoints' links when one is degraded).
+                let rate = self.lone_flow_rate(src, dst);
+                self.flows[id].as_mut().unwrap().rate_bytes_per_sec = rate;
             } else {
                 self.recompute_rates();
             }
@@ -172,13 +207,22 @@ impl FluidNetwork {
             return;
         }
         self.total_rate_recomputes += 1;
-        self.solver.compute_into(
-            &self.scratch_endpoints,
-            self.nodes,
-            self.params.goodput_bytes_per_sec(),
-            LOOPBACK_BYTES_PER_SEC,
-            &mut self.scratch_rates,
-        );
+        match &self.link_caps {
+            None => self.solver.compute_into(
+                &self.scratch_endpoints,
+                self.nodes,
+                self.params.goodput_bytes_per_sec(),
+                LOOPBACK_BYTES_PER_SEC,
+                &mut self.scratch_rates,
+            ),
+            Some(caps) => self.solver.compute_with_capacities_into(
+                &self.scratch_endpoints,
+                self.nodes,
+                caps,
+                LOOPBACK_BYTES_PER_SEC,
+                &mut self.scratch_rates,
+            ),
+        }
         for (k, &slot) in self.active_slots.iter().enumerate() {
             self.flows[slot].as_mut().unwrap().rate_bytes_per_sec = self.scratch_rates[k];
         }
@@ -250,13 +294,13 @@ impl FluidNetwork {
                 0 => {} // only loopbacks remain; their rate is a constant
                 1 => {
                     // The survivor takes the whole link; no solver needed.
-                    let goodput = self.params.goodput_bytes_per_sec();
-                    for &slot in &self.active_slots {
-                        let f = self.flows[slot].as_mut().unwrap();
-                        if f.src != f.dst {
-                            f.rate_bytes_per_sec = goodput;
-                            break;
-                        }
+                    let survivor = self.active_slots.iter().copied().find_map(|slot| {
+                        let f = self.flows[slot].as_ref().unwrap();
+                        (f.src != f.dst).then_some((slot, f.src, f.dst))
+                    });
+                    if let Some((slot, src, dst)) = survivor {
+                        let rate = self.lone_flow_rate(src, dst);
+                        self.flows[slot].as_mut().unwrap().rate_bytes_per_sec = rate;
                     }
                 }
                 _ => self.recompute_rates(),
@@ -480,6 +524,50 @@ mod tests {
     #[should_panic(expected = "endpoint out of range")]
     fn bad_endpoint_panics() {
         net(2).start_flow(SimTime::ZERO, 0, 5, 10);
+    }
+
+    #[test]
+    fn degraded_link_slows_lone_flow() {
+        let mut n = net(2);
+        n.set_link_bandwidth_factor(1, 0.5);
+        let id = n.start_flow(SimTime::ZERO, 0, 1, 1_000_000);
+        let half = n.params().goodput_bytes_per_sec() / 2.0;
+        assert_eq!(n.current_rate(id).unwrap().to_bits(), half.to_bits());
+        // Flows avoiding the weak node still get the full link.
+        let mut ok = net(3);
+        ok.set_link_bandwidth_factor(2, 0.5);
+        let id = ok.start_flow(SimTime::ZERO, 0, 1, 1_000_000);
+        let full = ok.params().goodput_bytes_per_sec();
+        assert_eq!(ok.current_rate(id).unwrap().to_bits(), full.to_bits());
+    }
+
+    #[test]
+    fn degraded_link_survivor_fast_path_respects_cap() {
+        let mut n = net(3);
+        n.set_link_bandwidth_factor(2, 0.25);
+        n.start_flow(SimTime::ZERO, 0, 1, 1_000);
+        let long = n.start_flow(SimTime::ZERO, 0, 2, 50_000_000);
+        let t1 = n.next_completion().unwrap();
+        assert_eq!(n.take_completed(t1).len(), 1);
+        // The survivor crosses the weak link: a quarter rate, not full.
+        let quarter = n.params().goodput_bytes_per_sec() * 0.25;
+        assert!((n.current_rate(long).unwrap() - quarter).abs() < 1.0);
+    }
+
+    #[test]
+    fn degraded_link_factors_compose() {
+        let mut n = net(2);
+        n.set_link_bandwidth_factor(0, 0.5);
+        n.set_link_bandwidth_factor(0, 0.5);
+        let id = n.start_flow(SimTime::ZERO, 0, 1, 1_000_000);
+        let quarter = n.params().goodput_bytes_per_sec() * 0.25;
+        assert!((n.current_rate(id).unwrap() - quarter).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth factor")]
+    fn degraded_link_rejects_zero_factor() {
+        net(2).set_link_bandwidth_factor(0, 0.0);
     }
 }
 

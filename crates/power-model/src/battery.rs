@@ -11,6 +11,61 @@
 /// Joules per milliwatt-hour.
 pub const J_PER_MWH: f64 = 3.6;
 
+/// An anomalous reading from the measurement layer. Real instruments
+/// produce these (a stuck register, a reading that "recharges" the pack
+/// mid-run); the simulation surfaces them as values so harnesses can
+/// degrade — drop the sample, reuse the last good reading, filter the
+/// node — instead of aborting a whole batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MeasurementError {
+    /// `draw` was asked to add negative energy.
+    NegativeDraw {
+        /// Offending delta, joules.
+        joules: f64,
+    },
+    /// The cumulative drawn total went backwards — the battery would
+    /// have to recharge mid-experiment.
+    BatteryRecharged {
+        /// Cumulative joules recorded so far.
+        drawn_j: f64,
+        /// Smaller total the caller tried to set.
+        requested_j: f64,
+    },
+    /// The "after" ACPI reading is larger than the "before" one.
+    ReadingIncreased {
+        /// Reading at the start of the window, mWh.
+        before_mwh: u64,
+        /// Reading at the end of the window, mWh.
+        after_mwh: u64,
+    },
+}
+
+impl std::fmt::Display for MeasurementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            MeasurementError::NegativeDraw { joules } => {
+                write!(f, "cannot draw negative energy ({joules} J)")
+            }
+            MeasurementError::BatteryRecharged {
+                drawn_j,
+                requested_j,
+            } => write!(
+                f,
+                "battery cannot be recharged mid-experiment (drawn {drawn_j} -> {requested_j})"
+            ),
+            MeasurementError::ReadingIncreased {
+                before_mwh,
+                after_mwh,
+            } => write!(
+                f,
+                "battery reading increased ({before_mwh} -> {after_mwh} mWh)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MeasurementError {}
+
 /// A battery that discharges as the node consumes energy and reports
 /// remaining capacity quantized to whole mWh.
 #[derive(Debug, Clone)]
@@ -37,21 +92,29 @@ impl SmartBattery {
 
     /// Record that the node has drawn `joules` (cumulative total from an
     /// [`crate::EnergyMeter`], so pass the *delta* since the last call, or
-    /// use [`SmartBattery::set_drawn`] with the running total).
-    pub fn draw(&mut self, joules: f64) {
-        assert!(joules >= 0.0, "cannot draw negative energy");
+    /// use [`SmartBattery::set_drawn`] with the running total). A negative
+    /// delta is a [`MeasurementError`] and leaves the pack unchanged.
+    pub fn draw(&mut self, joules: f64) -> Result<(), MeasurementError> {
+        if joules < 0.0 {
+            return Err(MeasurementError::NegativeDraw { joules });
+        }
         self.drawn_j += joules;
+        Ok(())
     }
 
     /// Set the cumulative energy drawn since full charge (convenient when
-    /// the caller keeps the meter's running total).
-    pub fn set_drawn(&mut self, joules: f64) {
-        assert!(
-            joules >= self.drawn_j,
-            "battery cannot be recharged mid-experiment (drawn {} -> {joules})",
-            self.drawn_j
-        );
+    /// the caller keeps the meter's running total). A decreasing total —
+    /// the battery "recharging" mid-experiment — is a [`MeasurementError`]
+    /// and leaves the pack unchanged.
+    pub fn set_drawn(&mut self, joules: f64) -> Result<(), MeasurementError> {
+        if joules < self.drawn_j {
+            return Err(MeasurementError::BatteryRecharged {
+                drawn_j: self.drawn_j,
+                requested_j: joules,
+            });
+        }
         self.drawn_j = joules;
+        Ok(())
     }
 
     /// Remaining capacity as the ACPI interface reports it: whole mWh,
@@ -72,10 +135,16 @@ impl SmartBattery {
     }
 
     /// Energy between two ACPI readings, in joules — the paper's
-    /// measurement primitive (`(before - after) * 3.6 J`).
-    pub fn energy_between(before_mwh: u64, after_mwh: u64) -> f64 {
-        assert!(before_mwh >= after_mwh, "battery reading increased");
-        (before_mwh - after_mwh) as f64 * J_PER_MWH
+    /// measurement primitive (`(before - after) * 3.6 J`). A reading that
+    /// *increased* over the window is a [`MeasurementError`].
+    pub fn energy_between(before_mwh: u64, after_mwh: u64) -> Result<f64, MeasurementError> {
+        if before_mwh < after_mwh {
+            return Err(MeasurementError::ReadingIncreased {
+                before_mwh,
+                after_mwh,
+            });
+        }
+        Ok((before_mwh - after_mwh) as f64 * J_PER_MWH)
     }
 }
 
@@ -94,11 +163,11 @@ mod tests {
     #[test]
     fn draw_quantizes_downward() {
         let mut b = SmartBattery::new(1000.0);
-        b.draw(1.0); // far less than 1 mWh
+        b.draw(1.0).unwrap(); // far less than 1 mWh
         assert_eq!(b.reading_mwh(), 999); // floor: register already ticked
-        b.draw(2.6); // total 3.6 J = exactly 1 mWh
+        b.draw(2.6).unwrap(); // total 3.6 J = exactly 1 mWh
         assert_eq!(b.reading_mwh(), 999);
-        b.draw(3.6);
+        b.draw(3.6).unwrap();
         assert_eq!(b.reading_mwh(), 998);
     }
 
@@ -107,41 +176,77 @@ mod tests {
         let mut b = SmartBattery::inspiron_8600();
         let before = b.reading_mwh();
         let true_j = 5000.0;
-        b.draw(true_j);
+        b.draw(true_j).unwrap();
         let after = b.reading_mwh();
-        let measured = SmartBattery::energy_between(before, after);
+        let measured = SmartBattery::energy_between(before, after).unwrap();
         assert!((measured - true_j).abs() <= 2.0 * J_PER_MWH);
     }
 
     #[test]
     fn set_drawn_tracks_running_total() {
         let mut b = SmartBattery::new(100.0);
-        b.set_drawn(36.0);
+        b.set_drawn(36.0).unwrap();
         assert_eq!(b.reading_mwh(), 90);
-        b.set_drawn(72.0);
+        b.set_drawn(72.0).unwrap();
         assert_eq!(b.reading_mwh(), 80);
     }
 
     #[test]
-    #[should_panic(expected = "recharged")]
-    fn set_drawn_rejects_decrease() {
+    fn set_drawn_rejects_decrease_without_mutating() {
         let mut b = SmartBattery::new(100.0);
-        b.set_drawn(36.0);
-        b.set_drawn(10.0);
+        b.set_drawn(36.0).unwrap();
+        assert_eq!(
+            b.set_drawn(10.0),
+            Err(MeasurementError::BatteryRecharged {
+                drawn_j: 36.0,
+                requested_j: 10.0
+            })
+        );
+        // The pack keeps its last consistent state.
+        assert_eq!(b.reading_mwh(), 90);
+    }
+
+    #[test]
+    fn draw_rejects_negative_without_mutating() {
+        let mut b = SmartBattery::new(100.0);
+        assert_eq!(
+            b.draw(-1.0),
+            Err(MeasurementError::NegativeDraw { joules: -1.0 })
+        );
+        assert_eq!(b.reading_mwh(), 100);
     }
 
     #[test]
     fn exhaustion_clamps_at_zero() {
         let mut b = SmartBattery::new(1.0);
-        b.draw(1000.0);
+        b.draw(1000.0).unwrap();
         assert_eq!(b.reading_mwh(), 0);
         assert!(b.is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "reading increased")]
     fn energy_between_rejects_increase() {
-        let _ = SmartBattery::energy_between(10, 20);
+        assert_eq!(
+            SmartBattery::energy_between(10, 20),
+            Err(MeasurementError::ReadingIncreased {
+                before_mwh: 10,
+                after_mwh: 20
+            })
+        );
+    }
+
+    #[test]
+    fn measurement_errors_display_their_context() {
+        let e = MeasurementError::ReadingIncreased {
+            before_mwh: 10,
+            after_mwh: 20,
+        };
+        assert!(e.to_string().contains("increased"));
+        let e = MeasurementError::BatteryRecharged {
+            drawn_j: 36.0,
+            requested_j: 10.0,
+        };
+        assert!(e.to_string().contains("recharged"));
     }
 
     proptest! {
@@ -150,7 +255,7 @@ mod tests {
         fn prop_quantization_error_bounded(draws in proptest::collection::vec(0.0f64..100.0, 1..50)) {
             let mut b = SmartBattery::new(1_000_000.0);
             for d in draws {
-                b.draw(d);
+                b.draw(d).unwrap();
                 let exact = b.remaining_exact_mwh();
                 let read = b.reading_mwh() as f64;
                 prop_assert!(read <= exact + 1e-9);

@@ -26,7 +26,7 @@ pub mod op_point;
 pub mod params;
 
 pub use activity::{ActivityFactors, CpuActivity};
-pub use battery::SmartBattery;
+pub use battery::{MeasurementError, SmartBattery, J_PER_MWH};
 pub use meter::{Component, EnergyMeter, EnergyReport};
 pub use op_point::{DvfsLadder, OpIndex, OperatingPoint};
 pub use params::{CpuPowerParams, NodePowerParams};

@@ -52,6 +52,56 @@ pub fn most_deviant_node(samples: &[SampleRow]) -> Option<(usize, f64)> {
         .max_by(|a, b| a.1.total_cmp(&b.1))
 }
 
+/// Nodes whose time-average power deviates from the cluster mean by more
+/// than `rel_threshold` (a fraction of that mean, e.g. `0.25`). This is
+/// the decision rule behind the paper's data filtering: a node with a
+/// stuck battery, biased meter, or injected fault reads far enough from
+/// its peers that its profile should not pollute cluster aggregates.
+pub fn outlier_nodes(samples: &[SampleRow], rel_threshold: f64) -> Vec<usize> {
+    let avgs = node_average_power(samples);
+    if avgs.is_empty() {
+        return Vec::new();
+    }
+    let mean: f64 = avgs.iter().sum::<f64>() / avgs.len() as f64;
+    if !(mean > 0.0) {
+        return Vec::new();
+    }
+    avgs.iter()
+        .enumerate()
+        .filter(|&(_, &p)| (p - mean).abs() / mean > rel_threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// [`aligned_cluster_power`] with outlier nodes actually excluded from the
+/// aggregate: returns the filtered `(time, total watts)` profile plus the
+/// node indices that were dropped (per [`outlier_nodes`] at
+/// `rel_threshold`). With no outliers the profile is bit-identical to the
+/// unfiltered one.
+pub fn aligned_cluster_power_filtered(
+    samples: &[SampleRow],
+    rel_threshold: f64,
+) -> (Vec<(SimTime, f64)>, Vec<usize>) {
+    let excluded = outlier_nodes(samples, rel_threshold);
+    if excluded.is_empty() {
+        return (aligned_cluster_power(samples), excluded);
+    }
+    let profile = samples
+        .iter()
+        .map(|s| {
+            let total = s
+                .node_power_w
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !excluded.contains(i))
+                .map(|(_, p)| p)
+                .sum();
+            (s.time, total)
+        })
+        .collect();
+    (profile, excluded)
+}
+
 /// Align the exported power samples with the run's phase spans: every
 /// sample row is tagged with the names of phases active (on any node) at
 /// its timestamp, in first-begin order. This is the join the paper's
@@ -61,17 +111,43 @@ pub fn most_deviant_node(samples: &[SampleRow]) -> Option<(usize, f64)> {
 /// keeps its sampling cadence.
 pub fn align_samples_with_spans(result: &RunResult) -> Vec<(SimTime, f64, Vec<&'static str>)> {
     let intervals = phase_intervals(&result.trace);
-    aligned_cluster_power(&result.samples)
-        .into_iter()
-        .map(|(t, watts)| {
-            let mut active: Vec<&'static str> = Vec::new();
-            for &(_, name, start, end) in &intervals {
-                if start <= t && t <= end && !active.contains(&name) {
-                    active.push(name);
-                }
+    let profile = aligned_cluster_power(&result.samples);
+
+    // Sweep instead of rescanning every interval per sample (the legacy
+    // O(samples × intervals) join): visit samples in time order, opening
+    // intervals as their starts pass and dropping them once their
+    // inclusive ends do. Per-sample work is proportional to the intervals
+    // actually open at that instant. The open set is kept in first-begin
+    // (original) order so tag order and dedup match the full scan exactly.
+    let mut by_start: Vec<usize> = (0..intervals.len()).collect();
+    by_start.sort_by_key(|&i| intervals[i].2);
+    let mut sample_order: Vec<usize> = (0..profile.len()).collect();
+    sample_order.sort_by_key(|&s| profile[s].0);
+
+    let mut tags: Vec<Vec<&'static str>> = vec![Vec::new(); profile.len()];
+    let mut open: Vec<usize> = Vec::new();
+    let mut next = 0;
+    for &s in &sample_order {
+        let t = profile[s].0;
+        while next < by_start.len() && intervals[by_start[next]].2 <= t {
+            let idx = by_start[next];
+            let at = open.partition_point(|&o| o < idx);
+            open.insert(at, idx);
+            next += 1;
+        }
+        open.retain(|&i| t <= intervals[i].3);
+        let active = &mut tags[s];
+        for &i in &open {
+            let name = intervals[i].1;
+            if !active.contains(&name) {
+                active.push(name);
             }
-            (t, watts, active)
-        })
+        }
+    }
+    profile
+        .into_iter()
+        .zip(tags)
+        .map(|((t, watts), active)| (t, watts, active))
         .collect()
 }
 
@@ -150,6 +226,7 @@ mod tests {
             trace_dropped: 0,
             freq_residency: vec![],
             events: 0,
+            faults: Default::default(),
             metrics: None,
         };
         let aligned = align_samples_with_spans(&result);
@@ -164,5 +241,92 @@ mod tests {
         assert_eq!(tags[3], &["fft"], "span end is inclusive");
         assert_eq!(tags[4], &[] as &[&str]);
         assert!((aligned[2].1 - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_matches_full_scan_on_overlapping_spans() {
+        use mpi_sim::RunResult;
+        use power_model::EnergyReport;
+        use sim_core::{SimDuration, TraceDetail, TraceEvent, TraceKind};
+
+        let ev = |t: u64, node: usize, kind, name| TraceEvent {
+            time: SimTime::from_secs(t),
+            node,
+            kind,
+            detail: TraceDetail::Phase(name),
+        };
+        // Overlapping, nested, and repeated spans across nodes; the "io"
+        // span begins later but must still tag behind "fft" (first-begin
+        // order), and duplicate "fft" spans must dedup to one tag.
+        let trace = vec![
+            ev(1, 0, TraceKind::PhaseBegin, "fft"),
+            ev(2, 1, TraceKind::PhaseBegin, "io"),
+            ev(2, 1, TraceKind::PhaseBegin, "fft"),
+            ev(4, 1, TraceKind::PhaseEnd, "fft"),
+            ev(5, 0, TraceKind::PhaseEnd, "fft"),
+            ev(6, 1, TraceKind::PhaseEnd, "io"),
+        ];
+        let result = RunResult {
+            duration: SimDuration::from_secs(8),
+            per_node: vec![EnergyReport::default(); 2],
+            total: EnergyReport::default(),
+            breakdown: vec![Default::default(); 2],
+            transitions: vec![0; 2],
+            samples: (0..=8).map(|t| row(t, vec![20.0, 20.0])).collect(),
+            trace,
+            trace_dropped: 0,
+            freq_residency: vec![],
+            events: 0,
+            faults: Default::default(),
+            metrics: None,
+        };
+        let intervals = phase_intervals(&result.trace);
+        // Reference: the legacy full scan, inlined.
+        let expect: Vec<Vec<&str>> = aligned_cluster_power(&result.samples)
+            .into_iter()
+            .map(|(t, _)| {
+                let mut active: Vec<&'static str> = Vec::new();
+                for &(_, name, start, end) in &intervals {
+                    if start <= t && t <= end && !active.contains(&name) {
+                        active.push(name);
+                    }
+                }
+                active
+            })
+            .collect();
+        let got: Vec<Vec<&str>> = align_samples_with_spans(&result)
+            .into_iter()
+            .map(|(_, _, a)| a)
+            .collect();
+        assert_eq!(got, expect);
+        assert_eq!(got[3], vec!["fft", "io"], "first-begin order, deduped");
+    }
+
+    #[test]
+    fn outlier_nodes_flags_deviant_meter() {
+        let samples = vec![
+            row(0, vec![30.0, 30.0, 60.0]),
+            row(1, vec![30.0, 30.0, 60.0]),
+        ];
+        assert_eq!(outlier_nodes(&samples, 0.25), vec![2]);
+        assert!(outlier_nodes(&samples, 2.0).is_empty());
+        assert!(outlier_nodes(&[], 0.25).is_empty());
+    }
+
+    #[test]
+    fn filtered_cluster_power_excludes_outliers() {
+        let samples = vec![
+            row(0, vec![30.0, 30.0, 60.0]),
+            row(1, vec![30.0, 30.0, 60.0]),
+        ];
+        let (profile, excluded) = aligned_cluster_power_filtered(&samples, 0.25);
+        assert_eq!(excluded, vec![2]);
+        assert!((profile[0].1 - 60.0).abs() < 1e-12);
+        assert!((profile[1].1 - 60.0).abs() < 1e-12);
+        // No outliers => bit-identical to the unfiltered profile.
+        let healthy = vec![row(0, vec![30.0, 31.0]), row(1, vec![31.0, 30.0])];
+        let (p, e) = aligned_cluster_power_filtered(&healthy, 0.25);
+        assert!(e.is_empty());
+        assert_eq!(p, aligned_cluster_power(&healthy));
     }
 }

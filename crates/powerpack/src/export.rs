@@ -145,6 +145,7 @@ mod tests {
             trace_dropped: 0,
             freq_residency: vec![],
             events: 0,
+            faults: Default::default(),
             metrics: None,
         };
         let csv = summary_to_csv(&result);

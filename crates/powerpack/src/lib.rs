@@ -27,7 +27,8 @@ pub mod protocol;
 
 pub use acpi::{acpi_measured_energy, AcpiPoller};
 pub use align::{
-    align_samples_with_spans, aligned_cluster_power, most_deviant_node, node_average_power,
+    align_samples_with_spans, aligned_cluster_power, aligned_cluster_power_filtered,
+    most_deviant_node, node_average_power, outlier_nodes,
 };
 pub use battery_life::{battery_life_secs, runs_per_charge};
 pub use baytech::{baytech_energy, baytech_minute_averages};

@@ -193,6 +193,7 @@ mod tests {
             trace_dropped: 0,
             freq_residency: vec![],
             events: 0,
+            faults: Default::default(),
             metrics: None,
         };
         let profiles = profile_phases(&result);

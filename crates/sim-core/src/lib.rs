@@ -17,8 +17,12 @@
 //!   and the simulated `/proc/stat`.
 //! * [`trace`] — a bounded in-memory trace for debugging and for the
 //!   PowerPack-style profile alignment tools.
+//! * [`faults`] — typed, seed-deterministic fault-injection specs
+//!   (stragglers, sick batteries, flaky DVFS, weak links) consumed by the
+//!   engine; empty specs are guaranteed bit-identical to no spec at all.
 
 pub mod event;
+pub mod faults;
 pub mod hash;
 pub mod rng;
 pub mod stats;
@@ -26,6 +30,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, QueuedEvent};
+pub use faults::{Fault, FaultCounts, FaultSpec, DEFAULT_FAULT_SEED};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rng::DetRng;
 pub use stats::{OnlineStats, TimeWeighted};

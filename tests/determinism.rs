@@ -120,6 +120,68 @@ fn dynamic_transitions_match_instrumentation() {
 }
 
 #[test]
+fn empty_fault_spec_is_bit_identical_to_default_config() {
+    // The fault-injection hard guarantee: an empty spec arms nothing, so
+    // a run configured with it is byte-for-byte the run without it.
+    use pwrperf::FaultSpec;
+    let engine = EngineConfig {
+        sample_interval: Some(SimDuration::from_millis(50)),
+        faults: FaultSpec::parse("").expect("empty spec parses"),
+        ..EngineConfig::default()
+    };
+    let plain_engine = EngineConfig {
+        sample_interval: Some(SimDuration::from_millis(50)),
+        ..EngineConfig::default()
+    };
+    let strategy = DvsStrategy::DynamicBaseMhz(1400);
+    let with_empty = Experiment::new(Workload::ft_test(4), strategy)
+        .with_engine(engine)
+        .run();
+    let plain = Experiment::new(Workload::ft_test(4), strategy)
+        .with_engine(plain_engine)
+        .run();
+    assert_eq!(with_empty, plain);
+    assert_eq!(
+        with_empty.total_energy_j().to_bits(),
+        plain.total_energy_j().to_bits()
+    );
+    assert_eq!(with_empty.faults.total(), 0);
+}
+
+#[test]
+fn faulted_runs_are_bit_deterministic() {
+    // Same seed + same spec => bit-identical results, fault counts
+    // included: injected degradation is part of the reproducible state.
+    use pwrperf::FaultSpec;
+    let spec = FaultSpec::parse(
+        "seed:7,slow:2:1.5,battery-noise:1:3,skip-sample:0.3,dvfs-fail:0:0.4,dvfs-latency:3:5.0,weak-link:1:0.5,meter-bias:0:1.2,battery-stuck:3:1",
+    )
+    .expect("valid spec");
+    let make = || {
+        let engine = EngineConfig {
+            sample_interval: Some(SimDuration::from_millis(50)),
+            faults: spec.clone(),
+            ..EngineConfig::default()
+        };
+        Experiment::new(Workload::ft_test(4), DvsStrategy::DynamicBaseMhz(1400))
+            .with_engine(engine)
+            .run()
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a, b);
+    assert_eq!(a.total_energy_j().to_bits(), b.total_energy_j().to_bits());
+    for (x, y) in a.samples.iter().zip(&b.samples) {
+        for (p, q) in x.node_power_w.iter().zip(&y.node_power_w) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        assert_eq!(x.node_battery_mwh, y.node_battery_mwh);
+    }
+    assert_eq!(a.faults, b.faults);
+    assert!(a.faults.total() > 0, "the rich spec must actually fire");
+}
+
+#[test]
 fn faster_cluster_never_loses_on_delay() {
     // Sanity across the ladder: delay is monotone in frequency for a
     // fixed workload and static control.

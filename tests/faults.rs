@@ -1,0 +1,174 @@
+//! End-to-end fault injection: each fault kind produces its documented
+//! degradation, the degradation is measurable through the same pipeline
+//! the paper used (profiles, outlier filtering), and every injection is
+//! tallied in `RunResult::faults`.
+
+use powerpack::{aligned_cluster_power, aligned_cluster_power_filtered, most_deviant_node};
+use pwrperf::{DvsStrategy, EngineConfig, Experiment, Fault, FaultSpec, Workload};
+use sim_core::SimDuration;
+
+fn sampled_engine(faults: FaultSpec) -> EngineConfig {
+    EngineConfig {
+        sample_interval: Some(SimDuration::from_millis(10)),
+        faults,
+        ..EngineConfig::default()
+    }
+}
+
+fn run_with(strategy: DvsStrategy, faults: FaultSpec) -> pwrperf::RunResult {
+    Experiment::new(Workload::ft_test(4), strategy)
+        .with_engine(sampled_engine(faults))
+        .run()
+}
+
+fn baseline(strategy: DvsStrategy) -> pwrperf::RunResult {
+    run_with(strategy, FaultSpec::default())
+}
+
+#[test]
+fn compute_slowdown_makes_a_straggler() {
+    let spec = FaultSpec::default().with(Fault::ComputeSlowdown {
+        node: 0,
+        factor: 2.0,
+    });
+    let base = baseline(DvsStrategy::StaticMhz(1400));
+    let slow = run_with(DvsStrategy::StaticMhz(1400), spec);
+    assert!(
+        slow.duration_secs() > base.duration_secs() * 1.05,
+        "straggler must stretch the run: {} vs {}",
+        slow.duration_secs(),
+        base.duration_secs()
+    );
+    assert!(slow.faults.compute_slowdowns > 0);
+    // The straggler computes longer than in the healthy run.
+    assert!(slow.breakdown[0].compute > base.breakdown[0].compute);
+}
+
+#[test]
+fn degraded_link_slows_communication() {
+    let spec = FaultSpec::default().with(Fault::DegradedLink {
+        node: 0,
+        bandwidth_factor: 0.1,
+    });
+    let base = baseline(DvsStrategy::StaticMhz(1400));
+    let weak = run_with(DvsStrategy::StaticMhz(1400), spec);
+    assert!(
+        weak.duration_secs() > base.duration_secs(),
+        "FT's all-to-all must feel a 10x weaker link: {} vs {}",
+        weak.duration_secs(),
+        base.duration_secs()
+    );
+    assert_eq!(weak.faults.degraded_links, 1);
+}
+
+#[test]
+fn certain_dvfs_failure_pins_the_frequency() {
+    let mut spec = FaultSpec::default();
+    for node in 0..4 {
+        spec = spec.with(Fault::DvfsFail {
+            node,
+            probability: 1.0,
+        });
+    }
+    let base = baseline(DvsStrategy::DynamicBaseMhz(1400));
+    assert!(base.transitions.iter().all(|&t| t == 6), "healthy FT: 6");
+    let pinned = run_with(DvsStrategy::DynamicBaseMhz(1400), spec);
+    assert!(
+        pinned.transitions.iter().all(|&t| t == 0),
+        "every request must fail: {:?}",
+        pinned.transitions
+    );
+    assert!(pinned.faults.dvfs_failures > 0);
+}
+
+#[test]
+fn dvfs_latency_spike_stretches_transitions() {
+    let mut spec = FaultSpec::default();
+    for node in 0..4 {
+        spec = spec.with(Fault::DvfsLatency { node, factor: 50.0 });
+    }
+    let base = baseline(DvsStrategy::DynamicBaseMhz(1400));
+    let spiked = run_with(DvsStrategy::DynamicBaseMhz(1400), spec);
+    let stall = |r: &pwrperf::RunResult| -> SimDuration {
+        r.breakdown
+            .iter()
+            .map(|b| b.transition)
+            .fold(SimDuration::ZERO, |a, d| a + d)
+    };
+    assert!(stall(&spiked) > stall(&base));
+    assert!(spiked.faults.dvfs_latency_spikes > 0);
+    // Same number of transitions — only their cost changed.
+    assert_eq!(spiked.transitions, base.transitions);
+}
+
+#[test]
+fn stuck_battery_freezes_readings() {
+    let spec = FaultSpec::default().with(Fault::BatteryStuck {
+        node: 1,
+        after_s: 0.0,
+    });
+    let r = run_with(DvsStrategy::StaticMhz(1400), spec);
+    assert!(r.samples.len() > 2);
+    let first = r.samples[0].node_battery_mwh[1];
+    assert!(
+        r.samples.iter().all(|s| s.node_battery_mwh[1] == first),
+        "stuck register must repeat its first reading"
+    );
+    assert!(r.faults.battery_stuck_reads as usize >= r.samples.len() - 1);
+}
+
+#[test]
+fn skipped_sampling_windows_shrink_the_profile() {
+    let spec = FaultSpec::default().with(Fault::SampleSkip { probability: 0.5 });
+    let base = baseline(DvsStrategy::StaticMhz(1400));
+    let gappy = run_with(DvsStrategy::StaticMhz(1400), spec);
+    assert!(gappy.faults.samples_skipped > 0);
+    assert!(gappy.samples.len() < base.samples.len());
+    // Sampling is measurement-only: the run itself is unperturbed, so
+    // retained rows + skipped windows account for the full cadence.
+    assert_eq!(
+        gappy.samples.len() as u64 + gappy.faults.samples_skipped,
+        base.samples.len() as u64
+    );
+    assert_eq!(
+        gappy.total_energy_j().to_bits(),
+        base.total_energy_j().to_bits(),
+        "skipping measurements must not change the measured system"
+    );
+}
+
+#[test]
+fn biased_meter_is_caught_and_filtered_out() {
+    let spec = FaultSpec::default().with(Fault::MeterBias {
+        node: 2,
+        factor: 1.6,
+    });
+    let base = baseline(DvsStrategy::StaticMhz(1400));
+    let biased = run_with(DvsStrategy::StaticMhz(1400), spec);
+    assert!(biased.faults.meter_biased_samples > 0);
+    // The lie is visible in the measurement tap...
+    let (node, _) = most_deviant_node(&biased.samples).expect("samples exist");
+    assert_eq!(node, 2, "the sick meter is the outlier");
+    // ...but not in ground truth: the meter lies, the system doesn't.
+    assert_eq!(
+        biased.total_energy_j().to_bits(),
+        base.total_energy_j().to_bits()
+    );
+    // And the paper's filter actually excludes it from cluster aggregates.
+    let (filtered, excluded) = aligned_cluster_power_filtered(&biased.samples, 0.25);
+    assert_eq!(excluded, vec![2]);
+    let unfiltered = aligned_cluster_power(&biased.samples);
+    for ((_, f), (_, u)) in filtered.iter().zip(&unfiltered) {
+        assert!(f < u, "filtered profile drops the inflated node");
+    }
+}
+
+#[test]
+#[should_panic(expected = "targets node 9")]
+fn out_of_range_fault_target_is_rejected() {
+    let spec = FaultSpec::default().with(Fault::ComputeSlowdown {
+        node: 9,
+        factor: 2.0,
+    });
+    let _ = run_with(DvsStrategy::StaticMhz(1400), spec);
+}

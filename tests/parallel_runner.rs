@@ -1,12 +1,17 @@
-//! Determinism of the parallel batch runner: fanning experiments over
-//! worker threads must return results **bit-identical** to running them
-//! sequentially, in the same order. Both tests pin `PWRPERF_THREADS=4`
-//! (the same value, since the process environment is shared across test
-//! threads) so `run_batch` exercises the multi-worker path even on a
-//! single-core host.
+//! Determinism and degraded-mode behavior of the parallel batch runner:
+//! fanning experiments over worker threads must return results
+//! **bit-identical** to running them sequentially, in the same order —
+//! with or without fault injection armed — and a poisoned experiment must
+//! cost exactly its own slot, never the batch. Worker counts are pinned
+//! with the explicit `run_batch_with`/`BatchPolicy` overrides rather than
+//! `PWRPERF_THREADS` (mutating the shared process environment from one
+//! test races every sibling test that reads it).
 
 use mpi_sim::RunResult;
-use pwrperf::{run_batch, DvsStrategy, Experiment, Workload, THREADS_ENV};
+use pwrperf::{
+    run_batch_checked_with, run_batch_with, BatchPolicy, DvsStrategy, Experiment, FaultSpec,
+    Workload,
+};
 
 fn batch_for(workload: &Workload) -> Vec<Experiment> {
     vec![
@@ -33,9 +38,8 @@ fn energy_bits(results: &[RunResult]) -> Vec<u64> {
 }
 
 fn assert_parallel_matches_sequential(workload: &Workload) {
-    std::env::set_var(THREADS_ENV, "4");
-    let sequential: Vec<RunResult> = batch_for(workload).iter().map(Experiment::run).collect();
-    let parallel = run_batch(batch_for(workload));
+    let sequential = run_batch_with(batch_for(workload), Some(1));
+    let parallel = run_batch_with(batch_for(workload), Some(4));
     assert_eq!(parallel.len(), sequential.len());
     for (i, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
         assert_eq!(p, s, "experiment {i} diverged under parallel execution");
@@ -51,4 +55,89 @@ fn ft_b_batch_is_bit_identical_across_thread_counts() {
 #[test]
 fn transpose_batch_is_bit_identical_across_thread_counts() {
     assert_parallel_matches_sequential(&Workload::transpose_paper());
+}
+
+#[test]
+fn faulted_batch_is_bit_identical_across_thread_counts() {
+    // Fault injection draws from per-run seeded RNG, so worker count must
+    // not leak into faulted results either.
+    let spec =
+        FaultSpec::parse("seed:42,slow:1:1.3,skip-sample:0.2,dvfs-fail:0:0.5").expect("valid spec");
+    let make = |spec: &FaultSpec| -> Vec<Experiment> {
+        batch_for(&Workload::ft_test(4))
+            .into_iter()
+            .map(|e| e.with_faults(spec.clone()))
+            .collect()
+    };
+    let sequential = run_batch_with(make(&spec), Some(1));
+    let parallel = run_batch_with(make(&spec), Some(4));
+    assert_eq!(energy_bits(&parallel), energy_bits(&sequential));
+    for (i, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+        assert_eq!(p, s, "faulted experiment {i} diverged");
+        assert_eq!(p.faults, s.faults, "fault counts diverged at slot {i}");
+    }
+    // The spec actually fired (otherwise this test proves nothing).
+    assert!(sequential.iter().any(|r| r.faults.total() > 0));
+}
+
+/// An experiment whose construction panics (negative battery capacity
+/// trips `SmartBattery::new`'s validity assert) — the checked runner must
+/// contain the blast radius to its slot.
+fn poisoned(workload: &Workload) -> Experiment {
+    let node = cluster_sim::NodeConfig {
+        battery_mwh: -1.0,
+        ..cluster_sim::NodeConfig::inspiron_8600()
+    };
+    Experiment::new(workload.clone(), DvsStrategy::StaticMhz(800)).with_node_config(node)
+}
+
+#[test]
+fn checked_batch_isolates_a_panicking_slot() {
+    let w = Workload::ft_test(2);
+    let mut experiments = batch_for(&w);
+    experiments.insert(2, poisoned(&w));
+    let policy = BatchPolicy {
+        workers: Some(2),
+        retries: 1,
+    };
+    let outcomes = run_batch_checked_with(experiments, policy);
+    assert_eq!(outcomes.len(), 5);
+    // Exactly the poisoned slot fails; the error names it and its attempts.
+    let err = outcomes[2].as_ref().expect_err("slot 2 was poisoned");
+    assert_eq!(err.index, 2);
+    assert_eq!(err.attempts, 2, "one initial run + one retry");
+    assert!(
+        err.message.contains("capacity_mwh"),
+        "panic message surfaced: {}",
+        err.message
+    );
+    // Every other slot succeeded, in input order, bit-identical to a
+    // sequential run of the healthy batch.
+    let healthy = run_batch_with(batch_for(&w), Some(1));
+    let ok: Vec<&RunResult> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 2)
+        .map(|(_, r)| r.as_ref().expect("healthy slot"))
+        .collect();
+    for (h, o) in healthy.iter().zip(ok) {
+        assert_eq!(h, o);
+    }
+}
+
+#[test]
+fn checked_batch_with_no_failures_matches_unchecked() {
+    let w = Workload::ft_test(2);
+    let checked = run_batch_checked_with(
+        batch_for(&w),
+        BatchPolicy {
+            workers: Some(2),
+            retries: 0,
+        },
+    );
+    let plain = run_batch_with(batch_for(&w), Some(2));
+    assert_eq!(checked.len(), plain.len());
+    for (c, p) in checked.iter().zip(&plain) {
+        assert_eq!(c.as_ref().expect("no failures"), p);
+    }
 }
