@@ -117,11 +117,9 @@ impl BenchmarkGroup<'_> {
             max_samples: self.sample_size,
         };
         routine(&mut bencher);
-        let mean_ns = if bencher.iters == 0 {
-            0
-        } else {
-            bencher.total.as_nanos() as u64 / bencher.iters
-        };
+        let mean_ns = (bencher.total.as_nanos() as u64)
+            .checked_div(bencher.iters)
+            .unwrap_or(0);
         println!(
             "{}/{}  time: {} ns/iter  ({} iterations)",
             self.name, id.id, mean_ns, bencher.iters

@@ -188,17 +188,20 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 /// `tests/parallel_runner.rs`). A panicking experiment propagates after
 /// the whole batch has drained; use [`run_batch_checked`] to get per-slot
 /// errors instead.
+#[must_use]
 pub fn run_batch(experiments: Vec<Experiment>) -> Vec<RunResult> {
     parallel_map(&experiments, Experiment::run)
 }
 
 /// [`run_batch`] with an explicit worker-count override (`None` defers to
 /// `PWRPERF_THREADS`, then available parallelism).
+#[must_use]
 pub fn run_batch_with(experiments: Vec<Experiment>, workers: Option<usize>) -> Vec<RunResult> {
     parallel_map_telemetry_with(&experiments, Experiment::run, workers).0
 }
 
 /// [`run_batch`] with execution telemetry.
+#[must_use]
 pub fn run_batch_telemetry(experiments: Vec<Experiment>) -> (Vec<RunResult>, BatchTelemetry) {
     parallel_map_telemetry(&experiments, Experiment::run)
 }
@@ -208,11 +211,13 @@ pub fn run_batch_telemetry(experiments: Vec<Experiment>) -> (Vec<RunResult>, Bat
 /// other result intact and in input order. Uses [`BatchPolicy::default`]
 /// (environment-driven worker count, one retry); see
 /// [`run_batch_checked_with`] to tune either.
+#[must_use]
 pub fn run_batch_checked(experiments: Vec<Experiment>) -> Vec<Result<RunResult, ExperimentError>> {
     run_batch_checked_with(experiments, BatchPolicy::default())
 }
 
 /// [`run_batch_checked`] under an explicit [`BatchPolicy`].
+#[must_use]
 pub fn run_batch_checked_with(
     experiments: Vec<Experiment>,
     policy: BatchPolicy,
@@ -359,6 +364,7 @@ where
             })
             .collect();
         for (w, handle) in handles.into_iter().enumerate() {
+            // simlint: allow(panic-path): join fails only if a worker died outside catch_unwind; nothing sane to degrade to
             let (local, busy) = handle.join().expect("worker closures catch panics");
             per_worker_jobs[w] = local.len();
             per_worker_busy[w] = busy;
@@ -369,6 +375,7 @@ where
     });
     let results: Vec<Caught<R>> = results
         .into_iter()
+        // simlint: allow(panic-path): the atomic work-stealing counter claims every index exactly once; a hole is corrupted batch state
         .map(|r| r.expect("every claimed index produces a result"))
         .collect();
     let telemetry = BatchTelemetry {

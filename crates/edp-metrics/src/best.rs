@@ -35,6 +35,7 @@ pub fn efficiency_gain(crescendo: &Crescendo, delta: Delta) -> f64 {
         n.iter()
             .find(|(m, _, _)| *m == mhz)
             .map(|(_, e, d)| weighted_ed2p(*e, *d, delta))
+            // simlint: allow(panic-path): both probed frequencies come from this same crescendo's normalized() rows
             .expect("label from this crescendo")
     };
     let reference = metric(reference_mhz);

@@ -61,6 +61,7 @@ impl Crescendo {
             .points
             .iter()
             .max_by_key(|p| p.mhz)
+            // simlint: allow(panic-path): the doc contract says "Panics when empty"; callers gate on is_empty()
             .expect("crescendo is empty")
     }
 

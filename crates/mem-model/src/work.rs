@@ -58,7 +58,10 @@ impl WorkUnit {
 
     /// True when the segment contains no work.
     pub fn is_zero(&self) -> bool {
-        self.cpu_cycles == 0.0 && self.l2_accesses == 0.0 && self.dram_accesses == 0.0
+        use sim_core::float::exact_eq;
+        exact_eq(self.cpu_cycles, 0.0)
+            && exact_eq(self.l2_accesses, 0.0)
+            && exact_eq(self.dram_accesses, 0.0)
     }
 
     /// Frequency-scaled cycles: core execution plus on-die L2 service.

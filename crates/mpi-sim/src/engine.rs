@@ -298,7 +298,11 @@ impl Engine {
         }
 
         while let Some(ev) = self.queue.pop() {
-            debug_assert!(ev.time >= self.now, "event time went backwards");
+            // Always-on (not debug_assert): a time regression here would
+            // silently corrupt every downstream energy integral in release
+            // builds. The batch layer (`run_batch_checked`) converts the
+            // panic into a per-slot error.
+            assert!(ev.time >= self.now, "event time went backwards");
             self.now = ev.time;
             self.dispatch(ev.event);
             if self.finished == n {
@@ -785,6 +789,7 @@ impl Engine {
         for &(flow, src, dst) in completed.iter() {
             let id = self.flow_to_msg[flow.0]
                 .take()
+                // simlint: allow(panic-path): flow/message bookkeeping invariant; a miss means corrupted engine state and must stop the run
                 .expect("completed flow without a message");
             self.msgs[id].drained_at = Some(self.now);
             self.refresh_nic(src);
@@ -1037,6 +1042,7 @@ impl Engine {
         let end = self
             .ranks
             .iter()
+            // simlint: allow(panic-path): finalize runs only after the event loop retires every rank; an unfinished rank is corrupted engine state
             .map(|r| r.finish_time.expect("finalize with unfinished rank"))
             .max()
             .unwrap_or(SimTime::ZERO);

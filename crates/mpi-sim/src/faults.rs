@@ -14,6 +14,7 @@
 //! faults on any worker-thread count.
 
 use net_model::FluidNetwork;
+use sim_core::float::exact_eq;
 use sim_core::{DetRng, Fault, FaultCounts, FaultSpec, SimDuration, SimTime};
 
 /// Per-node fault state plus RNG streams, built once per run.
@@ -115,7 +116,7 @@ impl FaultRuntime {
     /// pause/resume cycle banking across DVFS transitions consistent.
     pub(crate) fn scale_compute(&self, node: usize, cycles: f64, counts: &mut FaultCounts) -> f64 {
         let factor = self.slowdown[node];
-        if factor == 1.0 {
+        if exact_eq(factor, 1.0) {
             return cycles;
         }
         counts.compute_slowdowns += 1;
@@ -143,7 +144,7 @@ impl FaultRuntime {
         counts: &mut FaultCounts,
     ) -> SimDuration {
         let factor = self.dvfs_latency[node];
-        if factor == 1.0 || latency.is_zero() {
+        if exact_eq(factor, 1.0) || latency.is_zero() {
             return latency;
         }
         counts.dvfs_latency_spikes += 1;
@@ -168,7 +169,7 @@ impl FaultRuntime {
     /// spot the sick meter against its healthy peers.
     pub(crate) fn bias_power(&self, node: usize, watts: f64, counts: &mut FaultCounts) -> f64 {
         let factor = self.meter_bias[node];
-        if factor == 1.0 {
+        if exact_eq(factor, 1.0) {
             return watts;
         }
         counts.meter_biased_samples += 1;
@@ -243,7 +244,7 @@ mod tests {
     #[test]
     fn draws_are_deterministic_per_seed() {
         let spec = FaultSpec::parse("seed:11,dvfs-fail:0:0.5,skip-sample:0.5").unwrap();
-        let mut run = || {
+        let run = || {
             let mut counts = FaultCounts::default();
             let mut rt = FaultRuntime::build(&spec, 2, &mut network(2), &mut counts).unwrap();
             let fails: Vec<bool> = (0..32).map(|_| rt.dvfs_fails(0, &mut counts)).collect();

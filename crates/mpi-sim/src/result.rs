@@ -50,6 +50,7 @@ impl RankBreakdown {
 
 /// The result of one simulated application run.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct RunResult {
     /// Wall-clock time from start to the last rank's completion.
     pub duration: SimDuration,

@@ -26,6 +26,7 @@ pub struct FlowEndpoints {
 /// through the observability layer to spot pathological contention (many
 /// filling rounds per call) and the rare float-degenerate fallback freezes.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[must_use]
 pub struct SolverStats {
     /// Solver calls ([`FairShare::compute_into`] or
     /// [`FairShare::compute_with_capacities_into`]).
@@ -156,7 +157,12 @@ impl FairShare {
                         bottleneck_share.min(down_cap[node] / down_count[node] as f64);
                 }
             }
-            debug_assert!(bottleneck_share.is_finite());
+            // Always-on: a NaN/infinite share would propagate into every
+            // flow rate and silently wreck completion times in release.
+            assert!(
+                bottleneck_share.is_finite(),
+                "fair-share bottleneck share is not finite"
+            );
 
             // Freeze every flow crossing a link that saturates at this share.
             let mut frozen_any = false;
@@ -192,13 +198,13 @@ impl FairShare {
                 for node in 0..nodes {
                     if up_count[node] > 0 {
                         let share = up_cap[node] / up_count[node] as f64;
-                        if min_link.map_or(true, |(_, _, s)| share < s) {
+                        if min_link.is_none_or(|(_, _, s)| share < s) {
                             min_link = Some((true, node, share));
                         }
                     }
                     if down_count[node] > 0 {
                         let share = down_cap[node] / down_count[node] as f64;
-                        if min_link.map_or(true, |(_, _, s)| share < s) {
+                        if min_link.is_none_or(|(_, _, s)| share < s) {
                             min_link = Some((false, node, share));
                         }
                     }

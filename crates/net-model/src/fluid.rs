@@ -45,6 +45,22 @@ struct ActiveFlow {
     rate_bytes_per_sec: f64,
 }
 
+/// The flow occupying an active slot. Active slots always hold `Some`:
+/// `start_flow` fills the slot before linking it into `active_slots`, and
+/// `take_completed_into` clears both together. Free functions (not
+/// methods) so callers can keep `active_slots` borrowed while touching
+/// `flows`.
+fn slot_flow(flows: &[Option<ActiveFlow>], slot: usize) -> &ActiveFlow {
+    // simlint: allow(panic-path): active-slot invariant documented above; corrupted bookkeeping must stop the run
+    flows[slot].as_ref().expect("active slot holds a flow")
+}
+
+/// Mutable counterpart of [`slot_flow`], same invariant.
+fn slot_flow_mut(flows: &mut [Option<ActiveFlow>], slot: usize) -> &mut ActiveFlow {
+    // simlint: allow(panic-path): active-slot invariant documented above; corrupted bookkeeping must stop the run
+    flows[slot].as_mut().expect("active slot holds a flow")
+}
+
 /// A switched network carrying fluid flows between `nodes` endpoints.
 #[derive(Debug)]
 pub struct FluidNetwork {
@@ -136,11 +152,13 @@ impl FluidNetwork {
     /// Move the fluid state forward to `now`, draining flows at their
     /// current rates. Idempotent for equal `now`.
     pub fn advance(&mut self, now: SimTime) {
-        debug_assert!(now >= self.last_advance, "network time went backwards");
+        // Always-on: `since` saturates, so a backwards `now` would silently
+        // under-drain every active flow in release builds.
+        assert!(now >= self.last_advance, "network time went backwards");
         let dt = now.since(self.last_advance).as_secs_f64();
         if dt > 0.0 {
             for &slot in &self.active_slots {
-                let f = self.flows[slot].as_mut().unwrap();
+                let f = slot_flow_mut(&mut self.flows, slot);
                 let moved = f.rate_bytes_per_sec * dt;
                 let drained = moved.min(f.remaining_bytes);
                 f.remaining_bytes -= drained;
@@ -179,14 +197,14 @@ impl FluidNetwork {
 
         if src == dst {
             // Loopback never contends: nobody else's rate changes.
-            self.flows[id].as_mut().unwrap().rate_bytes_per_sec = LOOPBACK_BYTES_PER_SEC;
+            slot_flow_mut(&mut self.flows, id).rate_bytes_per_sec = LOOPBACK_BYTES_PER_SEC;
         } else {
             self.fabric_count += 1;
             if self.fabric_count == 1 {
                 // A lone fabric flow takes the whole link (or the weaker
                 // of its two endpoints' links when one is degraded).
                 let rate = self.lone_flow_rate(src, dst);
-                self.flows[id].as_mut().unwrap().rate_bytes_per_sec = rate;
+                slot_flow_mut(&mut self.flows, id).rate_bytes_per_sec = rate;
             } else {
                 self.recompute_rates();
             }
@@ -197,7 +215,7 @@ impl FluidNetwork {
     fn recompute_rates(&mut self) {
         self.scratch_endpoints.clear();
         for &slot in &self.active_slots {
-            let f = self.flows[slot].as_ref().unwrap();
+            let f = slot_flow(&self.flows, slot);
             self.scratch_endpoints.push(FlowEndpoints {
                 src: f.src,
                 dst: f.dst,
@@ -224,7 +242,7 @@ impl FluidNetwork {
             ),
         }
         for (k, &slot) in self.active_slots.iter().enumerate() {
-            self.flows[slot].as_mut().unwrap().rate_bytes_per_sec = self.scratch_rates[k];
+            slot_flow_mut(&mut self.flows, slot).rate_bytes_per_sec = self.scratch_rates[k];
         }
     }
 
@@ -235,7 +253,7 @@ impl FluidNetwork {
     pub fn next_completion(&self) -> Option<SimTime> {
         let mut best: Option<f64> = None;
         for &slot in &self.active_slots {
-            let f = self.flows[slot].as_ref().unwrap();
+            let f = slot_flow(&self.flows, slot);
             let secs = if f.remaining_bytes <= EPS_BYTES {
                 0.0
             } else {
@@ -270,7 +288,7 @@ impl FluidNetwork {
         let mut keep = 0usize;
         for read in 0..self.active_slots.len() {
             let slot = self.active_slots[read];
-            let f = self.flows[slot].as_ref().unwrap();
+            let f = slot_flow(&self.flows, slot);
             if f.remaining_bytes <= EPS_BYTES {
                 let (src, dst) = (f.src, f.dst);
                 done.push((FlowId(slot), src, dst));
@@ -295,12 +313,12 @@ impl FluidNetwork {
                 1 => {
                     // The survivor takes the whole link; no solver needed.
                     let survivor = self.active_slots.iter().copied().find_map(|slot| {
-                        let f = self.flows[slot].as_ref().unwrap();
+                        let f = slot_flow(&self.flows, slot);
                         (f.src != f.dst).then_some((slot, f.src, f.dst))
                     });
                     if let Some((slot, src, dst)) = survivor {
                         let rate = self.lone_flow_rate(src, dst);
-                        self.flows[slot].as_mut().unwrap().rate_bytes_per_sec = rate;
+                        slot_flow_mut(&mut self.flows, slot).rate_bytes_per_sec = rate;
                     }
                 }
                 _ => self.recompute_rates(),

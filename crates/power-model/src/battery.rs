@@ -94,6 +94,7 @@ impl SmartBattery {
     /// [`crate::EnergyMeter`], so pass the *delta* since the last call, or
     /// use [`SmartBattery::set_drawn`] with the running total). A negative
     /// delta is a [`MeasurementError`] and leaves the pack unchanged.
+    #[must_use = "a rejected draw leaves the pack unchanged; the caller must decide how to degrade"]
     pub fn draw(&mut self, joules: f64) -> Result<(), MeasurementError> {
         if joules < 0.0 {
             return Err(MeasurementError::NegativeDraw { joules });
@@ -106,6 +107,7 @@ impl SmartBattery {
     /// the caller keeps the meter's running total). A decreasing total —
     /// the battery "recharging" mid-experiment — is a [`MeasurementError`]
     /// and leaves the pack unchanged.
+    #[must_use = "a rejected total leaves the pack unchanged; the caller must decide how to degrade"]
     pub fn set_drawn(&mut self, joules: f64) -> Result<(), MeasurementError> {
         if joules < self.drawn_j {
             return Err(MeasurementError::BatteryRecharged {
@@ -120,13 +122,13 @@ impl SmartBattery {
     /// Remaining capacity as the ACPI interface reports it: whole mWh,
     /// floored (the register counts down), clamped at zero.
     pub fn reading_mwh(&self) -> u64 {
-        let remaining = (self.initial_mwh - self.drawn_j / J_PER_MWH).max(0.0);
-        remaining.floor() as u64
+        self.remaining_exact_mwh().floor() as u64
     }
 
     /// Ground-truth remaining capacity, mWh (not quantized).
     pub fn remaining_exact_mwh(&self) -> f64 {
-        (self.initial_mwh - self.drawn_j / J_PER_MWH).max(0.0)
+        let drawn_mwh = self.drawn_j / J_PER_MWH;
+        (self.initial_mwh - drawn_mwh).max(0.0)
     }
 
     /// True once the pack is exhausted.
@@ -137,6 +139,7 @@ impl SmartBattery {
     /// Energy between two ACPI readings, in joules — the paper's
     /// measurement primitive (`(before - after) * 3.6 J`). A reading that
     /// *increased* over the window is a [`MeasurementError`].
+    #[must_use = "a dropped reading (or error) must not pass silently"]
     pub fn energy_between(before_mwh: u64, after_mwh: u64) -> Result<f64, MeasurementError> {
         if before_mwh < after_mwh {
             return Err(MeasurementError::ReadingIncreased {

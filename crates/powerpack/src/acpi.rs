@@ -59,15 +59,15 @@ impl<'a> AcpiPoller<'a> {
 ///
 /// Returns one value per node; empty input yields an empty vector.
 pub fn acpi_measured_energy(samples: &[SampleRow], refresh: SimDuration) -> Vec<f64> {
-    if samples.is_empty() {
+    let (Some(first), Some(last)) = (samples.first(), samples.last()) else {
         return Vec::new();
-    }
+    };
     let poller = AcpiPoller::new(samples, refresh);
-    let nodes = samples[0].node_battery_mwh.len();
-    let end = samples.last().unwrap().time;
+    let nodes = first.node_battery_mwh.len();
+    let end = last.time;
     (0..nodes)
         .map(|node| {
-            let before = samples[0].node_battery_mwh[node];
+            let before = first.node_battery_mwh[node];
             let after = poller.reading_at(node, end).unwrap_or(before);
             (before.saturating_sub(after)) as f64 * J_PER_MWH
         })

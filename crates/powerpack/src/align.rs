@@ -12,6 +12,7 @@ use sim_core::SimTime;
 use crate::phases::phase_intervals;
 
 /// Cluster-wide power profile: `(time, total watts)` per sample.
+#[must_use]
 pub fn aligned_cluster_power(samples: &[SampleRow]) -> Vec<(SimTime, f64)> {
     samples
         .iter()
@@ -21,10 +22,10 @@ pub fn aligned_cluster_power(samples: &[SampleRow]) -> Vec<(SimTime, f64)> {
 
 /// Time-average power of each node over the sampled window, watts.
 pub fn node_average_power(samples: &[SampleRow]) -> Vec<f64> {
-    if samples.is_empty() {
+    let Some(first) = samples.first() else {
         return Vec::new();
-    }
-    let nodes = samples[0].node_power_w.len();
+    };
+    let nodes = first.node_power_w.len();
     let mut sums = vec![0.0f64; nodes];
     for s in samples {
         for (i, p) in s.node_power_w.iter().enumerate() {
@@ -63,7 +64,7 @@ pub fn outlier_nodes(samples: &[SampleRow], rel_threshold: f64) -> Vec<usize> {
         return Vec::new();
     }
     let mean: f64 = avgs.iter().sum::<f64>() / avgs.len() as f64;
-    if !(mean > 0.0) {
+    if mean.is_nan() || mean <= 0.0 {
         return Vec::new();
     }
     avgs.iter()
@@ -78,6 +79,7 @@ pub fn outlier_nodes(samples: &[SampleRow], rel_threshold: f64) -> Vec<usize> {
 /// node indices that were dropped (per [`outlier_nodes`] at
 /// `rel_threshold`). With no outliers the profile is bit-identical to the
 /// unfiltered one.
+#[must_use]
 pub fn aligned_cluster_power_filtered(
     samples: &[SampleRow],
     rel_threshold: f64,

@@ -18,10 +18,10 @@ pub fn baytech_minute_averages(samples: &[SampleRow]) -> Vec<Vec<f64>> {
 
 /// Generalized window averaging (exposed for tests and ablations).
 pub fn minute_averages(samples: &[SampleRow], window: SimDuration) -> Vec<Vec<f64>> {
-    if samples.is_empty() {
+    let Some(first) = samples.first() else {
         return Vec::new();
-    }
-    let nodes = samples[0].node_power_w.len();
+    };
+    let nodes = first.node_power_w.len();
     let w = window.as_ps();
     assert!(w > 0, "window must be positive");
     let mut out: Vec<Vec<f64>> = Vec::new();
@@ -56,13 +56,13 @@ pub fn minute_averages(samples: &[SampleRow], window: SimDuration) -> Vec<Vec<f6
 /// Undercounts the trailing partial minute, as the real strip does.
 pub fn baytech_energy(samples: &[SampleRow]) -> Vec<f64> {
     let windows = baytech_minute_averages(samples);
-    if windows.is_empty() {
+    let Some(first_window) = windows.first() else {
         return samples
             .first()
             .map(|s| vec![0.0; s.node_power_w.len()])
             .unwrap_or_default();
-    }
-    let nodes = windows[0].len();
+    };
+    let nodes = first_window.len();
     (0..nodes)
         .map(|n| windows.iter().map(|w| w[n] * 60.0).sum())
         .collect()

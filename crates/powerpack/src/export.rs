@@ -8,10 +8,10 @@ use sim_core::{TraceEvent, TraceKind};
 /// energy column per node, plus per-node frequency.
 pub fn samples_to_csv(samples: &[SampleRow]) -> String {
     let mut out = String::new();
-    if samples.is_empty() {
+    let Some(first) = samples.first() else {
         return out;
-    }
-    let nodes = samples[0].node_power_w.len();
+    };
+    let nodes = first.node_power_w.len();
     out.push_str("time_s");
     for n in 0..nodes {
         out.push_str(&format!(

@@ -6,10 +6,10 @@
 //! (PhaseBegin/PhaseEnd records) against its power samples and produces
 //! per-phase totals.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mpi_sim::{RunResult, SampleRow};
-use sim_core::{SimDuration, SimTime, TraceEvent, TraceKind};
+use sim_core::{FxHashMap, SimDuration, SimTime, TraceEvent, TraceKind};
 
 /// Aggregated statistics for one named phase.
 #[derive(Debug, Clone, Default)]
@@ -24,15 +24,16 @@ pub struct PhaseProfile {
     pub energy_j: f64,
 }
 
-/// Per-phase profiles keyed by phase name.
-pub type PhaseMap = HashMap<String, PhaseProfile>;
+/// Per-phase profiles keyed by phase name. A `BTreeMap` so iterating a
+/// profile (reports, CSV export) visits phases in a stable order.
+pub type PhaseMap = BTreeMap<String, PhaseProfile>;
 
 /// Collect matched (rank, name, start, end) intervals from a trace.
 /// Unbalanced markers (an end without a begin, or a begin never closed)
 /// are ignored, mirroring the paper's tooling which drops truncated
 /// records at run edges.
 pub fn phase_intervals(trace: &[TraceEvent]) -> Vec<(usize, &'static str, SimTime, SimTime)> {
-    let mut open: HashMap<(usize, &'static str), SimTime> = HashMap::new();
+    let mut open: FxHashMap<(usize, &'static str), SimTime> = FxHashMap::default();
     let mut out = Vec::new();
     for ev in trace {
         let Some(name) = ev.detail.phase() else {
@@ -77,8 +78,9 @@ fn energy_at(samples: &[SampleRow], node: usize, t: SimTime) -> Option<f64> {
         e0 = e1;
     }
     // Past the last sample: extrapolate with its instantaneous power.
-    let last = samples.last().unwrap();
-    Some(last.node_energy_j[node] + last.node_power_w[node] * t.since(last.time).as_secs_f64())
+    let last = samples.last()?;
+    let tail_j = last.node_power_w[node] * t.since(last.time).as_secs_f64();
+    Some(last.node_energy_j[node] + tail_j)
 }
 
 /// Energy consumed by `node` over `[start, end]`, from the sample series.
@@ -93,7 +95,7 @@ fn interval_energy(
 
 /// Profile every named phase in a run.
 pub fn profile_phases(result: &RunResult) -> PhaseMap {
-    let mut map: PhaseMap = HashMap::new();
+    let mut map: PhaseMap = PhaseMap::new();
     for (node, name, start, end) in phase_intervals(&result.trace) {
         let entry = map.entry(name.to_string()).or_default();
         entry.occurrences += 1;

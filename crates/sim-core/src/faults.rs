@@ -299,6 +299,7 @@ fn check_probability(entry: &str, value: f64) -> Result<(), String> {
 /// plus measurement errors it degraded instead of panicking on. Always
 /// present in the run result; all-zero when no faults were armed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[must_use]
 pub struct FaultCounts {
     /// Compute segments stretched by a straggler factor.
     pub compute_slowdowns: u64,

@@ -1,0 +1,58 @@
+//! The approved float-comparison helpers.
+//!
+//! Raw `==`/`!=` on `f64` is forbidden in engine code (simlint's
+//! `float-eq` rule): most call sites actually mean "close enough", and the
+//! few that really mean bitwise identity should say so. These helpers are
+//! the two vocabularies — everything else in the workspace goes through
+//! them.
+
+/// Absolute-epsilon comparison: `|a - b| <= eps`. NaN never compares
+/// equal to anything.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// Relative comparison: `|a - b| <= rel * max(|a|, |b|)`, with an
+/// absolute floor of `rel` itself so values near zero still match.
+#[inline]
+pub fn rel_eq(a: f64, b: f64, rel: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= rel * scale
+}
+
+/// Intentional exact comparison, for sentinel values (`factor == 1.0`
+/// meaning "fault not armed", `cycles == 0.0` meaning "no work") where the
+/// value was *assigned*, never computed, and bitwise identity is the
+/// contract. The name exists so the intent survives review.
+#[inline]
+pub fn exact_eq(a: f64, b: f64) -> bool {
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_tolerates_eps() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1e-9));
+    }
+
+    #[test]
+    fn rel_eq_scales_with_magnitude() {
+        assert!(rel_eq(1e12, 1e12 * (1.0 + 1e-10), 1e-9));
+        assert!(!rel_eq(1e12, 1.01e12, 1e-9));
+        // Near-zero values use the absolute floor.
+        assert!(rel_eq(0.0, 1e-12, 1e-9));
+    }
+
+    #[test]
+    fn exact_eq_is_bitwise() {
+        assert!(exact_eq(1.0, 1.0));
+        assert!(!exact_eq(1.0, 1.0 + f64::EPSILON));
+        assert!(!exact_eq(f64::NAN, f64::NAN));
+    }
+}

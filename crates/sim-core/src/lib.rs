@@ -23,6 +23,7 @@
 
 pub mod event;
 pub mod faults;
+pub mod float;
 pub mod hash;
 pub mod rng;
 pub mod stats;

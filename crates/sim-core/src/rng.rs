@@ -36,7 +36,8 @@ impl DetRng {
     /// per-node jitter does not depend on the order nodes are simulated.
     pub fn fork(&self, stream: u64) -> DetRng {
         // Mix the stream id into fresh splitmix output from our state.
-        let mut s = self.state[0] ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+        let [s0, ..] = self.state;
+        let mut s = s0 ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
         let state = [
             splitmix64(&mut s),
             splitmix64(&mut s),
@@ -48,15 +49,15 @@ impl DetRng {
 
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let s = &mut self.state;
-        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
-        let t = s[1] << 17;
-        s[2] ^= s[0];
-        s[3] ^= s[1];
-        s[1] ^= s[2];
-        s[0] ^= s[3];
-        s[2] ^= t;
-        s[3] = s[3].rotate_left(45);
+        let [s0, s1, s2, s3] = &mut self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = *s1 << 17;
+        *s2 ^= *s0;
+        *s3 ^= *s1;
+        *s1 ^= *s2;
+        *s0 ^= *s3;
+        *s2 ^= t;
+        *s3 = s3.rotate_left(45);
         result
     }
 

@@ -41,7 +41,10 @@ impl TimeWeighted {
     /// Accumulate up to `now` without changing the value.
     #[inline]
     pub fn advance(&mut self, now: SimTime) {
-        debug_assert!(
+        // Always-on: `since` saturates, so a backwards `now` would silently
+        // drop the open segment from the integral in release builds —
+        // energy-accounting corruption, not a debug-only nicety.
+        assert!(
             now >= self.last_change,
             "time went backwards: {now:?} < {:?}",
             self.last_change
@@ -66,7 +69,9 @@ impl TimeWeighted {
     /// readable at or after their latest change).
     #[inline]
     pub fn integral_at(&self, now: SimTime) -> f64 {
-        debug_assert!(
+        // Always-on for the same reason as `advance`: saturating `since`
+        // would silently truncate the reported integral.
+        assert!(
             now >= self.last_change,
             "integral_at({now:?}) precedes last change {:?}",
             self.last_change

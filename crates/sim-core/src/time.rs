@@ -165,6 +165,7 @@ impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
+        // simlint: allow(panic-path): overflowing the 580-year picosecond clock is a caller bug; operator impls cannot return Result
         SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
     }
 }
@@ -181,6 +182,7 @@ impl Sub<SimTime> for SimTime {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // simlint: allow(panic-path): subtracting a later time is a caller bug; operator impls cannot return Result
                 .expect("SimTime subtraction underflow"),
         )
     }
@@ -189,6 +191,7 @@ impl Sub<SimTime> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
+        // simlint: allow(panic-path): overflowing the 580-year picosecond span is a caller bug; operator impls cannot return Result
         SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
     }
 }
@@ -205,6 +208,7 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // simlint: allow(panic-path): subtracting a longer span is a caller bug; operator impls cannot return Result
                 .expect("SimDuration subtraction underflow"),
         )
     }
@@ -219,6 +223,7 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
+        // simlint: allow(panic-path): overflowing the 580-year picosecond span is a caller bug; operator impls cannot return Result
         SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
     }
 }

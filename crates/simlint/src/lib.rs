@@ -1,0 +1,186 @@
+//! simlint — a static-analysis pass over the simulator crates.
+//!
+//! Built on the vendored `compat/syn` + `compat/proc-macro2` shims (the
+//! same offline pattern as the proptest/criterion shims), it parses every
+//! `.rs` file in the in-scope crates and enforces the determinism,
+//! unit-safety, error-discipline, and float-equality conventions that the
+//! replay guarantee rests on. See DESIGN.md §11 for the rule catalogue and
+//! the allow-comment grammar.
+//!
+//! Library layout:
+//!
+//! * [`config`] — rule ids, scope, blessed unit types;
+//! * [`allow`] — the `// simlint: allow(rule): why` grammar;
+//! * [`scan`] — token-stream flattening and unit-chain walkers;
+//! * [`rules`] — the rule implementations ([`lint_source`]);
+//! * this module — file discovery, orchestration, and rendering.
+
+pub mod allow;
+pub mod config;
+pub mod rules;
+pub mod scan;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use rules::{lint_source, Finding};
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Every `.rs` file in the in-scope crates' `src/` trees, as
+/// `(workspace-relative unix path, absolute path)` pairs, sorted so runs
+/// are deterministic.
+pub fn discover_files(root: &Path, cfg: &Config) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    for krate in &cfg.scope_crates {
+        let src = root.join("crates").join(krate).join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut out)?;
+        }
+    }
+    let mut pairs: Vec<(String, PathBuf)> = out
+        .into_iter()
+        .map(|abs| (rel_unix(root, &abs), abs))
+        .collect();
+    pairs.sort();
+    Ok(pairs)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_unix(root: &Path, abs: &Path) -> String {
+    let rel = abs.strip_prefix(root).unwrap_or(abs);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Lint the whole workspace under `root` with `cfg`; findings come back
+/// sorted by (file, line, column, rule).
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Finding>> {
+    let files = discover_files(root, cfg)?;
+    let mut findings = Vec::new();
+    for (rel, abs) in files {
+        let src = fs::read_to_string(&abs)?;
+        findings.extend(lint_source(&rel, &src, cfg));
+    }
+    sort_findings(&mut findings);
+    Ok(findings)
+}
+
+/// Lint an explicit set of files (paths relative to `root` or absolute).
+pub fn lint_paths(root: &Path, paths: &[PathBuf], cfg: &Config) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for p in paths {
+        let abs = if p.is_absolute() {
+            p.clone()
+        } else {
+            root.join(p)
+        };
+        let src = fs::read_to_string(&abs)?;
+        findings.extend(lint_source(&rel_unix(root, &abs), &src, cfg));
+    }
+    sort_findings(&mut findings);
+    Ok(findings)
+}
+
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.column, a.rule).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.column,
+            b.rule,
+        ))
+    });
+}
+
+/// rustc-style text rendering: `file:line:col: error[rule]: message`.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: error[{}]: {}",
+            f.file, f.line, f.column, f.rule, f.message
+        );
+    }
+    if findings.is_empty() {
+        out.push_str("simlint: no findings\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "simlint: {} finding{}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+    }
+    out
+}
+
+/// JSON rendering: `{"findings": [...], "count": N}`. Hand-rolled — the
+/// container has no serde and the shape is flat.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"column\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.column,
+            f.rule,
+            json_escape(&f.message)
+        );
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    let _ = write!(out, "],\n  \"count\": {}\n}}\n", findings.len());
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

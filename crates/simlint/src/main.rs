@@ -1,0 +1,107 @@
+//! simlint CLI.
+//!
+//! ```text
+//! simlint [--json] [--deny] [--list-rules] [--root DIR] [--skip-rule ID]... [PATH...]
+//! ```
+//!
+//! With no PATHs, lints every in-scope crate of the enclosing workspace
+//! (found by walking up to a `Cargo.toml` with `[workspace]`). `--deny`
+//! makes any finding exit nonzero — that is what CI runs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::{
+    config::RULES, find_workspace_root, lint_paths, lint_workspace, render_json, render_text,
+    Config,
+};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut cfg = Config::workspace_default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--list-rules" => {
+                for (id, desc) in RULES {
+                    println!("{id:<22} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--skip-rule" => match args.next() {
+                Some(id) => {
+                    if !RULES.iter().any(|(r, _)| *r == id) {
+                        return usage_error(&format!("unknown rule `{id}` (see --list-rules)"));
+                    }
+                    cfg.skip_rules.insert(id);
+                }
+                None => return usage_error("--skip-rule needs a rule id"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: simlint [--json] [--deny] [--list-rules] [--root DIR] \
+                     [--skip-rule ID]... [PATH...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag `{other}`"));
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("simlint: cannot read current dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match root_arg.or_else(|| find_workspace_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!("simlint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let result = if paths.is_empty() {
+        lint_workspace(&root, &cfg)
+    } else {
+        lint_paths(&root, &paths, &cfg)
+    };
+    let findings = match result {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_text(&findings));
+    }
+    if deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("simlint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,143 @@
+//! Fixture self-tests: each rule family has a bad fixture that must fire
+//! the expected rules and a good fixture that must be silent. Fixtures
+//! live under `tests/fixtures/` and are parsed, never compiled.
+
+use std::collections::BTreeSet;
+
+use simlint::{lint_source, Config, Finding};
+
+/// Lint a fixture as if it lived at `rel_path` inside the workspace.
+fn lint_fixture(name: &str, rel_path: &str) -> Vec<Finding> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    lint_source(rel_path, &src, &Config::workspace_default())
+}
+
+fn rule_set(findings: &[Finding]) -> BTreeSet<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+fn count_rule(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn determinism_bad_fires_all_four_rules() {
+    let f = lint_fixture("determinism_bad.rs", "crates/sim-core/src/fixture.rs");
+    let rules = rule_set(&f);
+    assert!(rules.contains("nondet-collections"), "{f:?}");
+    assert!(rules.contains("wall-clock"), "{f:?}");
+    assert!(rules.contains("ambient-rng"), "{f:?}");
+    assert!(rules.contains("env-read"), "{f:?}");
+    // Determinism rules stay active inside #[cfg(test)] modules.
+    assert!(
+        f.iter()
+            .any(|x| x.rule == "nondet-collections" && x.line > 30),
+        "test-mod HashMap must still be flagged: {f:?}"
+    );
+}
+
+#[test]
+fn determinism_good_is_silent() {
+    let f = lint_fixture("determinism_good.rs", "crates/sim-core/src/fixture.rs");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn env_read_is_sanctioned_only_in_the_runner_funnel() {
+    let f = lint_fixture("determinism_bad.rs", "crates/core/src/runner.rs");
+    assert_eq!(count_rule(&f, "env-read"), 0, "{f:?}");
+    let f = lint_fixture("determinism_bad.rs", "crates/core/src/other.rs");
+    assert!(count_rule(&f, "env-read") > 0, "{f:?}");
+}
+
+#[test]
+fn units_bad_fires_type_and_mix_rules() {
+    let f = lint_fixture("units_bad.rs", "crates/power-model/src/fixture.rs");
+    assert_eq!(count_rule(&f, "unit-suffix-type"), 3, "{f:?}");
+    assert_eq!(count_rule(&f, "unit-mix"), 3, "{f:?}");
+}
+
+#[test]
+fn units_good_is_silent() {
+    let f = lint_fixture("units_good.rs", "crates/power-model/src/fixture.rs");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn errors_bad_fires_panic_index_and_must_use_rules() {
+    let f = lint_fixture("errors_bad.rs", "crates/power-model/src/fixture.rs");
+    // unwrap, expect, panic!, unreachable!
+    assert_eq!(count_rule(&f, "panic-path"), 4, "{f:?}");
+    assert_eq!(count_rule(&f, "literal-index"), 1, "{f:?}");
+    // RunResult type, run_batch_ prefix, Result in a measurement crate.
+    assert_eq!(count_rule(&f, "must-use-measurement"), 3, "{f:?}");
+}
+
+#[test]
+fn errors_good_is_silent() {
+    let f = lint_fixture("errors_good.rs", "crates/power-model/src/fixture.rs");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn result_rule_only_applies_in_measurement_crates() {
+    // Same bad fixture linted under a non-measurement crate: the bare
+    // Result-returning fn is no longer flagged, the rest still is.
+    let f = lint_fixture("errors_bad.rs", "crates/dvfs/src/fixture.rs");
+    assert_eq!(count_rule(&f, "must-use-measurement"), 2, "{f:?}");
+}
+
+#[test]
+fn float_bad_fires_on_each_comparison() {
+    let f = lint_fixture("float_bad.rs", "crates/sim-core/src/fixture.rs");
+    assert_eq!(count_rule(&f, "float-eq"), 4, "{f:?}");
+}
+
+#[test]
+fn float_good_is_silent() {
+    let f = lint_fixture("float_good.rs", "crates/sim-core/src/fixture.rs");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn float_rule_is_exempt_in_the_helper_module_itself() {
+    let f = lint_fixture("float_bad.rs", "crates/sim-core/src/float.rs");
+    assert_eq!(count_rule(&f, "float-eq"), 0, "{f:?}");
+}
+
+#[test]
+fn allow_bad_reports_hygiene_and_keeps_the_finding() {
+    let f = lint_fixture("allow_bad.rs", "crates/sim-core/src/fixture.rs");
+    // The unjustified allow does not suppress...
+    assert_eq!(count_rule(&f, "literal-index"), 1, "{f:?}");
+    // ...and is itself a finding; the stale justified allow is too.
+    assert_eq!(count_rule(&f, "bad-allow"), 1, "{f:?}");
+    assert_eq!(count_rule(&f, "unused-allow"), 1, "{f:?}");
+}
+
+#[test]
+fn allow_good_suppresses_everything() {
+    let f = lint_fixture("allow_good.rs", "crates/sim-core/src/fixture.rs");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn skip_rule_disables_a_rule() {
+    let path = format!("{}/tests/fixtures/float_bad.rs", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(path).unwrap();
+    let mut cfg = Config::workspace_default();
+    cfg.skip_rules.insert("float-eq".to_string());
+    let f = lint_source("crates/sim-core/src/fixture.rs", &src, &cfg);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn findings_carry_rustc_style_positions() {
+    let f = lint_fixture("float_bad.rs", "crates/sim-core/src/fixture.rs");
+    let first = &f[0];
+    assert_eq!(first.file, "crates/sim-core/src/fixture.rs");
+    // `factor == 1.0` on line 4; column is 1-based.
+    assert_eq!(first.line, 4);
+    assert!(first.column > 1);
+}

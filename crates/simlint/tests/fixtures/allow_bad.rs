@@ -1,0 +1,12 @@
+//! Fixture: allow-comment hygiene — an unjustified allow suppresses
+//! nothing (and is itself reported), and a justified allow that matches
+//! nothing is reported as stale.
+
+fn unjustified(v: &[u32]) -> u32 {
+    v[0] // simlint: allow(literal-index)
+}
+
+// simlint: allow(panic-path): justified, but the next line never panics
+fn stale() -> u32 {
+    0
+}

@@ -1,0 +1,16 @@
+//! Fixture: justified allows on both same-line and standalone forms
+//! suppress their findings and produce nothing else.
+
+fn same_line(v: &[u32]) -> u32 {
+    v[0] // simlint: allow(literal-index): fixture exercises the same-line form
+}
+
+fn standalone(x: Option<u32>) -> u32 {
+    // simlint: allow(panic-path): fixture exercises the standalone form
+    x.unwrap()
+}
+
+fn multi(v: &[f64]) -> bool {
+    // simlint: allow(literal-index, float-eq): fixture exercises a multi-rule allow
+    v[0] == 1.0
+}

@@ -1,0 +1,41 @@
+//! Fixture: every determinism rule should fire. Never compiled — only
+//! parsed by the fixture self-tests.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::{Instant, SystemTime};
+
+fn wall_clock() -> f64 {
+    let _t = Instant::now();
+    let _s = SystemTime::now();
+    0.0
+}
+
+fn lookup() -> HashMap<u32, u32> {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let _s: HashSet<u32> = HashSet::new();
+    m
+}
+
+fn ambient() -> f64 {
+    let mut rng = thread_rng();
+    rng.gen::<f64>() + rand::random::<f64>()
+}
+
+fn threads() -> Option<String> {
+    std::env::var("PWRPERF_THREADS").ok()
+}
+
+#[cfg(test)]
+mod tests {
+    // Determinism rules stay active even in test code: a test that reads
+    // the clock or iterates a std HashMap flakes.
+    use std::collections::HashMap;
+
+    #[test]
+    fn still_flagged() {
+        let _m: HashMap<u32, u32> = HashMap::new();
+        let _t = std::time::Instant::now();
+    }
+}

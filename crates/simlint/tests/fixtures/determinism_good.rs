@@ -1,0 +1,18 @@
+//! Fixture: the sanctioned determinism idioms produce zero findings.
+
+use sim_core::{DetRng, FxHashMap, FxHashSet};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn lookup() -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    m.insert(1, 2);
+    let _fx: FxHashMap<u32, u32> = FxHashMap::default();
+    let _set: FxHashSet<u32> = FxHashSet::default();
+    let _ordered: BTreeSet<u32> = BTreeSet::new();
+    m
+}
+
+fn seeded(seed: u64) -> u64 {
+    let mut rng = DetRng::new(seed);
+    rng.next_u64()
+}

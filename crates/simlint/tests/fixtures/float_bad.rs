@@ -1,0 +1,17 @@
+//! Fixture: exact float equality outside the epsilon helpers.
+
+fn sentinel(factor: f64) -> bool {
+    factor == 1.0
+}
+
+fn nonzero(power_w: f64) -> bool {
+    power_w != 0.0
+}
+
+fn reversed(x: f64) -> bool {
+    0.5 == x
+}
+
+fn suffixed_operands(a_w: f64, b_w: f64) -> bool {
+    a_w == b_w
+}

@@ -1,0 +1,21 @@
+//! Fixture: approved float comparisons produce zero findings.
+
+use sim_core::float::{approx_eq, exact_eq};
+
+fn close(a: f64, b: f64) -> bool {
+    approx_eq(a, b, 1e-9)
+}
+
+fn sentinel(factor: f64) -> bool {
+    exact_eq(factor, 1.0)
+}
+
+fn integers(n: u64) -> bool {
+    // Integer equality is fine.
+    n == 0
+}
+
+fn ordering(a: f64) -> bool {
+    // Ordered comparisons on floats are fine; only ==/!= are flagged.
+    a < 1.0 && a >= 0.0
+}

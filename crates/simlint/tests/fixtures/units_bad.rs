@@ -1,0 +1,24 @@
+//! Fixture: unit-safety violations — wrong declared types for suffixed
+//! fields/params, and mixed-suffix arithmetic.
+
+pub struct Meter {
+    /// `_w` must be f64, not u32.
+    pub watts_w: u32,
+    /// `_mwh` must be u64 or f64; a String has no numeric core.
+    pub cap_mwh: String,
+    /// `_mhz` must be u32 or f64, not i16.
+    pub step_mhz: i16,
+}
+
+fn mixes(power_w: f64, energy_j: f64) -> f64 {
+    power_w + energy_j
+}
+
+fn compares(rate_hz: f64, period_s: f64) -> bool {
+    rate_hz < period_s
+}
+
+fn accumulates(mut total_j: f64, reading_mwh: f64) -> f64 {
+    total_j += reading_mwh;
+    total_j
+}

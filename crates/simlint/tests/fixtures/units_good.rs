@@ -1,0 +1,31 @@
+//! Fixture: blessed unit types and the hoist-the-conversion idiom
+//! produce zero findings.
+
+const J_PER_MWH: f64 = 3.6;
+
+pub struct Meter {
+    pub power_w: f64,
+    pub idle_mw: f64,
+    pub cap_mwh: u64,
+    pub exact_mwh: f64,
+    pub step_mhz: u32,
+    pub clock_hz: f64,
+    pub window_s: f64,
+    pub poll_us: u64,
+    pub history_w: Vec<f64>,
+    pub maybe_j: Option<f64>,
+}
+
+fn drain(initial_mwh: f64, drawn_j: f64) -> f64 {
+    // Mixed units converted into a named intermediate first: no finding.
+    let drawn_mwh = drawn_j / J_PER_MWH;
+    initial_mwh - drawn_mwh
+}
+
+fn same_unit(a_w: f64, b_w: f64) -> f64 {
+    a_w + b_w
+}
+
+fn chained(m: &Meter, extra_w: f64) -> f64 {
+    m.power_w + extra_w
+}

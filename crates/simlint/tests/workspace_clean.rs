@@ -1,0 +1,52 @@
+//! Golden test: the workspace itself must be simlint-clean. Any new
+//! violation fails CI here even before the `--deny` run in the workflow.
+
+use simlint::{lint_workspace, render_json, render_text, Config};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/simlint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("simlint manifest dir has a workspace root two levels up")
+}
+
+#[test]
+fn workspace_has_zero_findings() {
+    let findings = lint_workspace(workspace_root(), &Config::workspace_default())
+        .expect("workspace lint must not hit IO/parse errors");
+    assert!(
+        findings.is_empty(),
+        "workspace is not simlint-clean:\n{}",
+        render_text(&findings)
+    );
+}
+
+#[test]
+fn json_report_is_empty_and_well_formed() {
+    let findings = lint_workspace(workspace_root(), &Config::workspace_default())
+        .expect("workspace lint must not hit IO/parse errors");
+    let json = render_json(&findings);
+    assert!(json.contains("\"count\": 0"), "{json}");
+    assert!(
+        json.starts_with('{') && json.trim_end().ends_with('}'),
+        "{json}"
+    );
+}
+
+#[test]
+fn cli_deny_mode_exits_clean_on_the_workspace() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(["--json", "--deny", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("spawn simlint binary");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "simlint --deny failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("\"count\": 0"), "{stdout}");
+}

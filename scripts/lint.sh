@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local mirror of the CI `fmt` + `lint` jobs: formatting, clippy with
+# warnings denied, and the project-specific simlint pass (see DESIGN.md
+# §11). Run from anywhere inside the repo; exits non-zero on the first
+# failing gate.
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel 2>/dev/null || dirname "$0")/."
+
+echo "== rustfmt (check) =="
+cargo fmt --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== simlint (deny findings) =="
+cargo run -q -p simlint -- --deny
+
+echo "lint: all gates passed"
