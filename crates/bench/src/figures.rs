@@ -1,15 +1,45 @@
 //! One function per paper table/figure; the `src/bin/` wrappers call these.
 
+use std::path::PathBuf;
+use std::sync::Mutex;
+
 use edp_metrics::{iso_efficiency_energy_fraction, Crescendo, DELTA_ENERGY, DELTA_HPC};
 use power_model::DvfsLadder;
 use powerpack::{CommMicroConfig, MicroConfig};
 use pwrperf::calibration::target;
 use pwrperf::report::{format_best_points, format_crescendo, format_strategy_comparison};
 use pwrperf::{
-    cpuspeed_point, ladder_mhz_desc, run_batch, static_crescendo, DvsStrategy, Experiment, Workload,
+    cpuspeed_point, ladder_mhz_desc, run_batch, static_crescendo, static_crescendo_cached,
+    DvsStrategy, Experiment, SweepStore, Workload,
 };
 
 use crate::{banner, print_target_row};
+
+static RESULT_STORE: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Route every ladder crescendo in this module through a [`SweepStore`]
+/// at `dir` (`all_figures --store <dir>`): the first regeneration fills
+/// the cache, later ones replay it without touching the engine.
+pub fn set_result_store(dir: impl Into<PathBuf>) {
+    *RESULT_STORE.lock().expect("store dir lock") = Some(dir.into());
+}
+
+fn ladder_crescendo(w: &Workload) -> Crescendo {
+    let dir = RESULT_STORE.lock().expect("store dir lock").clone();
+    let Some(dir) = dir else {
+        return static_crescendo(w);
+    };
+    match SweepStore::open(&dir).and_then(|mut store| static_crescendo_cached(w, &mut store)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "warning: result store {} unusable ({e}); running uncached",
+                dir.display()
+            );
+            static_crescendo(w)
+        }
+    }
+}
 
 /// All three paper strategies for one workload as a *single* parallel
 /// batch — 5 static pins, 5 dynamic bases, and the cpuspeed point (11
@@ -43,8 +73,8 @@ pub fn fig1_spec_crescendos() {
         "Fig. 1",
         "SPEC CFP2000 energy-delay crescendos (mgrid, swim)",
     );
-    let mgrid = static_crescendo(&Workload::Mgrid);
-    let swim = static_crescendo(&Workload::Swim);
+    let mgrid = ladder_crescendo(&Workload::Mgrid);
+    let swim = ladder_crescendo(&Workload::Swim);
     println!("{}", format_crescendo("mgrid (CPU-bound)", &mgrid));
     println!("{}", format_crescendo("swim (memory-bound)", &swim));
     println!("Paper shape: mgrid saves little energy at large delay cost;");
@@ -78,8 +108,8 @@ pub fn fig2_weighted_ed2p_curves() {
 /// Table 1: best operating points for mgrid and swim.
 pub fn table1_spec_best_points() {
     banner("Table 1", "best operating points for mgrid and swim");
-    let mgrid = static_crescendo(&Workload::Mgrid);
-    let swim = static_crescendo(&Workload::Swim);
+    let mgrid = ladder_crescendo(&Workload::Mgrid);
+    let swim = ladder_crescendo(&Workload::Swim);
     println!(
         "{}",
         format_best_points(&[("mgrid", &mgrid), ("swim", &swim)])
@@ -105,7 +135,7 @@ pub fn table2_operating_points() {
 pub fn fig3_ft_b_crescendo() {
     banner("Fig. 3", "normalized energy and delay of FT.B on 8 nodes");
     let w = Workload::ft_b8();
-    let stat = static_crescendo(&w);
+    let stat = ladder_crescendo(&w);
     println!("{}", format_crescendo("FT.B static control", &stat));
     let reference = stat.reference();
     let (e_cs, d_cs) = cpuspeed_point(&w);
@@ -127,7 +157,7 @@ pub fn fig3_ft_b_crescendo() {
 /// Table 3: best operating points for FT.B.
 pub fn table3_ft_b_best_points() {
     banner("Table 3", "best operating points for FT class B on 8 nodes");
-    let stat = static_crescendo(&Workload::ft_b8());
+    let stat = ladder_crescendo(&Workload::ft_b8());
     println!("{}", format_best_points(&[("FT.B (8 nodes)", &stat)]));
     let gain = edp_metrics::efficiency_gain(&stat, DELTA_HPC);
     println!(
@@ -227,7 +257,7 @@ pub fn fig6_memory_micro() {
         "Fig. 6",
         "normalized energy and delay of memory access (32MB, 128B stride)",
     );
-    let c = static_crescendo(&Workload::MemoryMicro(MicroConfig::default()));
+    let c = ladder_crescendo(&Workload::MemoryMicro(MicroConfig::default()));
     println!("{}", format_crescendo("memory microbenchmark", &c));
     if let (Some(t), Some((e, d))) = (target("memory_micro", "stat", 600), c.normalized_for(600)) {
         print_target_row(&t, e, d);
@@ -248,7 +278,7 @@ pub fn fig7_cpu_micro() {
     // The L2 walk covers only 2048 lines per pass; scale the pass count so
     // the run lasts seconds, as the paper's ACPI methodology required.
     let passes = MicroConfig { passes: 400_000 };
-    let l2 = static_crescendo(&Workload::CpuMicro(passes.clone()));
+    let l2 = ladder_crescendo(&Workload::CpuMicro(passes.clone()));
     println!("{}", format_crescendo("CPU (L2) microbenchmark", &l2));
     for mhz in [800u32, 600] {
         if let (Some(t), Some((e, d))) = (target("cpu_micro", "stat", mhz), l2.normalized_for(mhz))
@@ -256,7 +286,7 @@ pub fn fig7_cpu_micro() {
             print_target_row(&t, e, d);
         }
     }
-    let reg = static_crescendo(&Workload::RegisterMicro(MicroConfig { passes: 9_000 }));
+    let reg = ladder_crescendo(&Workload::RegisterMicro(MicroConfig { passes: 9_000 }));
     println!();
     println!("{}", format_crescendo("register-only variant", &reg));
     println!("Paper: delay +134% at 600 MHz; energy bottoms mid-ladder and rises at 600.");
@@ -265,12 +295,12 @@ pub fn fig7_cpu_micro() {
 /// Figure 8: the communication microbenchmarks.
 pub fn fig8_comm_micro() {
     banner("Fig. 8", "communication microbenchmarks (round trips)");
-    let a = static_crescendo(&Workload::Comm(CommMicroConfig::paper_256k()));
+    let a = ladder_crescendo(&Workload::Comm(CommMicroConfig::paper_256k()));
     println!("{}", format_crescendo("(a) 256KB round trip", &a));
     if let (Some(t), Some((e, d))) = (target("comm_256k", "stat", 600), a.normalized_for(600)) {
         print_target_row(&t, e, d);
     }
-    let b = static_crescendo(&Workload::Comm(CommMicroConfig::paper_4k_strided()));
+    let b = ladder_crescendo(&Workload::Comm(CommMicroConfig::paper_4k_strided()));
     println!();
     println!("{}", format_crescendo("(b) 4KB message, 64B stride", &b));
     if let (Some(t), Some((e, d))) = (target("comm_4k", "stat", 600), b.normalized_for(600)) {

@@ -25,7 +25,8 @@ pub enum Command {
         /// Deterministic fault injection (empty = none).
         faults: FaultSpec,
     },
-    /// `pwrperf sweep -w <workload> [--dynamic] [-j <n>]`
+    /// `pwrperf sweep -w <workload> [--dynamic] [-j <n>] [--store <dir>]
+    /// [--dry-run] [--no-cache] [--faults <spec>]`
     Sweep {
         /// Workload to sweep over the ladder.
         workload: Workload,
@@ -33,6 +34,14 @@ pub enum Command {
         dynamic: bool,
         /// Worker threads for the batch runner (`None` = auto-detect).
         threads: Option<usize>,
+        /// Result-cache directory (`None` = uncached).
+        store: Option<String>,
+        /// Print the cache hit/miss partition without running anything.
+        dry_run: bool,
+        /// Bypass the store even when one is configured elsewhere.
+        no_cache: bool,
+        /// Deterministic fault injection (empty = none).
+        faults: FaultSpec,
     },
     /// `pwrperf best -w <workload> [--delta <d>] [-j <n>]`
     Best {
@@ -258,6 +267,10 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
             let mut workload = None;
             let mut dynamic = false;
             let mut threads = None;
+            let mut store = None;
+            let mut dry_run = false;
+            let mut no_cache = false;
+            let mut faults = FaultSpec::default();
             while let Some(flag) = it.next() {
                 match flag {
                     "-w" | "--workload" => {
@@ -267,13 +280,27 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                     "-j" | "--threads" => {
                         threads = Some(parse_threads(take_value(&mut it, flag)?)?)
                     }
+                    "--store" => store = Some(take_value(&mut it, flag)?.to_string()),
+                    "--dry-run" => dry_run = true,
+                    "--no-cache" => no_cache = true,
+                    "--faults" => faults = parse_faults(take_value(&mut it, flag)?)?,
                     other => return Err(format!("unknown flag '{other}'")),
                 }
+            }
+            if dry_run && store.is_none() {
+                return Err("--dry-run needs --store <dir> to plan against".to_string());
+            }
+            if no_cache && (store.is_some() || dry_run) {
+                return Err("--no-cache conflicts with --store/--dry-run".to_string());
             }
             Ok(Command::Sweep {
                 workload: workload.ok_or("sweep needs --workload")?,
                 dynamic,
                 threads,
+                store,
+                dry_run,
+                no_cache,
+                faults,
             })
         }
         "best" => {
@@ -329,6 +356,13 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                     other => return Err(format!("unknown flag '{other}'")),
                 }
             }
+            if trace_capacity == Some(0) {
+                return Err(
+                    "export with --trace-capacity 0 would write an empty trace.csv; \
+                     use a positive capacity or drop the flag"
+                        .to_string(),
+                );
+            }
             Ok(Command::Export {
                 workload: workload.ok_or("export needs --workload")?,
                 strategy: strategy.ok_or("export needs --strategy")?,
@@ -363,6 +397,13 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                     "--faults" => faults = parse_faults(take_value(&mut it, flag)?)?,
                     other => return Err(format!("unknown flag '{other}'")),
                 }
+            }
+            if trace_capacity == Some(0) {
+                return Err(
+                    "trace with --trace-capacity 0 would write an empty timeline; \
+                     use a positive capacity or drop the flag"
+                        .to_string(),
+                );
             }
             Ok(Command::Trace {
                 workload: workload.ok_or("trace needs --workload")?,
@@ -716,6 +757,116 @@ mod tests {
                 "bogus:1"
             ]),
             Command::Help(Some(_))
+        ));
+    }
+
+    #[test]
+    fn parses_sweep_store_flags() {
+        match parse(&[
+            "sweep",
+            "-w",
+            "ft-test4",
+            "--store",
+            "/tmp/cache",
+            "--dry-run",
+        ]) {
+            Command::Sweep {
+                store,
+                dry_run,
+                no_cache,
+                ..
+            } => {
+                assert_eq!(store.as_deref(), Some("/tmp/cache"));
+                assert!(dry_run);
+                assert!(!no_cache);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&["sweep", "-w", "ft-test4", "--no-cache"]) {
+            Command::Sweep {
+                store, no_cache, ..
+            } => {
+                assert_eq!(store, None);
+                assert!(no_cache);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&["sweep", "-w", "ft-test4", "--faults", "slow:0:2.0"]) {
+            Command::Sweep { faults, .. } => assert_eq!(faults.faults.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        // --dry-run without a store has nothing to plan against.
+        assert!(matches!(
+            parse(&["sweep", "-w", "ft-test4", "--dry-run"]),
+            Command::Help(Some(_))
+        ));
+        // --no-cache contradicts --store.
+        assert!(matches!(
+            parse(&["sweep", "-w", "ft-test4", "--store", "/tmp/c", "--no-cache"]),
+            Command::Help(Some(_))
+        ));
+    }
+
+    #[test]
+    fn vacuous_outputs_are_hard_errors() {
+        // Regression: these used to "succeed" while writing empty files.
+        let trace_zero = parse(&[
+            "trace",
+            "-w",
+            "ft-test4",
+            "-s",
+            "static-800",
+            "--trace-capacity",
+            "0",
+        ]);
+        match trace_zero {
+            Command::Help(Some(msg)) => assert!(msg.contains("empty timeline"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        let export_zero = parse(&[
+            "export",
+            "-w",
+            "ft-test4",
+            "-s",
+            "static-800",
+            "--trace-capacity",
+            "0",
+        ]);
+        match export_zero {
+            Command::Help(Some(msg)) => assert!(msg.contains("empty trace.csv"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        // A positive capacity stays accepted, and `run --trace-capacity 0`
+        // is fine (run prints a summary, not the trace).
+        assert!(matches!(
+            parse(&[
+                "trace",
+                "-w",
+                "ft-test4",
+                "-s",
+                "static-800",
+                "--trace-capacity",
+                "64"
+            ]),
+            Command::Trace { .. }
+        ));
+        assert!(matches!(
+            parse(&[
+                "run",
+                "-w",
+                "ft-test4",
+                "-s",
+                "static-800",
+                "--trace-capacity",
+                "0"
+            ]),
+            Command::Run { .. }
+        ));
+        // `stats` needs no --metrics flag: it force-enables collection, so
+        // its registry output can never be silently empty.
+        assert!(matches!(
+            parse(&["stats", "-w", "ft-test4", "-s", "static-800"]),
+            Command::Stats { .. }
         ));
     }
 

@@ -13,8 +13,7 @@ mod args;
 use args::{Command, STRATEGY_NAMES, WORKLOAD_NAMES};
 use edp_metrics::{best_operating_point, efficiency_gain, weighted_ed2p, DELTA_HPC};
 use pwrperf::{
-    dynamic_crescendo, static_crescendo, EngineConfig, Experiment, FaultCounts, FaultSpec,
-    WaitPolicy, Workload,
+    static_crescendo, EngineConfig, Experiment, FaultCounts, FaultSpec, WaitPolicy, Workload,
 };
 use sim_core::SimDuration;
 
@@ -41,9 +40,20 @@ fn main() {
             workload,
             dynamic,
             threads,
+            store,
+            dry_run,
+            no_cache,
+            faults,
         } => {
             set_threads(threads);
-            sweep(workload, dynamic)
+            sweep(
+                workload,
+                dynamic,
+                store.as_deref(),
+                dry_run,
+                no_cache,
+                faults,
+            )
         }
         Command::Export {
             workload,
@@ -301,11 +311,74 @@ fn stats(
     }
 }
 
-fn sweep(workload: Workload, dynamic: bool) {
-    let crescendo = if dynamic {
-        dynamic_crescendo(&workload)
+fn sweep(
+    workload: Workload,
+    dynamic: bool,
+    store: Option<&str>,
+    dry_run: bool,
+    no_cache: bool,
+    faults: FaultSpec,
+) {
+    let make: fn(u32) -> pwrperf::DvsStrategy = if dynamic {
+        pwrperf::DvsStrategy::DynamicBaseMhz
     } else {
-        static_crescendo(&workload)
+        pwrperf::DvsStrategy::StaticMhz
+    };
+    let engine = EngineConfig {
+        faults,
+        ..EngineConfig::default()
+    };
+    let crescendo = match store {
+        Some(dir) if !no_cache => {
+            let mut store = match pwrperf::SweepStore::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot open store {dir}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let grid = pwrperf::Sweep::grid(
+                vec![workload.clone()],
+                pwrperf::ladder_mhz_desc().into_iter().map(make).collect(),
+                Vec::new(),
+                Vec::new(),
+            )
+            .with_engine(engine.clone());
+            if dry_run {
+                let plan = grid.plan(&store);
+                println!(
+                    "dry run against {dir}: {} jobs, {} cache hits, {} misses",
+                    plan.jobs.len(),
+                    plan.hits(),
+                    plan.misses()
+                );
+                for job in &plan.jobs {
+                    println!(
+                        "  {} {} -> {} [{}]",
+                        job.experiment.workload.label(),
+                        job.experiment.strategy.label(),
+                        job.fingerprint.to_hex(),
+                        if job.cached { "hit" } else { "miss" }
+                    );
+                }
+                return;
+            }
+            match pwrperf::crescendo_cached(&workload, engine, make, &mut store) {
+                Ok(c) => {
+                    let s = store.stats();
+                    println!(
+                        "store {dir}: {} hits, {} misses, {} corrupt, {} B read, {} B written",
+                        s.hits, s.misses, s.corrupt, s.bytes_read, s.bytes_written
+                    );
+                    c
+                }
+                Err(e) => {
+                    eprintln!("error: store {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => pwrperf::crescendo_with(&workload, engine, make),
     };
     println!(
         "{} sweep of {}:",
@@ -408,6 +481,8 @@ USAGE:
   pwrperf run    -w <workload> -s <strategy> [--blocking-waits <ms>]
                  [--metrics] [--trace-capacity <n>] [--faults <spec>]
   pwrperf sweep  -w <workload> [--dynamic] [-j <threads>]
+                 [--store <dir> [--dry-run] | --no-cache]
+                 [--faults <spec>]
   pwrperf best   -w <workload> [--delta <-1..1>] [-j <threads>]
   pwrperf export -w <workload> -s <strategy> [-o <dir>] [--metrics]
                  [--trace-capacity <n>] [--faults <spec>]
@@ -451,6 +526,15 @@ simulated time only, so output bytes are deterministic.
 
 Sweeps fan their independent runs over worker threads (auto-detected;
 override with -j/--threads or PWRPERF_THREADS). Results are bit-identical
-to sequential execution."
+to sequential execution.
+
+With --store <dir>, sweep results are cached by content: each run is
+keyed by a fingerprint of its full configuration (workload programs,
+strategy, engine, faults), and a re-invoked sweep replays cached points
+without executing the engine — bit-identical, resumable after a kill.
+--dry-run prints the hit/miss partition; --no-cache forces execution.
+Example:
+  pwrperf sweep -w ft-test4 --store ~/.cache/pwrperf   # cold: 5 misses
+  pwrperf sweep -w ft-test4 --store ~/.cache/pwrperf   # warm: 0 misses"
     );
 }

@@ -43,6 +43,11 @@ pub struct AutoTuner {
     /// Power sampling interval for the pilot run (fine enough to resolve
     /// the shortest phase of interest).
     pub pilot_sample_interval: SimDuration,
+    /// Engine configuration for every run the tuner performs. The pilot
+    /// overrides sampling and trace capacity on top of this (it must
+    /// observe phases); the tuned run uses it as-is, so metrics, fault
+    /// specs, wait policies and message-cost settings all carry through.
+    pub engine: EngineConfig,
 }
 
 impl Default for AutoTuner {
@@ -55,6 +60,7 @@ impl Default for AutoTuner {
             min_phase_occurrence: SimDuration::from_millis(10),
             min_time_fraction: 0.02,
             pilot_sample_interval: SimDuration::from_millis(2),
+            engine: EngineConfig::default(),
         }
     }
 }
@@ -71,6 +77,12 @@ pub struct AutoTuneOutcome {
 }
 
 impl AutoTuner {
+    /// Use `engine` for every run this tuner performs.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Pick slack-heavy phase names from a sampled, traced pilot run.
     pub fn select_phases(&self, pilot: &RunResult) -> Vec<String> {
         let profiles = profile_phases(pilot);
@@ -112,21 +124,33 @@ impl AutoTuner {
     }
 
     /// Wrap every occurrence of the selected phases in down/restore
-    /// speed requests.
+    /// speed requests. Selected phases may nest (e.g. a selected outer
+    /// phase containing a selected inner one): only the *outermost*
+    /// begin scales down and only the matching outermost end restores,
+    /// so an inner `PhaseEnd` never restores full speed while an outer
+    /// selected phase is still open.
     pub fn instrument(programs: &[Program], phases: &BTreeSet<String>) -> Vec<Program> {
         programs
             .iter()
             .map(|p| {
                 let mut ops = Vec::with_capacity(p.len() + 8);
+                let mut depth: usize = 0;
                 for op in p.ops() {
                     match op {
                         Op::PhaseBegin(name) if phases.contains(*name) => {
                             ops.push(op.clone());
-                            ops.push(Op::SetSpeed(dvfs::AppSpeedRequest::Lowest));
+                            if depth == 0 {
+                                ops.push(Op::SetSpeed(dvfs::AppSpeedRequest::Lowest));
+                            }
+                            depth += 1;
                         }
                         Op::PhaseEnd(name) if phases.contains(*name) => {
-                            ops.push(Op::SetSpeed(dvfs::AppSpeedRequest::Restore));
+                            if depth == 1 {
+                                ops.push(Op::SetSpeed(dvfs::AppSpeedRequest::Restore));
+                            }
                             ops.push(op.clone());
+                            // Unmatched ends saturate instead of wrapping.
+                            depth = depth.saturating_sub(1);
                         }
                         other => ops.push(other.clone()),
                     }
@@ -142,18 +166,19 @@ impl AutoTuner {
         let pilot_engine = EngineConfig {
             sample_interval: Some(self.pilot_sample_interval),
             trace_capacity: 1 << 20,
-            ..EngineConfig::default()
+            ..self.engine.clone()
         };
         Experiment::new(workload.clone(), DvsStrategy::StaticMhz(1400)).with_engine(pilot_engine)
     }
 
     /// Rewrite the *uninstrumented* programs around `phases` and run them
-    /// under the dynamic governor via a custom engine assembly.
-    fn tuned_run(workload: &Workload, phases: &BTreeSet<String>) -> RunResult {
+    /// under the dynamic governor via a custom engine assembly, keeping
+    /// the tuner's configured engine (metrics, faults, wait policy, ...).
+    fn tuned_run(&self, workload: &Workload, phases: &BTreeSet<String>) -> RunResult {
         let programs = AutoTuner::instrument(&workload.programs(false), phases);
         let cluster = cluster_sim::Cluster::paper_testbed(workload.ranks());
         let governors = DvsStrategy::DynamicBaseMhz(1400).governors(cluster.nodes());
-        mpi_sim::Engine::new(cluster, programs, governors, EngineConfig::default()).run()
+        mpi_sim::Engine::new(cluster, programs, governors, self.engine.clone()).run()
     }
 
     /// Full pipeline: pilot → select → instrument → tuned run.
@@ -161,7 +186,7 @@ impl AutoTuner {
         let pilot = self.pilot_experiment(workload).run();
         let selected = self.select_phases(&pilot);
         let phase_set: BTreeSet<String> = selected.iter().cloned().collect();
-        let tuned = AutoTuner::tuned_run(workload, &phase_set);
+        let tuned = self.tuned_run(workload, &phase_set);
         AutoTuneOutcome {
             selected_phases: selected,
             pilot,
@@ -181,8 +206,7 @@ impl AutoTuner {
             .zip(&selections)
             .map(|(w, sel)| (w, sel.iter().cloned().collect()))
             .collect();
-        let tuned =
-            crate::runner::parallel_map(&jobs, |(w, phases)| AutoTuner::tuned_run(w, phases));
+        let tuned = crate::runner::parallel_map(&jobs, |(w, phases)| self.tuned_run(w, phases));
         selections
             .into_iter()
             .zip(pilots)
@@ -282,5 +306,97 @@ mod tests {
     fn untraced_pilot_selects_nothing() {
         let pilot = Experiment::new(Workload::ft_test(2), DvsStrategy::StaticMhz(1400)).run();
         assert!(AutoTuner::default().select_phases(&pilot).is_empty());
+    }
+
+    #[test]
+    fn tune_honors_configured_engine() {
+        // Regression: tuned_run/tune used to hardcode EngineConfig::default(),
+        // dropping any engine the caller configured. A metrics-enabled tune
+        // must produce a metrics-populated tuned run.
+        let engine = EngineConfig {
+            metrics: true,
+            ..EngineConfig::default()
+        };
+        let tuner = AutoTuner::default().with_engine(engine);
+        let outcome = tuner.tune(&Workload::ft_test(2));
+        let metrics = outcome
+            .tuned
+            .metrics
+            .as_ref()
+            .expect("tuned run keeps metrics enabled");
+        assert!(metrics.counter("engine.queue.processed").unwrap_or(0) > 0);
+        assert!(
+            outcome.pilot.metrics.is_some(),
+            "pilot inherits the engine too"
+        );
+        // And the pilot still has its sampling/tracing overrides on top.
+        assert!(!outcome.pilot.samples.is_empty());
+
+        // tune_many threads the same engine through the parallel path.
+        let many = tuner.tune_many(std::slice::from_ref(&Workload::ft_test(2)));
+        assert_eq!(many.len(), 1);
+        assert_eq!(many[0].tuned, outcome.tuned);
+    }
+
+    #[test]
+    fn instrument_restores_only_at_outermost_nested_end() {
+        // Regression: a selected phase nested inside another selected
+        // phase used to emit Restore at the *inner* end, running the
+        // rest of the outer phase at full speed.
+        let work = || Op::Compute(mem_model::WorkUnit::pure_cpu(1.0e6));
+        let ops = vec![
+            Op::PhaseBegin("outer"),
+            work(),
+            Op::PhaseBegin("inner"),
+            work(),
+            Op::PhaseEnd("inner"),
+            work(),
+            Op::PhaseEnd("outer"),
+        ];
+        let programs = vec![Program::from_ops(ops)];
+        let phases: BTreeSet<String> = ["outer".to_string(), "inner".to_string()]
+            .into_iter()
+            .collect();
+        let rewritten = AutoTuner::instrument(&programs, &phases);
+        let out: Vec<&Op> = rewritten[0].ops().iter().collect();
+        let lowest_positions: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, Op::SetSpeed(dvfs::AppSpeedRequest::Lowest)))
+            .map(|(i, _)| i)
+            .collect();
+        let restore_positions: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, Op::SetSpeed(dvfs::AppSpeedRequest::Restore)))
+            .map(|(i, _)| i)
+            .collect();
+        // Exactly one down-scale (after the outermost begin) and one
+        // restore (before the outermost end) — the inner pair is inert.
+        assert_eq!(lowest_positions, vec![1]);
+        assert_eq!(restore_positions, vec![out.len() - 2]);
+        assert!(matches!(out[out.len() - 1], Op::PhaseEnd("outer")));
+    }
+
+    #[test]
+    fn instrument_handles_repeated_same_name_nesting_and_stray_ends() {
+        // Same-name nesting ("fft" inside "fft") and an unmatched end
+        // must neither wrap the depth counter nor emit extra requests.
+        let ops = vec![
+            Op::PhaseEnd("fft"), // stray end before any begin
+            Op::PhaseBegin("fft"),
+            Op::PhaseBegin("fft"),
+            Op::PhaseEnd("fft"),
+            Op::PhaseEnd("fft"),
+        ];
+        let programs = vec![Program::from_ops(ops)];
+        let phases: BTreeSet<String> = ["fft".to_string()].into_iter().collect();
+        let rewritten = AutoTuner::instrument(&programs, &phases);
+        let speeds = rewritten[0]
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, Op::SetSpeed(_)))
+            .count();
+        assert_eq!(speeds, 2, "one Lowest + one Restore for the outermost pair");
     }
 }

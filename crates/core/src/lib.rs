@@ -35,7 +35,9 @@ pub mod experiment;
 pub mod report;
 pub mod runner;
 pub mod scope;
+pub mod store;
 pub mod strategy;
+pub mod sweep;
 pub mod workload;
 
 pub use adaptive::{AutoTuneOutcome, AutoTuner};
@@ -49,7 +51,15 @@ pub use runner::{
     thread_count_with, BatchPolicy, BatchTelemetry, ExperimentError, THREADS_ENV,
 };
 pub use scope::{metrics_ndjson, perfetto_json, stats_text};
+pub use store::{
+    decode_run_result, encode_run_result, fingerprint_experiment, Fingerprint, StoreError,
+    StoreStats, SweepStore, STORE_FORMAT_VERSION,
+};
 pub use strategy::DvsStrategy;
+pub use sweep::{
+    crescendo_cached, dynamic_crescendo_cached, static_crescendo_cached, BestPoint, Sweep,
+    SweepJob, SweepOutcome, SweepPlan, SweepReport,
+};
 pub use workload::Workload;
 
 // Convenience re-exports for downstream binaries.

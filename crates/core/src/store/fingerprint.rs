@@ -1,0 +1,379 @@
+//! Content-addressed experiment fingerprints.
+//!
+//! A fingerprint is a 128-bit digest of an experiment's *semantic
+//! content*: the built per-rank programs (which bake in the workload's
+//! structure and the [`mpi_sim::MsgCostModel`] software costs), the DVS
+//! strategy, the full [`EngineConfig`] (wait policy, sampling, tracing,
+//! metrics, fault spec), any cluster overrides, and a format-version
+//! tag. Identical configurations collide by construction; changing any
+//! single field changes the canonical byte stream and therefore the key.
+//!
+//! The digest is two independently salted passes of the workspace's
+//! deterministic [`FxHasher`] over the same canonical bytes. FxHash has
+//! no per-process state, so fingerprints are stable across processes and
+//! machines — the property the on-disk cache stands on (and that the
+//! golden-key test in `tests/sweepstore.rs` pins).
+
+use std::hash::Hasher as _;
+
+use cluster_sim::NodeConfig;
+use dvfs::AppSpeedRequest;
+use mpi_sim::{EngineConfig, Op, Program, WaitPolicy};
+use net_model::NetworkParams;
+use sim_core::hash::FxHasher;
+use sim_core::Fault;
+
+use super::codec::ByteWriter;
+use crate::experiment::Experiment;
+use crate::strategy::DvsStrategy;
+
+/// Version tag mixed into every fingerprint and written into every
+/// record header. Bump it whenever the canonical encoding or the record
+/// payload layout changes; old cache entries then miss (and are
+/// rejected) instead of decoding garbage.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+const FINGERPRINT_MAGIC: &[u8; 4] = b"PWRF";
+const SALT_LO: u64 = 0x5EED_CAFE_0000_0001;
+const SALT_HI: u64 = 0x5EED_CAFE_0000_0002;
+const SALT_CHECKSUM: u64 = 0x5EED_CAFE_0000_0003;
+
+fn fx_hash(salt: u64, bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(salt);
+    h.write(bytes);
+    h.finish()
+}
+
+/// Deterministic 64-bit record checksum (salted differently from the
+/// fingerprint words so a record cannot checksum itself into validity).
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    fx_hash(SALT_CHECKSUM, bytes)
+}
+
+/// A 128-bit content digest; the hex form names the record on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint {
+    lo: u64,
+    hi: u64,
+}
+
+impl Fingerprint {
+    /// Digest a canonical byte stream.
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        Fingerprint {
+            lo: fx_hash(SALT_LO, bytes),
+            hi: fx_hash(SALT_HI, bytes),
+        }
+    }
+
+    /// 32 lowercase hex characters (the on-disk record stem).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.lo, self.hi)
+    }
+
+    /// The digest as 16 little-endian bytes (lo word first).
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        let (lo_half, hi_half) = out.split_at_mut(8);
+        lo_half.copy_from_slice(&self.lo.to_le_bytes());
+        hi_half.copy_from_slice(&self.hi.to_le_bytes());
+        out
+    }
+
+    /// Rebuild from [`Fingerprint::to_bytes`] output.
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        let mut lo = [0u8; 8];
+        let mut hi = [0u8; 8];
+        let (lo_half, hi_half) = bytes.split_at(8);
+        lo.copy_from_slice(lo_half);
+        hi.copy_from_slice(hi_half);
+        Fingerprint {
+            lo: u64::from_le_bytes(lo),
+            hi: u64::from_le_bytes(hi),
+        }
+    }
+}
+
+/// Fingerprint one experiment (the cache key for [`Experiment::run`]).
+pub fn fingerprint_experiment(experiment: &Experiment) -> Fingerprint {
+    Fingerprint::of_bytes(&canonical_experiment_bytes(experiment))
+}
+
+/// The canonical byte encoding [`fingerprint_experiment`] hashes.
+/// Exposed so tests can assert the encoding itself is deterministic and
+/// injective over single-field edits.
+pub fn canonical_experiment_bytes(experiment: &Experiment) -> Vec<u8> {
+    let programs = experiment
+        .workload
+        .programs(experiment.strategy.wants_instrumentation());
+    canonical_parts_bytes(
+        &programs,
+        experiment.strategy,
+        &experiment.engine,
+        experiment.node_config.as_ref(),
+        experiment.network.as_ref(),
+    )
+}
+
+/// Fingerprint from already-built parts — for callers that assemble
+/// programs directly (e.g. with a custom [`mpi_sim::MsgCostModel`], which
+/// is baked into the lowered ops and therefore into this digest).
+pub fn fingerprint_parts(
+    programs: &[Program],
+    strategy: DvsStrategy,
+    engine: &EngineConfig,
+) -> Fingerprint {
+    Fingerprint::of_bytes(&canonical_parts_bytes(
+        programs, strategy, engine, None, None,
+    ))
+}
+
+fn canonical_parts_bytes(
+    programs: &[Program],
+    strategy: DvsStrategy,
+    engine: &EngineConfig,
+    node_config: Option<&NodeConfig>,
+    network: Option<&NetworkParams>,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_raw(FINGERPRINT_MAGIC);
+    w.put_u32(STORE_FORMAT_VERSION);
+    encode_strategy(&mut w, strategy);
+    encode_programs(&mut w, programs);
+    encode_engine(&mut w, engine);
+    // Cluster overrides enter via their `Debug` form: Rust formats f64
+    // with shortest-round-trip precision, so distinct parameter values
+    // produce distinct strings, and the default (None) is encoded
+    // distinctly from an explicit override that happens to match it.
+    encode_debug_override(&mut w, node_config);
+    encode_debug_override(&mut w, network);
+    w.into_bytes()
+}
+
+fn encode_debug_override<T: std::fmt::Debug>(w: &mut ByteWriter, value: Option<&T>) {
+    match value {
+        None => w.put_u8(0),
+        Some(v) => {
+            w.put_u8(1);
+            w.put_str(&format!("{v:?}"));
+        }
+    }
+}
+
+fn encode_strategy(w: &mut ByteWriter, strategy: DvsStrategy) {
+    match strategy {
+        DvsStrategy::Cpuspeed => w.put_u8(0),
+        DvsStrategy::StaticMhz(mhz) => {
+            w.put_u8(1);
+            w.put_u32(mhz);
+        }
+        DvsStrategy::DynamicBaseMhz(mhz) => {
+            w.put_u8(2);
+            w.put_u32(mhz);
+        }
+        DvsStrategy::OnDemand => w.put_u8(3),
+        DvsStrategy::Conservative => w.put_u8(4),
+    }
+}
+
+fn encode_programs(w: &mut ByteWriter, programs: &[Program]) {
+    w.put_usize(programs.len());
+    for program in programs {
+        w.put_usize(program.len());
+        for op in program.ops() {
+            encode_op(w, op);
+        }
+    }
+}
+
+fn encode_op(w: &mut ByteWriter, op: &Op) {
+    match op {
+        Op::Compute(work) => {
+            w.put_u8(0);
+            w.put_f64(work.cpu_cycles);
+            w.put_f64(work.l2_accesses);
+            w.put_f64(work.dram_accesses);
+        }
+        Op::Send { dst, bytes, tag } => {
+            w.put_u8(1);
+            w.put_usize(*dst);
+            w.put_u64(*bytes);
+            w.put_u32(*tag);
+        }
+        Op::Recv { src, tag } => {
+            w.put_u8(2);
+            w.put_usize(*src);
+            w.put_u32(*tag);
+        }
+        Op::SendRecv {
+            dst,
+            send_bytes,
+            send_tag,
+            src,
+            recv_tag,
+        } => {
+            w.put_u8(3);
+            w.put_usize(*dst);
+            w.put_u64(*send_bytes);
+            w.put_u32(*send_tag);
+            w.put_usize(*src);
+            w.put_u32(*recv_tag);
+        }
+        Op::Isend { dst, bytes, tag } => {
+            w.put_u8(4);
+            w.put_usize(*dst);
+            w.put_u64(*bytes);
+            w.put_u32(*tag);
+        }
+        Op::Irecv { src, tag } => {
+            w.put_u8(5);
+            w.put_usize(*src);
+            w.put_u32(*tag);
+        }
+        Op::WaitAll => w.put_u8(6),
+        Op::SetSpeed(request) => {
+            w.put_u8(7);
+            encode_speed_request(w, *request);
+        }
+        Op::PhaseBegin(name) => {
+            w.put_u8(8);
+            w.put_str(name);
+        }
+        Op::PhaseEnd(name) => {
+            w.put_u8(9);
+            w.put_str(name);
+        }
+    }
+}
+
+fn encode_speed_request(w: &mut ByteWriter, request: AppSpeedRequest) {
+    match request {
+        AppSpeedRequest::Lowest => w.put_u8(0),
+        AppSpeedRequest::Highest => w.put_u8(1),
+        AppSpeedRequest::Index(i) => {
+            w.put_u8(2);
+            w.put_usize(i);
+        }
+        AppSpeedRequest::Restore => w.put_u8(3),
+    }
+}
+
+fn encode_engine(w: &mut ByteWriter, engine: &EngineConfig) {
+    w.put_u64(engine.eager_threshold);
+    match engine.wait_policy {
+        WaitPolicy::BusyPoll => w.put_u8(0),
+        WaitPolicy::PollThenBlock(window) => {
+            w.put_u8(1);
+            w.put_u64(window.0);
+        }
+    }
+    match engine.sample_interval {
+        None => w.put_u8(0),
+        Some(interval) => {
+            w.put_u8(1);
+            w.put_u64(interval.0);
+        }
+    }
+    w.put_usize(engine.trace_capacity);
+    w.put_bool(engine.metrics);
+    w.put_u64(engine.faults.seed);
+    w.put_usize(engine.faults.faults.len());
+    for fault in &engine.faults.faults {
+        encode_fault(w, fault);
+    }
+}
+
+fn encode_fault(w: &mut ByteWriter, fault: &Fault) {
+    match *fault {
+        Fault::ComputeSlowdown { node, factor } => {
+            w.put_u8(0);
+            w.put_usize(node);
+            w.put_f64(factor);
+        }
+        Fault::BatteryStuck { node, after_s } => {
+            w.put_u8(1);
+            w.put_usize(node);
+            w.put_f64(after_s);
+        }
+        Fault::BatteryNoise {
+            node,
+            amplitude_mwh,
+        } => {
+            w.put_u8(2);
+            w.put_usize(node);
+            w.put_u64(amplitude_mwh);
+        }
+        Fault::MeterBias { node, factor } => {
+            w.put_u8(3);
+            w.put_usize(node);
+            w.put_f64(factor);
+        }
+        Fault::SampleSkip { probability } => {
+            w.put_u8(4);
+            w.put_f64(probability);
+        }
+        Fault::DvfsFail { node, probability } => {
+            w.put_u8(5);
+            w.put_usize(node);
+            w.put_f64(probability);
+        }
+        Fault::DvfsLatency { node, factor } => {
+            w.put_u8(6);
+            w.put_usize(node);
+            w.put_f64(factor);
+        }
+        Fault::DegradedLink {
+            node,
+            bandwidth_factor,
+        } => {
+            w.put_u8(7);
+            w.put_usize(node);
+            w.put_f64(bandwidth_factor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    fn experiment() -> Experiment {
+        Experiment::new(Workload::ft_test(2), DvsStrategy::StaticMhz(800))
+    }
+
+    #[test]
+    fn identical_experiments_collide() {
+        assert_eq!(
+            fingerprint_experiment(&experiment()),
+            fingerprint_experiment(&experiment())
+        );
+    }
+
+    #[test]
+    fn strategy_and_engine_fields_change_the_key() {
+        let base = fingerprint_experiment(&experiment());
+        let other_strategy = Experiment::new(Workload::ft_test(2), DvsStrategy::StaticMhz(600));
+        assert_ne!(base, fingerprint_experiment(&other_strategy));
+
+        let mut metrics_on = experiment();
+        metrics_on.engine.metrics = true;
+        assert_ne!(base, fingerprint_experiment(&metrics_on));
+    }
+
+    #[test]
+    fn hex_and_bytes_round_trip() {
+        let fp = fingerprint_experiment(&experiment());
+        assert_eq!(fp.to_hex().len(), 32);
+        assert_eq!(Fingerprint::from_bytes(fp.to_bytes()), fp);
+    }
+
+    #[test]
+    fn checksum_differs_from_fingerprint_words() {
+        let bytes = canonical_experiment_bytes(&experiment());
+        let fp = Fingerprint::of_bytes(&bytes);
+        assert_ne!(checksum64(&bytes), fp.lo);
+        assert_ne!(checksum64(&bytes), fp.hi);
+    }
+}

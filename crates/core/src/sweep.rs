@@ -1,0 +1,509 @@
+//! Resumable grid sweeps over workloads × strategies × fault specs.
+//!
+//! A [`Sweep`] names a cartesian grid of experiments. Against a
+//! [`SweepStore`] it partitions the grid into cached and uncached jobs,
+//! feeds only the misses to the parallel batch runner, and writes fresh
+//! results back — so a killed sweep resumes where it stopped, and
+//! re-invoking a completed sweep performs **zero** engine executions and
+//! returns bit-identical results (the determinism suite asserts this).
+//! `deltas` parameterize the energy-delay analysis of the results (the
+//! paper's `∂` weighting), not the execution grid: one stored ladder
+//! yields every `∂` row for free.
+
+use edp_metrics::{best_operating_point, Crescendo};
+use mpi_sim::{EngineConfig, RunResult};
+use obs::MetricsRegistry;
+use sim_core::FaultSpec;
+
+use crate::experiment::{ladder_mhz_desc, Experiment};
+use crate::store::{fingerprint_experiment, Fingerprint, StoreError, SweepStore};
+use crate::strategy::DvsStrategy;
+use crate::workload::Workload;
+
+/// A grid of experiments: `workloads × fault_specs × strategies`, all
+/// sharing one base engine configuration (each job's fault spec replaces
+/// the engine's). `deltas` ride along for EDP analysis of the results.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Applications to run.
+    pub workloads: Vec<Workload>,
+    /// DVS strategies per workload.
+    pub strategies: Vec<DvsStrategy>,
+    /// `∂` weightings for [`Sweep::best_static_points`] (analysis only —
+    /// deltas never spawn engine runs).
+    pub deltas: Vec<f64>,
+    /// Fault specs per workload (empty input means one clean run).
+    pub fault_specs: Vec<FaultSpec>,
+    /// Base engine configuration for every job.
+    pub engine: EngineConfig,
+}
+
+/// One planned job: grid position, cache key, and whether the store
+/// already holds it.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Row-major grid index.
+    pub index: usize,
+    /// The experiment this job runs.
+    pub experiment: Experiment,
+    /// Its cache key.
+    pub fingerprint: Fingerprint,
+    /// Whether a record existed when the plan was made.
+    pub cached: bool,
+}
+
+/// The cached/uncached partition of a sweep (what `--dry-run` prints).
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// Every job in grid order.
+    pub jobs: Vec<SweepJob>,
+}
+
+impl SweepPlan {
+    /// Jobs already present in the store.
+    pub fn hits(&self) -> usize {
+        self.jobs.iter().filter(|j| j.cached).count()
+    }
+
+    /// Jobs that would execute.
+    pub fn misses(&self) -> usize {
+        self.jobs.len() - self.hits()
+    }
+}
+
+/// What one sweep invocation did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Grid size.
+    pub jobs: u64,
+    /// Results served from the store.
+    pub cache_hits: u64,
+    /// Results that were not in the store (includes rejected records).
+    pub cache_misses: u64,
+    /// Engine executions actually performed (equals `cache_misses` when
+    /// caching is on; the warm-path invariant is `engine_runs == 0`).
+    pub engine_runs: u64,
+    /// Records found but rejected (corrupt, version skew, undecodable) —
+    /// each also counts as a miss and was re-run.
+    pub corrupt_records: u64,
+    /// Record bytes read from the store.
+    pub bytes_read: u64,
+    /// Record bytes written to the store.
+    pub bytes_written: u64,
+}
+
+impl SweepReport {
+    /// The report as an `obs` registry (`sweep.cache_hits`,
+    /// `sweep.cache_misses`, ...), mergeable into run telemetry.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("sweep.jobs", self.jobs);
+        m.counter_add("sweep.cache_hits", self.cache_hits);
+        m.counter_add("sweep.cache_misses", self.cache_misses);
+        m.counter_add("sweep.engine_runs", self.engine_runs);
+        m.counter_add("sweep.corrupt_records", self.corrupt_records);
+        m.counter_add("sweep.bytes_read", self.bytes_read);
+        m.counter_add("sweep.bytes_written", self.bytes_written);
+        m
+    }
+
+    /// One-line human summary.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{} jobs: {} cache hits, {} misses ({} engine runs, {} corrupt records), {} B read, {} B written",
+            self.jobs,
+            self.cache_hits,
+            self.cache_misses,
+            self.engine_runs,
+            self.corrupt_records,
+            self.bytes_read,
+            self.bytes_written,
+        )
+    }
+}
+
+/// Results (grid order) plus accounting.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One result per grid job, row-major
+    /// (`workloads × fault_specs × strategies`).
+    pub results: Vec<RunResult>,
+    /// What the run did.
+    pub report: SweepReport,
+}
+
+/// A `∂`-weighted best operating point over one workload's static ladder
+/// (see [`Sweep::best_static_points`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestPoint {
+    /// Workload label.
+    pub workload: String,
+    /// Index into [`Sweep::fault_specs`].
+    pub fault_index: usize,
+    /// The `∂` weighting.
+    pub delta: f64,
+    /// Winning frequency, `None` when the sweep had no static points.
+    pub best_mhz: Option<u32>,
+}
+
+impl Sweep {
+    /// The full grid: every workload under every strategy and fault
+    /// spec. An empty `fault_specs` means "one clean run per cell".
+    pub fn grid(
+        workloads: Vec<Workload>,
+        strategies: Vec<DvsStrategy>,
+        deltas: Vec<f64>,
+        fault_specs: Vec<FaultSpec>,
+    ) -> Self {
+        let fault_specs = if fault_specs.is_empty() {
+            vec![FaultSpec::default()]
+        } else {
+            fault_specs
+        };
+        Sweep {
+            workloads,
+            strategies,
+            deltas,
+            fault_specs,
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// The paper's ladder sweep for `workloads`: every static operating
+    /// point plus the dynamic strategy at top base frequency.
+    pub fn ladder(workloads: Vec<Workload>) -> Self {
+        let mut strategies: Vec<DvsStrategy> = ladder_mhz_desc()
+            .into_iter()
+            .map(DvsStrategy::StaticMhz)
+            .collect();
+        strategies.push(DvsStrategy::DynamicBaseMhz(1400));
+        Sweep::grid(workloads, strategies, Vec::new(), Vec::new())
+    }
+
+    /// Replace the base engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Grid size.
+    pub fn len(&self) -> usize {
+        self.workloads.len() * self.fault_specs.len() * self.strategies.len()
+    }
+
+    /// True when the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize the grid in row-major order
+    /// (`workloads × fault_specs × strategies`).
+    pub fn experiments(&self) -> Vec<Experiment> {
+        let mut out = Vec::with_capacity(self.len());
+        for workload in &self.workloads {
+            for spec in &self.fault_specs {
+                for &strategy in &self.strategies {
+                    let mut engine = self.engine.clone();
+                    engine.faults = spec.clone();
+                    out.push(Experiment::new(workload.clone(), strategy).with_engine(engine));
+                }
+            }
+        }
+        out
+    }
+
+    /// Partition the grid against `store` without executing anything.
+    pub fn plan(&self, store: &SweepStore) -> SweepPlan {
+        let jobs = self
+            .experiments()
+            .into_iter()
+            .enumerate()
+            .map(|(index, experiment)| {
+                let fingerprint = fingerprint_experiment(&experiment);
+                SweepJob {
+                    index,
+                    cached: store.contains(fingerprint),
+                    experiment,
+                    fingerprint,
+                }
+            })
+            .collect();
+        SweepPlan { jobs }
+    }
+
+    /// Run the sweep against `store`: serve hits from disk, execute only
+    /// the misses (on the parallel batch runner, `workers` as in
+    /// [`crate::runner::run_batch_with`]), and persist fresh results.
+    /// Records that exist but fail validation count as misses (and as
+    /// `corrupt_records`) and are re-run and overwritten; store *write*
+    /// failures abort, since silently losing results would defeat
+    /// resumability.
+    pub fn run(
+        &self,
+        store: &mut SweepStore,
+        workers: Option<usize>,
+    ) -> Result<SweepOutcome, StoreError> {
+        let experiments = self.experiments();
+        let fingerprints: Vec<Fingerprint> =
+            experiments.iter().map(fingerprint_experiment).collect();
+        let before = store.stats();
+
+        let mut slots: Vec<Option<RunResult>> = Vec::with_capacity(experiments.len());
+        let mut miss_indices: Vec<usize> = Vec::new();
+        for (i, &fp) in fingerprints.iter().enumerate() {
+            match store.load(fp) {
+                Ok(Some(result)) => slots.push(Some(result)),
+                Ok(None) | Err(_) => {
+                    // A rejected record is a miss: re-run and overwrite.
+                    slots.push(None);
+                    miss_indices.push(i);
+                }
+            }
+        }
+
+        let to_run: Vec<Experiment> = miss_indices
+            .iter()
+            .map(|&i| experiments[i].clone())
+            .collect();
+        let engine_runs = to_run.len() as u64;
+        let fresh = crate::runner::run_batch_with(to_run, workers);
+        for (&i, result) in miss_indices.iter().zip(fresh) {
+            store.store(fingerprints[i], &result)?;
+            slots[i] = Some(result);
+        }
+
+        let results: Vec<RunResult> = slots.into_iter().flatten().collect();
+        assert_eq!(
+            results.len(),
+            experiments.len(),
+            "every sweep slot must be filled"
+        );
+        let after = store.stats();
+        let report = SweepReport {
+            jobs: experiments.len() as u64,
+            cache_hits: after.hits - before.hits,
+            cache_misses: engine_runs,
+            engine_runs,
+            corrupt_records: after.corrupt - before.corrupt,
+            bytes_read: after.bytes_read - before.bytes_read,
+            bytes_written: after.bytes_written - before.bytes_written,
+        };
+        Ok(SweepOutcome { results, report })
+    }
+
+    /// Run the whole grid with no cache involved (the CLI `--no-cache`
+    /// path). Every job is an engine run.
+    pub fn run_uncached(&self, workers: Option<usize>) -> SweepOutcome {
+        let experiments = self.experiments();
+        let jobs = experiments.len() as u64;
+        let results = crate::runner::run_batch_with(experiments, workers);
+        SweepOutcome {
+            results,
+            report: SweepReport {
+                jobs,
+                cache_misses: jobs,
+                engine_runs: jobs,
+                ..SweepReport::default()
+            },
+        }
+    }
+
+    /// For every workload × fault spec × `∂`: the best static operating
+    /// point by the paper's weighted ED²P, assembled from `outcome`'s
+    /// [`DvsStrategy::StaticMhz`] columns. Empty when the sweep has no
+    /// deltas or no static strategies.
+    pub fn best_static_points(&self, outcome: &SweepOutcome) -> Vec<BestPoint> {
+        let strategy_count = self.strategies.len();
+        let mut out = Vec::new();
+        for (wi, workload) in self.workloads.iter().enumerate() {
+            for fi in 0..self.fault_specs.len() {
+                let row_base = (wi * self.fault_specs.len() + fi) * strategy_count;
+                let crescendo = Crescendo::from_pairs(
+                    self.strategies.iter().enumerate().filter_map(
+                        |(si, strategy)| match strategy {
+                            DvsStrategy::StaticMhz(mhz) => outcome
+                                .results
+                                .get(row_base + si)
+                                .map(|r| (*mhz, r.total_energy_j(), r.duration_secs())),
+                            _ => None,
+                        },
+                    ),
+                );
+                for &delta in &self.deltas {
+                    out.push(BestPoint {
+                        workload: workload.label(),
+                        fault_index: fi,
+                        delta,
+                        best_mhz: best_operating_point(&crescendo, delta),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// [`crate::static_crescendo`] served through a store: cached points are
+/// read back, missing ones are run and persisted — so figure pipelines
+/// go warm after their first invocation.
+pub fn static_crescendo_cached(
+    workload: &Workload,
+    store: &mut SweepStore,
+) -> Result<Crescendo, StoreError> {
+    crescendo_cached(
+        workload,
+        EngineConfig::default(),
+        DvsStrategy::StaticMhz,
+        store,
+    )
+}
+
+/// [`crate::dynamic_crescendo`] served through a store.
+pub fn dynamic_crescendo_cached(
+    workload: &Workload,
+    store: &mut SweepStore,
+) -> Result<Crescendo, StoreError> {
+    crescendo_cached(
+        workload,
+        EngineConfig::default(),
+        DvsStrategy::DynamicBaseMhz,
+        store,
+    )
+}
+
+/// Ladder crescendo with any strategy constructor, served through a
+/// store (the cached analogue of [`crate::crescendo_with`]).
+pub fn crescendo_cached(
+    workload: &Workload,
+    engine: EngineConfig,
+    make: impl Fn(u32) -> DvsStrategy,
+    store: &mut SweepStore,
+) -> Result<Crescendo, StoreError> {
+    let ladder = ladder_mhz_desc();
+    let strategies: Vec<DvsStrategy> = ladder.iter().map(|&mhz| make(mhz)).collect();
+    let sweep =
+        Sweep::grid(vec![workload.clone()], strategies, Vec::new(), Vec::new()).with_engine(engine);
+    let outcome = sweep.run(store, None)?;
+    Ok(Crescendo::from_pairs(
+        ladder
+            .into_iter()
+            .zip(&outcome.results)
+            .map(|(mhz, result)| (mhz, result.total_energy_j(), result.duration_secs())),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pwrperf-sweep-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_sweep() -> Sweep {
+        Sweep::grid(
+            vec![Workload::ft_test(2)],
+            vec![DvsStrategy::StaticMhz(1400), DvsStrategy::StaticMhz(600)],
+            vec![0.5],
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn grid_shape_and_order() {
+        let sweep = tiny_sweep();
+        assert_eq!(sweep.len(), 2);
+        let exps = sweep.experiments();
+        assert_eq!(exps.len(), 2);
+        assert_eq!(
+            exps.first().map(|e| e.strategy),
+            Some(DvsStrategy::StaticMhz(1400))
+        );
+    }
+
+    #[test]
+    fn cold_then_warm_sweep_is_bit_identical_with_zero_engine_runs() {
+        let dir = tmp_dir("warm");
+        let mut store = SweepStore::open(&dir).unwrap();
+        let sweep = tiny_sweep();
+
+        let cold = sweep.run(&mut store, None).unwrap();
+        assert_eq!(cold.report.cache_hits, 0);
+        assert_eq!(cold.report.engine_runs, 2);
+
+        let warm = sweep.run(&mut store, None).unwrap();
+        assert_eq!(warm.report.engine_runs, 0, "warm sweep must not execute");
+        assert_eq!(warm.report.cache_hits, 2);
+        assert_eq!(
+            cold.results, warm.results,
+            "cached results must be bit-identical"
+        );
+
+        let plan = sweep.plan(&store);
+        assert_eq!((plan.hits(), plan.misses()), (2, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncached_run_matches_direct_execution() {
+        let sweep = tiny_sweep();
+        let outcome = sweep.run_uncached(Some(1));
+        assert_eq!(outcome.report.engine_runs, 2);
+        assert_eq!(outcome.report.cache_hits, 0);
+        let direct: Vec<RunResult> = sweep.experiments().iter().map(Experiment::run).collect();
+        assert_eq!(outcome.results, direct);
+    }
+
+    #[test]
+    fn report_metrics_expose_counters() {
+        let report = SweepReport {
+            jobs: 5,
+            cache_hits: 3,
+            cache_misses: 2,
+            engine_runs: 2,
+            corrupt_records: 1,
+            bytes_read: 100,
+            bytes_written: 50,
+        };
+        let m = report.metrics();
+        assert_eq!(m.counter("sweep.cache_hits"), Some(3));
+        assert_eq!(m.counter("sweep.cache_misses"), Some(2));
+        assert_eq!(m.counter("sweep.bytes_read"), Some(100));
+        assert!(report.render_text().contains("3 cache hits"));
+    }
+
+    #[test]
+    fn best_static_points_pick_sane_frequencies() {
+        let sweep = Sweep::ladder(vec![Workload::ft_test(2)]);
+        let sweep = Sweep {
+            deltas: vec![0.0, 1.0],
+            ..sweep
+        };
+        let outcome = sweep.run_uncached(None);
+        let points = sweep.best_static_points(&outcome);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            let mhz = p.best_mhz.expect("ladder sweep has static points");
+            assert!((600..=1400).contains(&mhz));
+        }
+    }
+
+    #[test]
+    fn cached_crescendo_matches_uncached() {
+        let dir = tmp_dir("crescendo");
+        let mut store = SweepStore::open(&dir).unwrap();
+        let workload = Workload::ft_test(2);
+        let cached = static_crescendo_cached(&workload, &mut store).unwrap();
+        let direct = crate::experiment::static_crescendo(&workload);
+        assert_eq!(cached.points(), direct.points());
+        // Second assembly is all hits.
+        let again = static_crescendo_cached(&workload, &mut store).unwrap();
+        assert_eq!(again.points(), direct.points());
+        let stats = store.stats();
+        assert_eq!(stats.hits, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -30,6 +30,17 @@ impl Crescendo {
         Crescendo { points: Vec::new() }
     }
 
+    /// Assemble a crescendo from `(mhz, energy_j, delay_s)` tuples — the
+    /// shape cached sweep results come back in, so a stored ladder sweep
+    /// turns into a crescendo without re-running anything.
+    pub fn from_pairs(points: impl IntoIterator<Item = (u32, f64, f64)>) -> Self {
+        let mut c = Crescendo::new();
+        for (mhz, energy_j, delay_s) in points {
+            c.push(mhz, energy_j, delay_s);
+        }
+        c
+    }
+
     /// Add a measurement.
     pub fn push(&mut self, mhz: u32, energy_j: f64, delay_s: f64) {
         assert!(energy_j >= 0.0 && delay_s >= 0.0, "negative measurement");
@@ -144,5 +155,11 @@ mod tests {
     fn len_and_is_empty() {
         assert!(Crescendo::new().is_empty());
         assert_eq!(sample().len(), 3);
+    }
+
+    #[test]
+    fn from_pairs_matches_push() {
+        let c = Crescendo::from_pairs([(1400, 100.0, 10.0), (1000, 80.0, 10.5), (600, 65.0, 11.0)]);
+        assert_eq!(c.points(), sample().points());
     }
 }

@@ -90,6 +90,26 @@ impl Histogram {
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
+
+    /// Rebuild a histogram from previously exported parts (the SweepStore
+    /// decode path). Returns `None` instead of panicking when the parts
+    /// are inconsistent — bounds empty or not strictly ascending, or a
+    /// counts vector that does not cover every bucket plus overflow — so
+    /// corrupt input surfaces as a decode error, not an abort.
+    pub fn from_parts(bounds: Vec<f64>, counts: Vec<u64>, count: u64, sum: f64) -> Option<Self> {
+        if bounds.is_empty()
+            || counts.len() != bounds.len() + 1
+            || !bounds.windows(2).all(|w| w[0] < w[1])
+        {
+            return None;
+        }
+        Some(Histogram {
+            bounds,
+            counts,
+            count,
+            sum,
+        })
+    }
 }
 
 /// A snapshot view of one metric, for iteration and reporting.
@@ -215,7 +235,39 @@ impl MetricsRegistry {
         self.histogram_idx.get(name).map(|&i| &self.histograms[i].1)
     }
 
+    /// Insert (or replace) a fully built histogram under an owned name —
+    /// the SweepStore decode path, which must reconstruct a registry that
+    /// compares equal to the one the engine produced.
+    pub fn histogram_insert_owned(&mut self, name: String, histogram: Histogram) {
+        let name: Name = Cow::Owned(name);
+        if let Some(&i) = self.histogram_idx.get(name.as_ref()) {
+            self.histograms[i].1 = histogram;
+        } else {
+            self.histogram_idx
+                .insert(name.clone(), self.histograms.len());
+            self.histograms.push((name, histogram));
+        }
+    }
+
     // ----- iteration and export --------------------------------------------
+
+    /// Counters in insertion order. Serializers that must reproduce a
+    /// registry exactly (derived `PartialEq` includes insertion order) use
+    /// this instead of [`MetricsRegistry::sorted`].
+    pub fn counters_in_order(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_ref(), *v))
+    }
+
+    /// Gauges in insertion order (see [`MetricsRegistry::counters_in_order`]).
+    pub fn gauges_in_order(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(n, v)| (n.as_ref(), *v))
+    }
+
+    /// Histograms in insertion order (see
+    /// [`MetricsRegistry::counters_in_order`]).
+    pub fn histograms_in_order(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(n, h)| (n.as_ref(), h))
+    }
 
     /// Every metric, sorted by name (the deterministic export order).
     pub fn sorted(&self) -> Vec<(&str, MetricValue<'_>)> {
@@ -396,5 +448,43 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn unsorted_buckets_panic() {
         let _ = Histogram::new(&[10.0, 5.0]);
+    }
+
+    #[test]
+    fn from_parts_validates_shape() {
+        assert!(Histogram::from_parts(vec![], vec![0], 0, 0.0).is_none());
+        assert!(Histogram::from_parts(vec![1.0, 2.0], vec![0, 0], 0, 0.0).is_none());
+        assert!(Histogram::from_parts(vec![2.0, 1.0], vec![0, 0, 0], 0, 0.0).is_none());
+        let h = Histogram::from_parts(vec![1.0, 2.0], vec![1, 2, 3], 6, 9.0).unwrap();
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.counts(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn insertion_order_iteration_rebuilds_an_equal_registry() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("z.second", 2);
+        m.counter_add("a.first", 1);
+        m.gauge_set("g", 4.5);
+        m.observe("lat", 12.0);
+
+        let mut rebuilt = MetricsRegistry::new();
+        for (name, v) in m.counters_in_order() {
+            rebuilt.counter_add_owned(name.to_string(), v);
+        }
+        for (name, v) in m.gauges_in_order() {
+            rebuilt.gauge_set_owned(name.to_string(), v);
+        }
+        for (name, h) in m.histograms_in_order() {
+            let copy =
+                Histogram::from_parts(h.bounds().to_vec(), h.counts().to_vec(), h.count(), h.sum())
+                    .unwrap();
+            rebuilt.histogram_insert_owned(name.to_string(), copy);
+        }
+        assert_eq!(m, rebuilt);
+        // Insertion order is part of the contract: counters came back in
+        // the original (unsorted) order.
+        let names: Vec<&str> = rebuilt.counters_in_order().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["z.second", "a.first"]);
     }
 }

@@ -1,0 +1,54 @@
+//! A global deduplicating string interner for `&'static str` payloads.
+//!
+//! Several hot-path types carry `&'static str` fields so recording them
+//! never allocates ([`crate::trace::TraceDetail::Phase`], program phase
+//! markers). Decoding those types back from a persisted byte stream (the
+//! SweepStore result cache) needs to mint equivalent `&'static str`
+//! values at runtime. [`intern_static`] does that by leaking each
+//! *distinct* string exactly once and handing the same reference back on
+//! every later request, so the leaked footprint is bounded by the set of
+//! distinct names ever decoded — in practice the handful of phase labels
+//! a workload defines.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Return a `&'static str` equal to `s`, leaking at most one copy per
+/// distinct string for the life of the process. Deterministic: the same
+/// input always yields the same pointer within a process, and only the
+/// string *contents* ever reach simulation state.
+pub fn intern_static(s: &str) -> &'static str {
+    let mut pool = POOL.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    if let Some(existing) = pool.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_equal_contents() {
+        assert_eq!(intern_static("fft"), "fft");
+        assert_eq!(intern_static(""), "");
+    }
+
+    #[test]
+    fn dedupes_to_the_same_pointer() {
+        let a = intern_static("sweepstore-test-phase");
+        let owned = String::from("sweepstore-test-phase");
+        let b = intern_static(&owned);
+        assert!(std::ptr::eq(a, b), "same contents must intern once");
+    }
+
+    #[test]
+    fn distinct_strings_stay_distinct() {
+        assert_ne!(intern_static("alpha"), intern_static("beta"));
+    }
+}

@@ -25,6 +25,7 @@ pub mod event;
 pub mod faults;
 pub mod float;
 pub mod hash;
+pub mod intern;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -33,6 +34,7 @@ pub mod trace;
 pub use event::{EventQueue, QueuedEvent};
 pub use faults::{Fault, FaultCounts, FaultSpec, DEFAULT_FAULT_SEED};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use intern::intern_static;
 pub use rng::DetRng;
 pub use stats::{OnlineStats, TimeWeighted};
 pub use time::{cycles_to_duration, duration_to_cycles, SimDuration, SimTime};

@@ -8,7 +8,10 @@
 #   * engine throughput in simulated events per wall-clock second
 #     (examples/bench_throughput.rs), untraced and with PowerScope
 #     instrumentation on, plus the traced/untraced overhead ratio;
-#   * per-scenario Criterion timings from the `engine` bench.
+#   * per-scenario Criterion timings from the `engine` bench;
+#   * SweepStore cold-vs-warm `all_figures --store` wall clock: the cold
+#     pass executes and fills the result cache, the warm pass replays it
+#     (identical output bytes, near-zero engine work).
 #
 # Usage: scripts/bench.sh [output.json]    (default BENCH_PR1.json)
 #
@@ -55,6 +58,19 @@ criterion = {
     for m in re.finditer(r"(.+?)\s+time: (\d+) ns/iter", os.environ["BENCH"])
 }
 
+# SweepStore cold vs warm: same regeneration, first filling the result
+# cache, then replaying it. Output bytes must be identical.
+import shutil, tempfile
+store = tempfile.mkdtemp(prefix="pwrperf-bench-store-")
+t0 = time.perf_counter()
+cold = subprocess.run([binary, "--store", store], capture_output=True).stdout
+cold_s = time.perf_counter() - t0
+t0 = time.perf_counter()
+warm = subprocess.run([binary, "--store", store], capture_output=True).stdout
+warm_s = time.perf_counter() - t0
+assert cold == warm, "warm all_figures output must be byte-identical to cold"
+shutil.rmtree(store, ignore_errors=True)
+
 report = {
     "all_figures": {
         "runs": runs,
@@ -78,6 +94,12 @@ report = {
         ),
     },
     "criterion_engine_ns_per_iter": criterion,
+    "sweepstore_all_figures": {
+        "cold_ms": round(cold_s * 1000, 2),
+        "warm_ms": round(warm_s * 1000, 2),
+        "warm_speedup": round(cold_s / warm_s, 2),
+        "outputs_identical": True,
+    },
 }
 with open(os.environ["OUT"], "w") as f:
     json.dump(report, f, indent=2)

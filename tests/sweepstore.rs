@@ -1,0 +1,400 @@
+//! SweepStore invariants: fingerprint stability and injectivity over
+//! single-field edits, bit-identical record round-trips, typed rejection
+//! of corrupt records, and the warm-sweep zero-execution guarantee.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use cluster_sim::NodeConfig;
+use mem_model::{MemHierarchy, WorkUnit};
+use mpi_sim::{MsgCostModel, Program, ProgramBuilder};
+use net_model::NetworkParams;
+use proptest::prelude::*;
+use pwrperf::store::{canonical_experiment_bytes, fingerprint_parts};
+use pwrperf::{
+    decode_run_result, encode_run_result, fingerprint_experiment, DvsStrategy, EngineConfig,
+    Experiment, Fault, FaultSpec, StoreError, Sweep, SweepStore, WaitPolicy, Workload,
+};
+use sim_core::SimDuration;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pwrperf-sweepstore-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn base_experiment() -> Experiment {
+    let engine = EngineConfig {
+        metrics: true,
+        sample_interval: Some(SimDuration::from_millis(5)),
+        trace_capacity: 1 << 10,
+        faults: FaultSpec {
+            seed: 7,
+            faults: vec![Fault::ComputeSlowdown {
+                node: 1,
+                factor: 1.5,
+            }],
+        },
+        ..EngineConfig::default()
+    };
+    Experiment::new(Workload::ft_test(2), DvsStrategy::DynamicBaseMhz(1400)).with_engine(engine)
+}
+
+/// Pinned in a *separate process*: this constant was produced by the CLI
+/// (`pwrperf sweep --dry-run`), so agreement here proves the digest has
+/// no per-process state (ASLR, hash seeding, iteration order).
+#[test]
+fn fingerprint_is_stable_across_processes() {
+    let exp = Experiment::new(Workload::ft_test(4), DvsStrategy::StaticMhz(1400));
+    assert_eq!(
+        fingerprint_experiment(&exp).to_hex(),
+        "61e9a418963c5a2819269329a327d4f2"
+    );
+}
+
+#[test]
+fn canonical_bytes_are_deterministic() {
+    let a = canonical_experiment_bytes(&base_experiment());
+    let b = canonical_experiment_bytes(&base_experiment());
+    assert_eq!(a, b);
+    assert_eq!(
+        fingerprint_experiment(&base_experiment()),
+        fingerprint_experiment(&base_experiment())
+    );
+}
+
+/// Every single-field edit — workload, strategy, each engine knob, one
+/// fault entry, the fault seed, a cluster override — must move the key.
+#[test]
+fn any_single_field_edit_changes_the_key() {
+    let mut variants: Vec<(&str, Experiment)> = vec![("base", base_experiment())];
+
+    variants.push((
+        "workload ranks",
+        Experiment {
+            workload: Workload::ft_test(4),
+            ..base_experiment()
+        },
+    ));
+    variants.push((
+        "strategy kind",
+        Experiment {
+            strategy: DvsStrategy::StaticMhz(1400),
+            ..base_experiment()
+        },
+    ));
+    variants.push((
+        "strategy frequency",
+        Experiment {
+            strategy: DvsStrategy::DynamicBaseMhz(1200),
+            ..base_experiment()
+        },
+    ));
+
+    let mut e = base_experiment();
+    e.engine.eager_threshold += 1;
+    variants.push(("eager threshold", e));
+
+    let mut e = base_experiment();
+    e.engine.wait_policy = WaitPolicy::PollThenBlock(SimDuration::from_millis(50));
+    variants.push(("wait policy", e));
+
+    let mut e = base_experiment();
+    e.engine.sample_interval = Some(SimDuration::from_millis(10));
+    variants.push(("sample interval value", e));
+
+    let mut e = base_experiment();
+    e.engine.sample_interval = None;
+    variants.push(("sample interval presence", e));
+
+    let mut e = base_experiment();
+    e.engine.trace_capacity += 1;
+    variants.push(("trace capacity", e));
+
+    let mut e = base_experiment();
+    e.engine.metrics = false;
+    variants.push(("metrics flag", e));
+
+    let mut e = base_experiment();
+    e.engine.faults.seed += 1;
+    variants.push(("fault seed", e));
+
+    // One float inside one fault entry.
+    let mut e = base_experiment();
+    e.engine.faults.faults = vec![Fault::ComputeSlowdown {
+        node: 1,
+        factor: 1.5 + 1e-9,
+    }];
+    variants.push(("fault entry float", e));
+
+    let mut e = base_experiment();
+    e.engine.faults.faults = vec![Fault::ComputeSlowdown {
+        node: 0,
+        factor: 1.5,
+    }];
+    variants.push(("fault entry node", e));
+
+    let mut e = base_experiment();
+    e.engine.faults.faults.clear();
+    variants.push(("fault entry removed", e));
+
+    // Cluster overrides: presence, and a single parameter within.
+    variants.push((
+        "node config present",
+        base_experiment().with_node_config(NodeConfig::inspiron_8600()),
+    ));
+    let mut node = NodeConfig::inspiron_8600();
+    node.power.base_w += 0.125;
+    variants.push((
+        "node config base power",
+        base_experiment().with_node_config(node),
+    ));
+    variants.push((
+        "network present",
+        base_experiment().with_network(NetworkParams::catalyst_2950_100m()),
+    ));
+    let network = NetworkParams {
+        link_bw_bps: 1e9,
+        ..NetworkParams::catalyst_2950_100m()
+    };
+    variants.push(("network bandwidth", base_experiment().with_network(network)));
+
+    let keys: Vec<(&str, String)> = variants
+        .iter()
+        .map(|(label, e)| (*label, fingerprint_experiment(e).to_hex()))
+        .collect();
+    let distinct: BTreeSet<&str> = keys.iter().map(|(_, k)| k.as_str()).collect();
+    assert_eq!(
+        distinct.len(),
+        keys.len(),
+        "fingerprint collision among single-field edits: {keys:#?}"
+    );
+}
+
+fn ring_programs(cost: MsgCostModel) -> Vec<Program> {
+    (0..2)
+        .map(|rank| {
+            let mut b =
+                ProgramBuilder::with_cost(rank, 2, cost.clone(), MemHierarchy::pentium_m_1400());
+            b.compute(WorkUnit::pure_cpu(1.0e7));
+            let peer = 1 - rank;
+            b.sendrecv(peer, 64 * 1024, 0, peer, 64 * 1024, 0);
+            b.build()
+        })
+        .collect()
+}
+
+/// The message-cost model is baked into the lowered ops, so nudging one
+/// of its floats must change the fingerprint of the built programs.
+#[test]
+fn msg_cost_model_float_changes_the_key() {
+    let engine = EngineConfig::default();
+    let strategy = DvsStrategy::StaticMhz(800);
+    let base = fingerprint_parts(&ring_programs(MsgCostModel::default()), strategy, &engine);
+    let nudged = MsgCostModel {
+        cycles_per_byte: MsgCostModel::default().cycles_per_byte * (1.0 + 1e-12),
+        ..MsgCostModel::default()
+    };
+    assert_ne!(
+        base,
+        fingerprint_parts(&ring_programs(nudged), strategy, &engine)
+    );
+    // Same model, same key.
+    assert_eq!(
+        base,
+        fingerprint_parts(&ring_programs(MsgCostModel::default()), strategy, &engine)
+    );
+}
+
+/// One stored record (built once; reused by the corruption proptests).
+fn golden_record() -> &'static (pwrperf::Fingerprint, Vec<u8>) {
+    static RECORD: OnceLock<(pwrperf::Fingerprint, Vec<u8>)> = OnceLock::new();
+    RECORD.get_or_init(|| {
+        let dir = tmp_dir("golden-record");
+        let mut store = SweepStore::open(&dir).unwrap();
+        let exp = base_experiment();
+        let fp = fingerprint_experiment(&exp);
+        store.store(fp, &exp.run()).unwrap();
+        let bytes = std::fs::read(store.record_path(fp)).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        (fp, bytes)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Encode → decode → re-encode is the identity on both sides, for
+    /// runs with every observability combination armed.
+    #[test]
+    fn run_result_round_trip_is_bit_identical(
+        mhz_idx in 0usize..3,
+        metrics in any::<bool>(),
+        sample_ms in prop_oneof![Just(None), Just(Some(2u64)), Just(Some(7u64))],
+        trace_pow in prop_oneof![Just(0usize), Just(6), Just(16)],
+        faulty in any::<bool>(),
+    ) {
+        let mhz = [600, 1000, 1400][mhz_idx];
+        let faults = if faulty {
+            FaultSpec {
+                seed: 3,
+                faults: vec![Fault::ComputeSlowdown { node: 0, factor: 1.3 }],
+            }
+        } else {
+            FaultSpec::default()
+        };
+        let engine = EngineConfig {
+            metrics,
+            sample_interval: sample_ms.map(SimDuration::from_millis),
+            trace_capacity: if trace_pow == 0 { 0 } else { 1 << trace_pow },
+            faults,
+            ..EngineConfig::default()
+        };
+        let result = Experiment::new(Workload::ft_test(2), DvsStrategy::DynamicBaseMhz(mhz))
+            .with_engine(engine)
+            .run();
+        let bytes = encode_run_result(&result);
+        let decoded = decode_run_result(&bytes).expect("round trip decodes");
+        prop_assert_eq!(&decoded, &result);
+        prop_assert_eq!(encode_run_result(&decoded), bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flipping any single byte of a record makes the load a typed error
+    /// (never a panic, never silently wrong data).
+    #[test]
+    fn any_corrupted_byte_is_rejected(pos_frac in 0.0f64..1.0, flip in 1u8..255) {
+        let (fp, bytes) = golden_record();
+        let pos = ((bytes.len() as f64 * pos_frac) as usize).min(bytes.len() - 1);
+        let mut corrupted = bytes.clone();
+        corrupted[pos] ^= flip;
+
+        let dir = tmp_dir(&format!("corrupt-{pos}-{flip}"));
+        let mut store = SweepStore::open(&dir).unwrap();
+        std::fs::write(store.record_path(*fp), &corrupted).unwrap();
+        let outcome = store.load(*fp);
+        prop_assert!(
+            matches!(
+                outcome,
+                Err(StoreError::Corrupt { .. })
+                    | Err(StoreError::Version { .. })
+                    | Err(StoreError::Decode { .. })
+            ),
+            "byte {pos} xor {flip:#x} must be rejected, got {outcome:?}"
+        );
+        prop_assert_eq!(store.stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Every strict prefix of a record is rejected as truncated.
+    #[test]
+    fn any_truncation_is_rejected(keep_frac in 0.0f64..1.0) {
+        let (fp, bytes) = golden_record();
+        let keep = ((bytes.len() as f64 * keep_frac) as usize).min(bytes.len() - 1);
+
+        let dir = tmp_dir(&format!("trunc-{keep}"));
+        let mut store = SweepStore::open(&dir).unwrap();
+        std::fs::write(store.record_path(*fp), &bytes[..keep]).unwrap();
+        prop_assert!(matches!(
+            store.load(*fp),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The headline guarantee: a re-run sweep executes nothing and returns
+/// bit-identical results; a partially cached sweep (a killed run) only
+/// executes the gap.
+#[test]
+fn warm_sweep_executes_nothing_and_resumes_after_partial_cache() {
+    let dir = tmp_dir("warm");
+    let mut store = SweepStore::open(&dir).unwrap();
+    let faults = FaultSpec {
+        seed: 11,
+        faults: vec![Fault::DvfsLatency {
+            node: 0,
+            factor: 2.0,
+        }],
+    };
+    let full = Sweep::grid(
+        vec![Workload::ft_test(2)],
+        vec![
+            DvsStrategy::StaticMhz(1400),
+            DvsStrategy::StaticMhz(800),
+            DvsStrategy::DynamicBaseMhz(1400),
+        ],
+        vec![0.0],
+        vec![FaultSpec::default(), faults.clone()],
+    );
+
+    // "Killed" first attempt: only the clean-fault half ran.
+    let partial = Sweep::grid(
+        vec![Workload::ft_test(2)],
+        full.strategies.clone(),
+        vec![0.0],
+        vec![FaultSpec::default()],
+    );
+    let first = partial.run(&mut store, Some(1)).unwrap();
+    assert_eq!(first.report.engine_runs, 3);
+
+    // Resume: the full grid only executes the missing faulted half.
+    let resumed = full.run(&mut store, Some(1)).unwrap();
+    assert_eq!(resumed.report.cache_hits, 3);
+    assert_eq!(resumed.report.engine_runs, 3);
+    assert_eq!(resumed.results.len(), 6);
+
+    // Warm: zero executions, bit-identical to the resumed pass.
+    let warm = full.run(&mut store, Some(1)).unwrap();
+    assert_eq!(warm.report.engine_runs, 0, "warm sweep must not execute");
+    assert_eq!(warm.report.cache_hits, 6);
+    assert_eq!(warm.report.corrupt_records, 0);
+    assert_eq!(warm.results, resumed.results);
+    assert_eq!(warm.report.metrics().counter("sweep.engine_runs"), Some(0));
+
+    // And the direct engine agrees with what the cache replays.
+    let direct: Vec<_> = full.experiments().iter().map(Experiment::run).collect();
+    assert_eq!(warm.results, direct);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A sweep that trips over a corrupt record heals it: the record is
+/// re-run, overwritten, and the next pass is clean.
+#[test]
+fn sweep_heals_corrupt_records() {
+    let dir = tmp_dir("heal");
+    let mut store = SweepStore::open(&dir).unwrap();
+    let sweep = Sweep::grid(
+        vec![Workload::ft_test(2)],
+        vec![DvsStrategy::StaticMhz(1400), DvsStrategy::StaticMhz(600)],
+        Vec::new(),
+        Vec::new(),
+    );
+    let cold = sweep.run(&mut store, Some(1)).unwrap();
+
+    // Smash one record's payload.
+    let job = &sweep.plan(&store).jobs[0];
+    let path = store.record_path(job.fingerprint);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xA5;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let healed = sweep.run(&mut store, Some(1)).unwrap();
+    assert_eq!(healed.report.corrupt_records, 1);
+    assert_eq!(
+        healed.report.engine_runs, 1,
+        "only the smashed record re-runs"
+    );
+    assert_eq!(healed.results, cold.results);
+
+    let warm = sweep.run(&mut store, Some(1)).unwrap();
+    assert_eq!(warm.report.engine_runs, 0);
+    assert_eq!(warm.report.corrupt_records, 0);
+    assert_eq!(warm.results, cold.results);
+    let _ = std::fs::remove_dir_all(&dir);
+}
