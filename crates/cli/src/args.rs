@@ -3,14 +3,15 @@
 //! heavier than the parser).
 
 use powerpack::{CommMicroConfig, MicroConfig};
-use pwrperf::{DvsStrategy, FaultSpec, Workload};
+use pwrperf::{DvsStrategy, FaultSpec, Topology, Workload};
 use workloads::{CgClass, FtClass, MgClass};
 
 /// A parsed invocation.
 #[derive(Debug)]
 pub enum Command {
     /// `pwrperf run -w <workload> -s <strategy> [--blocking-waits <ms>]
-    /// [--metrics] [--trace-capacity <n>] [--faults <spec>]`
+    /// [--metrics] [--trace-capacity <n>] [--faults <spec>]
+    /// [--topology <spec>] [--shards <n>]`
     Run {
         /// Workload to execute.
         workload: Workload,
@@ -24,6 +25,10 @@ pub enum Command {
         trace_capacity: Option<usize>,
         /// Deterministic fault injection (empty = none).
         faults: FaultSpec,
+        /// Interconnect shape (`flat` or `fat-tree[:radix=R,oversub=S]`).
+        topology: Topology,
+        /// Intra-run shard count (`None` = `PWRPERF_SHARDS` or 1).
+        shards: Option<usize>,
     },
     /// `pwrperf sweep -w <workload> [--dynamic] [-j <n>] [--store <dir>]
     /// [--dry-run] [--no-cache] [--faults <spec>]`
@@ -85,7 +90,8 @@ pub enum Command {
         faults: FaultSpec,
     },
     /// `pwrperf stats -w <workload> -s <strategy> [--out <file>]
-    /// [--trace-capacity <n>] [--blocking-waits <ms>] [--faults <spec>]`
+    /// [--trace-capacity <n>] [--blocking-waits <ms>] [--faults <spec>]
+    /// [--topology <spec>] [--shards <n>]`
     Stats {
         /// Workload to execute.
         workload: Workload,
@@ -99,6 +105,10 @@ pub enum Command {
         blocking_ms: Option<u64>,
         /// Deterministic fault injection (empty = none).
         faults: FaultSpec,
+        /// Interconnect shape (`flat` or `fat-tree[:radix=R,oversub=S]`).
+        topology: Topology,
+        /// Intra-run shard count (`None` = `PWRPERF_SHARDS` or 1).
+        shards: Option<usize>,
     },
     /// `pwrperf list`
     List,
@@ -108,6 +118,17 @@ pub enum Command {
 
 /// Parse a workload name.
 pub fn parse_workload(name: &str) -> Result<Workload, String> {
+    // `ft-scale-<ranks>`: one class-C FT iteration on a large
+    // power-of-two rank count (the scale benchmark family).
+    if let Some(ranks) = name.strip_prefix("ft-scale-") {
+        let ranks: usize = ranks
+            .parse()
+            .map_err(|_| format!("bad rank count in '{name}'"))?;
+        if !ranks.is_power_of_two() {
+            return Err(format!("'{name}': FT needs a power-of-two rank count"));
+        }
+        return Ok(Workload::ft_scale(ranks));
+    }
     let w = match name {
         "ft-a8" => Workload::Ft {
             class: FtClass::A,
@@ -166,6 +187,9 @@ pub const WORKLOAD_NAMES: &[&str] = &[
     "ft-b8",
     "ft-c8",
     "ft-test4",
+    "ft-scale-256",
+    "ft-scale-1024",
+    "ft-scale-4096",
     "cg-a8",
     "cg-b8",
     "mg-a8",
@@ -212,6 +236,18 @@ fn parse_faults(value: &str) -> Result<FaultSpec, String> {
     FaultSpec::parse(value).map_err(|e| format!("bad --faults spec: {e}"))
 }
 
+fn parse_topology(value: &str) -> Result<Topology, String> {
+    Topology::parse(value).map_err(|e| format!("bad --topology spec: {e}"))
+}
+
+fn parse_shards(value: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| "--shards needs a positive integer".to_string())
+}
+
 fn take_value<'a>(args: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<&'a str, String> {
     args.next().ok_or_else(|| format!("{flag} needs a value"))
 }
@@ -235,6 +271,8 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
             let mut metrics = false;
             let mut trace_capacity = None;
             let mut faults = FaultSpec::default();
+            let mut topology = Topology::Flat;
+            let mut shards = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "-w" | "--workload" => {
@@ -251,6 +289,8 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                         trace_capacity = Some(parse_capacity(take_value(&mut it, flag)?)?)
                     }
                     "--faults" => faults = parse_faults(take_value(&mut it, flag)?)?,
+                    "--topology" => topology = parse_topology(take_value(&mut it, flag)?)?,
+                    "--shards" => shards = Some(parse_shards(take_value(&mut it, flag)?)?),
                     other => return Err(format!("unknown flag '{other}'")),
                 }
             }
@@ -261,6 +301,8 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                 metrics,
                 trace_capacity,
                 faults,
+                topology,
+                shards,
             })
         }
         "sweep" => {
@@ -421,6 +463,8 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
             let mut trace_capacity = None;
             let mut blocking_ms = None;
             let mut faults = FaultSpec::default();
+            let mut topology = Topology::Flat;
+            let mut shards = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "-w" | "--workload" => {
@@ -437,6 +481,8 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                         blocking_ms = Some(parse_blocking(take_value(&mut it, flag)?)?)
                     }
                     "--faults" => faults = parse_faults(take_value(&mut it, flag)?)?,
+                    "--topology" => topology = parse_topology(take_value(&mut it, flag)?)?,
+                    "--shards" => shards = Some(parse_shards(take_value(&mut it, flag)?)?),
                     other => return Err(format!("unknown flag '{other}'")),
                 }
             }
@@ -447,6 +493,8 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                 trace_capacity,
                 blocking_ms,
                 faults,
+                topology,
+                shards,
             })
         }
         "list" => Ok(Command::List),
@@ -867,6 +915,92 @@ mod tests {
         assert!(matches!(
             parse(&["stats", "-w", "ft-test4", "-s", "static-800"]),
             Command::Stats { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_scale_workloads() {
+        match parse_workload("ft-scale-4096").unwrap() {
+            Workload::FtScale { ranks } => assert_eq!(ranks, 4096),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_workload("ft-scale-100").is_err(), "non-pow2 rejected");
+        assert!(parse_workload("ft-scale-0").is_err());
+        assert!(parse_workload("ft-scale-lots").is_err());
+    }
+
+    #[test]
+    fn parses_topology_and_shards() {
+        match parse(&[
+            "run",
+            "-w",
+            "ft-scale-256",
+            "-s",
+            "static-1400",
+            "--topology",
+            "fat-tree:radix=16,oversub=2",
+            "--shards",
+            "8",
+        ]) {
+            Command::Run {
+                topology, shards, ..
+            } => {
+                assert_eq!(
+                    topology,
+                    Topology::FatTree {
+                        radix: 16,
+                        oversub: 2.0
+                    }
+                );
+                assert_eq!(shards, Some(8));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: flat switch, no shard override (env or 1 decides).
+        match parse(&["run", "-w", "swim", "-s", "static-800"]) {
+            Command::Run {
+                topology, shards, ..
+            } => {
+                assert_eq!(topology, Topology::Flat);
+                assert_eq!(shards, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Stats accepts both flags too (solver domain counters show there).
+        assert!(matches!(
+            parse(&[
+                "stats",
+                "-w",
+                "ft-test4",
+                "-s",
+                "static-800",
+                "--topology",
+                "fat-tree",
+                "--shards",
+                "2",
+            ]),
+            Command::Stats {
+                topology: Topology::FatTree { .. },
+                shards: Some(2),
+                ..
+            }
+        ));
+        // Bad specs surface as help with a message.
+        assert!(matches!(
+            parse(&[
+                "run",
+                "-w",
+                "swim",
+                "-s",
+                "static-800",
+                "--topology",
+                "torus"
+            ]),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse(&["run", "-w", "swim", "-s", "static-800", "--shards", "0"]),
+            Command::Help(Some(_))
         ));
     }
 

@@ -13,7 +13,8 @@ mod args;
 use args::{Command, STRATEGY_NAMES, WORKLOAD_NAMES};
 use edp_metrics::{best_operating_point, efficiency_gain, weighted_ed2p, DELTA_HPC};
 use pwrperf::{
-    static_crescendo, EngineConfig, Experiment, FaultCounts, FaultSpec, WaitPolicy, Workload,
+    static_crescendo, EngineConfig, Experiment, FaultCounts, FaultSpec, Topology, WaitPolicy,
+    Workload,
 };
 use sim_core::SimDuration;
 
@@ -28,6 +29,8 @@ fn main() {
             metrics,
             trace_capacity,
             faults,
+            topology,
+            shards,
         } => run(
             workload,
             strategy,
@@ -35,6 +38,8 @@ fn main() {
             metrics,
             trace_capacity,
             faults,
+            topology,
+            shards,
         ),
         Command::Sweep {
             workload,
@@ -92,6 +97,8 @@ fn main() {
             trace_capacity,
             blocking_ms,
             faults,
+            topology,
+            shards,
         } => stats(
             workload,
             strategy,
@@ -99,6 +106,8 @@ fn main() {
             trace_capacity,
             blocking_ms,
             faults,
+            topology,
+            shards,
         ),
         Command::Best {
             workload,
@@ -128,6 +137,12 @@ fn set_threads(threads: Option<usize>) {
     if let Some(n) = threads {
         std::env::set_var(pwrperf::THREADS_ENV, n.to_string());
     }
+}
+
+/// Resolve the intra-run shard count: the `--shards` flag wins, then the
+/// `PWRPERF_SHARDS` environment variable, then 1 (inline planning).
+fn resolve_shards(flag: Option<usize>) -> usize {
+    flag.or_else(pwrperf::env_shards).unwrap_or(1)
 }
 
 fn engine_for(blocking_ms: Option<u64>) -> EngineConfig {
@@ -162,6 +177,7 @@ fn print_faults(c: &FaultCounts) {
     );
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the flag set, one hop from parse
 fn run(
     workload: Workload,
     strategy: pwrperf::DvsStrategy,
@@ -169,11 +185,15 @@ fn run(
     metrics: bool,
     trace_capacity: Option<usize>,
     faults: FaultSpec,
+    topology: Topology,
+    shards: Option<usize>,
 ) {
     let engine = EngineConfig {
         metrics,
         trace_capacity: trace_capacity.unwrap_or(0),
         faults,
+        topology,
+        shards: resolve_shards(shards),
         ..engine_for(blocking_ms)
     };
     let result = Experiment::new(workload.clone(), strategy)
@@ -280,6 +300,7 @@ fn trace(
 
 /// `pwrperf stats`: run under metrics collection and print the PowerScope
 /// summary (optionally dumping the registry as NDJSON).
+#[allow(clippy::too_many_arguments)] // mirrors the flag set, one hop from parse
 fn stats(
     workload: Workload,
     strategy: pwrperf::DvsStrategy,
@@ -287,11 +308,15 @@ fn stats(
     trace_capacity: Option<usize>,
     blocking_ms: Option<u64>,
     faults: FaultSpec,
+    topology: Topology,
+    shards: Option<usize>,
 ) {
     let engine = EngineConfig {
         trace_capacity: trace_capacity.unwrap_or(0),
         metrics: true,
         faults,
+        topology,
+        shards: resolve_shards(shards),
         ..engine_for(blocking_ms)
     };
     let result = Experiment::new(workload.clone(), strategy)
@@ -480,6 +505,7 @@ fn help() {
 USAGE:
   pwrperf run    -w <workload> -s <strategy> [--blocking-waits <ms>]
                  [--metrics] [--trace-capacity <n>] [--faults <spec>]
+                 [--topology <spec>] [--shards <n>]
   pwrperf sweep  -w <workload> [--dynamic] [-j <threads>]
                  [--store <dir> [--dry-run] | --no-cache]
                  [--faults <spec>]
@@ -491,7 +517,7 @@ USAGE:
                  [--faults <spec>]
   pwrperf stats  -w <workload> -s <strategy> [-o <ndjson-file>]
                  [--trace-capacity <n>] [--blocking-waits <ms>]
-                 [--faults <spec>]
+                 [--faults <spec>] [--topology <spec>] [--shards <n>]
   pwrperf list
 
 EXAMPLES:
@@ -503,6 +529,8 @@ EXAMPLES:
   pwrperf stats -w swim -s cpuspeed -o metrics.ndjson
   pwrperf run   -w ft-test4 -s dynamic-1400 \\
                 --faults seed:7,slow:2:1.5,battery-stuck:1:40
+  pwrperf run   -w ft-scale-4096 -s static-1400 \\
+                --topology fat-tree:radix=16,oversub=2 --shards 8
 
 FAULT SPECS (comma-separated; deterministic under a fixed seed):
   seed:<u64>                  RNG seed (default 0x5EEDFA17)
@@ -523,6 +551,19 @@ phase slices and message instants per node, plus MHz and watt counter
 tracks. `stats` prints the PowerScope metrics registry (event counts,
 message-latency histograms, DVFS decisions, solver work). Both use
 simulated time only, so output bytes are deterministic.
+
+--topology picks the interconnect: `flat` (the paper's single switch,
+the default) or `fat-tree[:radix=R,oversub=S]`, a switch hierarchy with
+per-level trunk capacities and an S:1 taper going up. Flows then share
+every link on their up/down path under max-min fairness; the solver
+recomputes only the perturbed link domains (see `stats` for the
+domains_touched/skipped counters). The `ft-scale-<ranks>` workloads
+(256/1024/4096) run one class-C FT iteration for scale benchmarking.
+
+--shards <n> (or PWRPERF_SHARDS) plans compute phases for batches of
+same-timestamp events on n worker threads inside one run. Results are
+bit-identical at every shard count: events still apply in (time, seq)
+order and the plan math is the same pure function either way.
 
 Sweeps fan their independent runs over worker threads (auto-detected;
 override with -j/--threads or PWRPERF_THREADS). Results are bit-identical

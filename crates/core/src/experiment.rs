@@ -67,7 +67,10 @@ impl Experiment {
     pub fn run(&self) -> RunResult {
         let ranks = self.workload.ranks();
         let cluster = match (&self.node_config, &self.network) {
-            (None, None) => Cluster::paper_testbed(ranks),
+            // Beyond the testbed's 16 nodes (the ft-scale family), the
+            // homogeneous arm replicates the same hardware — identical
+            // node and network models, just more of them.
+            (None, None) if ranks <= 16 => Cluster::paper_testbed(ranks),
             (node, net) => Cluster::homogeneous(
                 ranks,
                 node.clone().unwrap_or_else(NodeConfig::inspiron_8600),

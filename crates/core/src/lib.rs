@@ -46,9 +46,9 @@ pub use experiment::{
     static_crescendo, Experiment,
 };
 pub use runner::{
-    parallel_map, parallel_map_telemetry, parallel_map_telemetry_with, run_batch,
+    env_shards, parallel_map, parallel_map_telemetry, parallel_map_telemetry_with, run_batch,
     run_batch_checked, run_batch_checked_with, run_batch_telemetry, run_batch_with, thread_count,
-    thread_count_with, BatchPolicy, BatchTelemetry, ExperimentError, THREADS_ENV,
+    thread_count_with, BatchPolicy, BatchTelemetry, ExperimentError, SHARDS_ENV, THREADS_ENV,
 };
 pub use scope::{metrics_ndjson, perfetto_json, stats_text};
 pub use store::{
@@ -64,4 +64,4 @@ pub use workload::Workload;
 
 // Convenience re-exports for downstream binaries.
 pub use edp_metrics;
-pub use mpi_sim::{EngineConfig, Fault, FaultCounts, FaultSpec, RunResult, WaitPolicy};
+pub use mpi_sim::{EngineConfig, Fault, FaultCounts, FaultSpec, RunResult, Topology, WaitPolicy};

@@ -45,6 +45,21 @@ use crate::experiment::Experiment;
 /// Environment variable overriding the worker thread count.
 pub const THREADS_ENV: &str = "PWRPERF_THREADS";
 
+/// Environment variable setting the intra-run shard count (the engine's
+/// parallel compute-plan workers) when no `--shards` flag is given.
+/// Unlike [`THREADS_ENV`] (which parallelizes *across* independent runs),
+/// shards parallelize *inside* one run; results are bit-identical at any
+/// shard count.
+pub const SHARDS_ENV: &str = "PWRPERF_SHARDS";
+
+/// The `PWRPERF_SHARDS` override, if set to a positive integer.
+pub fn env_shards() -> Option<usize> {
+    std::env::var(SHARDS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
 /// The `PWRPERF_THREADS` override, if set to a positive integer.
 fn env_threads() -> Option<usize> {
     std::env::var(THREADS_ENV)

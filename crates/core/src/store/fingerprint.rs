@@ -18,7 +18,7 @@ use std::hash::Hasher as _;
 
 use cluster_sim::NodeConfig;
 use dvfs::AppSpeedRequest;
-use mpi_sim::{EngineConfig, Op, Program, WaitPolicy};
+use mpi_sim::{EngineConfig, Op, Program, Topology, WaitPolicy};
 use net_model::NetworkParams;
 use sim_core::hash::FxHasher;
 use sim_core::Fault;
@@ -31,7 +31,7 @@ use crate::strategy::DvsStrategy;
 /// record header. Bump it whenever the canonical encoding or the record
 /// payload layout changes; old cache entries then miss (and are
 /// rejected) instead of decoding garbage.
-pub const STORE_FORMAT_VERSION: u32 = 1;
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 const FINGERPRINT_MAGIC: &[u8; 4] = b"PWRF";
 const SALT_LO: u64 = 0x5EED_CAFE_0000_0001;
@@ -282,6 +282,18 @@ fn encode_engine(w: &mut ByteWriter, engine: &EngineConfig) {
     for fault in &engine.faults.faults {
         encode_fault(w, fault);
     }
+    match engine.topology {
+        Topology::Flat => w.put_u8(0),
+        Topology::FatTree { radix, oversub } => {
+            w.put_u8(1);
+            w.put_usize(radix);
+            w.put_f64(oversub);
+        }
+    }
+    // `engine.shards` is deliberately NOT part of the key: shard count
+    // never changes the RunResult (the determinism suite enforces bit
+    // identity), so a sharded sweep may reuse a sequentially-filled
+    // cache and vice versa.
 }
 
 fn encode_fault(w: &mut ByteWriter, fault: &Fault) {
@@ -360,6 +372,34 @@ mod tests {
         let mut metrics_on = experiment();
         metrics_on.engine.metrics = true;
         assert_ne!(base, fingerprint_experiment(&metrics_on));
+    }
+
+    #[test]
+    fn topology_changes_the_key_but_shards_do_not() {
+        let base = fingerprint_experiment(&experiment());
+
+        // The fabric shapes rates, so it must key the cache.
+        let mut tree = experiment();
+        tree.engine.topology = Topology::FatTree {
+            radix: 4,
+            oversub: 2.0,
+        };
+        assert_ne!(base, fingerprint_experiment(&tree));
+        let mut wider = experiment();
+        wider.engine.topology = Topology::FatTree {
+            radix: 8,
+            oversub: 2.0,
+        };
+        assert_ne!(
+            fingerprint_experiment(&tree),
+            fingerprint_experiment(&wider)
+        );
+
+        // Shard count never changes the result, so a sharded sweep may
+        // replay a sequentially-filled cache: same key on purpose.
+        let mut sharded = experiment();
+        sharded.engine.shards = 8;
+        assert_eq!(base, fingerprint_experiment(&sharded));
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub enum Workload {
         /// Rank (= node) count.
         ranks: usize,
     },
+    /// Scale benchmark: one iteration of class-C FT on a large
+    /// power-of-two rank count (256/1024/4096 in `bench.sh scale`).
+    FtScale {
+        /// Rank (= node) count.
+        ranks: usize,
+    },
     /// The 12K×12K parallel matrix transpose on 15 processors.
     Transpose {
         /// Transpose iterations.
@@ -78,6 +84,11 @@ impl Workload {
         }
     }
 
+    /// One class-C FT iteration on `ranks` nodes (scale benchmarking).
+    pub fn ft_scale(ranks: usize) -> Self {
+        Workload::FtScale { ranks }
+    }
+
     /// NAS CG class B on 8 nodes (the extension workload).
     pub fn cg_b8() -> Self {
         Workload::Cg {
@@ -103,6 +114,7 @@ impl Workload {
     pub fn ranks(&self) -> usize {
         match self {
             Workload::Ft { ranks, .. } => *ranks,
+            Workload::FtScale { ranks } => *ranks,
             Workload::Transpose { .. } => TransposeConfig::paper().ranks(),
             Workload::Cg { ranks, .. } => *ranks,
             Workload::Mg { ranks, .. } => *ranks,
@@ -116,6 +128,7 @@ impl Workload {
     pub fn label(&self) -> String {
         match self {
             Workload::Ft { class, ranks } => format!("FT.{class:?} on {ranks} nodes"),
+            Workload::FtScale { ranks } => format!("FT.C x1 iter on {ranks} nodes"),
             Workload::Transpose { .. } => "12Kx12K transpose on 15 nodes".to_string(),
             Workload::Cg { class, ranks } => format!("CG.{class:?} on {ranks} nodes"),
             Workload::Mg { class, ranks } => format!("MG.{class:?} on {ranks} nodes"),
@@ -135,6 +148,11 @@ impl Workload {
         match self {
             Workload::Ft { class, ranks } => {
                 let mut cfg = FtConfig::paper(*class, *ranks);
+                cfg.dynamic_dvs = dynamic_instrumentation;
+                ft_programs(&cfg)
+            }
+            Workload::FtScale { ranks } => {
+                let mut cfg = FtConfig::scale(*ranks);
                 cfg.dynamic_dvs = dynamic_instrumentation;
                 ft_programs(&cfg)
             }

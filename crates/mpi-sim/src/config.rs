@@ -1,5 +1,6 @@
 //! Engine and message-cost configuration.
 
+use net_model::Topology;
 use sim_core::{FaultSpec, SimDuration};
 
 /// The frequency-scaled CPU cost of sending or receiving one message —
@@ -65,6 +66,18 @@ pub struct EngineConfig {
     /// empty spec is guaranteed bit-identical to a build without fault
     /// support (the determinism suite checks exactly this).
     pub faults: FaultSpec,
+    /// Interconnect shape. [`Topology::Flat`] is the paper's single
+    /// switch and keeps the historical flat fluid model bit-for-bit;
+    /// a fat-tree routes flows over per-level trunk links with an
+    /// oversubscription ratio (see `net_model::Topology`).
+    pub topology: Topology,
+    /// Worker threads for the intra-run sharded planner. Batches of
+    /// same-timestamp rank-local events precompute their float plans on
+    /// this many threads before the sequential `(time, seq)`-ordered
+    /// apply; results are bit-identical at every shard count because
+    /// the plan math is the same pure function either way. `1` (or `0`)
+    /// plans inline on the event loop thread.
+    pub shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +89,8 @@ impl Default for EngineConfig {
             trace_capacity: 0,
             metrics: false,
             faults: FaultSpec::default(),
+            topology: Topology::Flat,
+            shards: 1,
         }
     }
 }
@@ -101,5 +116,7 @@ mod tests {
         assert!(c.sample_interval.is_none());
         assert!(!c.metrics, "metrics collection must be opt-in");
         assert!(c.faults.is_empty(), "fault injection must be opt-in");
+        assert_eq!(c.topology, Topology::Flat, "flat switch is the default");
+        assert_eq!(c.shards, 1, "sharded planning must be opt-in");
     }
 }

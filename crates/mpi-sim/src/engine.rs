@@ -32,8 +32,9 @@
 
 use std::collections::VecDeque;
 
-use cluster_sim::Cluster;
+use cluster_sim::{Cluster, Node};
 use dvfs::Governor;
+use mem_model::WorkUnit;
 use net_model::{FlowId, FluidNetwork};
 use obs::{obs_count, obs_observe, MetricsRegistry};
 use power_model::{CpuActivity, OpIndex};
@@ -50,6 +51,12 @@ use crate::result::{RankBreakdown, RunResult, SampleRow};
 
 type MsgId = usize;
 type MsgKey = (Rank, Rank, Tag);
+
+/// Upper bound on the pending-send/-recv map pre-allocation. The `n*n`
+/// sizing heuristic is right for paper-scale clusters but would commit
+/// hundreds of megabytes of empty buckets at 4096 ranks; past this many
+/// buckets the maps grow on demand instead.
+const PENDING_MAP_CAPACITY_CAP: usize = 1 << 16;
 
 #[derive(Debug)]
 enum Event {
@@ -158,6 +165,41 @@ struct Msg {
     collective: bool,
 }
 
+/// The frequency-dependent float plan for one `Op::Compute`: exactly the
+/// values `execute_next` derives before starting the phase. Produced by
+/// [`plan_compute`] — one pure function shared by the inline path and the
+/// shard planner, so a cached plan is bit-identical to an inline one.
+#[derive(Debug, Clone, Copy)]
+struct ComputePlan {
+    /// Frequency-scaled cycles, before any straggler-fault stretching
+    /// (faults mutate run state, so they apply at the sequential step).
+    cycles: f64,
+    /// Blended dynamic-power factor for the active portion.
+    power_factor: f64,
+    /// Frequency-invariant DRAM-stall tail.
+    stall: SimDuration,
+}
+
+/// Derive the compute-phase floats for `w` on `node`. Pure: reads only
+/// the node's frequency and static configuration, which is what lets the
+/// shard planner evaluate it for many ranks concurrently.
+fn plan_compute(w: &WorkUnit, node: &Node) -> ComputePlan {
+    let hier = &node.config().mem;
+    let split = w.split(hier, node.freq_hz());
+    let cycles = w.scaled_cycles(hier);
+    let power_factor = node
+        .config()
+        .power
+        .cpu
+        .activity
+        .compute_blend(w.cpu_cycles, w.l2_accesses * hier.l2_latency_cycles);
+    ComputePlan {
+        cycles,
+        power_factor,
+        stall: split.stall,
+    }
+}
+
 /// The simulator. Construct with [`Engine::new`], run with [`Engine::run`].
 pub struct Engine {
     config: EngineConfig,
@@ -195,6 +237,12 @@ pub struct Engine {
     /// Reused between network wakes to collect completed flows without
     /// allocating on every event.
     completed_buf: Vec<(FlowId, usize, usize)>,
+    /// Per-rank compute plan precomputed by the shard planner, keyed by
+    /// the program counter it was planned for. `execute_next` consumes a
+    /// matching entry instead of re-deriving the floats; a mismatch (or
+    /// an empty slot — always the case at `shards <= 1`) falls back to
+    /// the identical inline computation.
+    plan_cache: Vec<Option<(usize, ComputePlan)>>,
 }
 
 impl Engine {
@@ -212,7 +260,8 @@ impl Engine {
         );
         assert_eq!(governors.len(), cluster.len(), "one governor per node");
         let n = cluster.len();
-        let mut network = FluidNetwork::new(cluster.network().clone(), n);
+        let mut network =
+            FluidNetwork::with_topology(cluster.network().clone(), n, &config.topology);
         let mut fault_counts = FaultCounts::default();
         let faults = FaultRuntime::build(&config.faults, n, &mut network, &mut fault_counts);
         // Nearly every message-bearing op posts one message; sizing the
@@ -255,8 +304,16 @@ impl Engine {
             msgs: Vec::with_capacity(total_ops),
             // Message keys are (src, dst, tag); n ranks keep at most a few
             // live tags per pair, so n*n buckets absorb the steady state.
-            pending_sends: FxHashMap::with_capacity_and_hasher(n * n, Default::default()),
-            pending_recvs: FxHashMap::with_capacity_and_hasher(n * n, Default::default()),
+            // Capped: at thousands of ranks n*n would pre-commit hundreds
+            // of MB per map for buckets mostly never touched.
+            pending_sends: FxHashMap::with_capacity_and_hasher(
+                (n * n).min(PENDING_MAP_CAPACITY_CAP),
+                Default::default(),
+            ),
+            pending_recvs: FxHashMap::with_capacity_and_hasher(
+                (n * n).min(PENDING_MAP_CAPACITY_CAP),
+                Default::default(),
+            ),
             flow_to_msg: Vec::new(),
             net_event: None,
             finished: 0,
@@ -272,6 +329,7 @@ impl Engine {
             fault_counts,
             last_battery: vec![None; n],
             completed_buf: Vec::new(),
+            plan_cache: vec![None; n],
         }
     }
 
@@ -297,6 +355,7 @@ impl Engine {
             self.queue.push(SimTime::ZERO, Event::Resume(r));
         }
 
+        let shards = self.config.shards.max(1);
         while let Some(ev) = self.queue.pop() {
             // Always-on (not debug_assert): a time regression here would
             // silently corrupt every downstream energy integral in release
@@ -304,6 +363,9 @@ impl Engine {
             // panic into a per-slot error.
             assert!(ev.time >= self.now, "event time went backwards");
             self.now = ev.time;
+            if shards > 1 {
+                self.plan_ahead(&ev.event, ev.time, shards);
+            }
             self.dispatch(ev.event);
             if self.finished == n {
                 break;
@@ -333,6 +395,84 @@ impl Engine {
             Event::GovernorTick(node) => self.on_governor_tick(node),
             Event::WaitBlock(r) => self.on_wait_block(r),
             Event::Sample => self.on_sample(),
+        }
+    }
+
+    // ----- shard planner ---------------------------------------------------
+
+    /// Is `ev` a rank-local event whose very next step is a compute
+    /// phase? Those are the events whose float derivation the shard
+    /// planner may run ahead of time: the rank's state and pc cannot be
+    /// perturbed by other ranks' Resume/PhaseDone handlers (cross-rank
+    /// resumption only happens from network events), so a plan taken now
+    /// is still exact when the event dispatches.
+    fn plan_target(&self, ev: &Event) -> Option<(Rank, usize)> {
+        let r = match *ev {
+            Event::Resume(r) if matches!(self.ranks[r].state, RState::Stalled) => r,
+            Event::PhaseDone(r) if matches!(self.ranks[r].state, RState::ComputeStall) => r,
+            _ => return None,
+        };
+        let pc = self.ranks[r].pc;
+        match self.programs[r].ops().get(pc) {
+            Some(Op::Compute(_)) => Some((r, pc)),
+            _ => None,
+        }
+    }
+
+    /// Sharded intra-run planning. When the just-popped event heads a
+    /// run of same-timestamp compute-bound rank events (a compute
+    /// epoch), peek the whole run off the queue, evaluate every rank's
+    /// [`ComputePlan`] on `shards` worker threads, and hand the events
+    /// back via [`EventQueue::unpop`], which restores the queue — order,
+    /// slot slab, and lifetime counters — exactly. The main loop then
+    /// dispatches the run sequentially in `(time, seq)` order, consuming
+    /// the plans. The merge invariant is therefore trivial: the merge
+    /// *is* the sequential order, and [`plan_compute`] is the same pure
+    /// function the inline path uses, so the run result is bit-identical
+    /// at every shard count.
+    fn plan_ahead(&mut self, head: &Event, now: SimTime, shards: usize) {
+        let Some(first) = self.plan_target(head) else {
+            return;
+        };
+        let mut targets = vec![first];
+        let mut peeked: Vec<sim_core::QueuedEvent<Event>> = Vec::new();
+        while self.queue.peek_time() == Some(now) {
+            let Some(ev) = self.queue.pop() else { break };
+            let target = self.plan_target(&ev.event);
+            peeked.push(ev);
+            match target {
+                Some(t) => targets.push(t),
+                None => break, // end of the compute epoch
+            }
+        }
+        // Reverse pop order restores the queue's slot slab exactly.
+        while let Some(ev) = peeked.pop() {
+            self.queue.unpop(ev);
+        }
+        if targets.len() < 2 {
+            return; // nothing to fan out; the inline path is identical
+        }
+        let mut plans: Vec<Option<ComputePlan>> = vec![None; targets.len()];
+        {
+            let programs = &self.programs;
+            let cluster = &self.cluster;
+            let chunk = targets.len().div_ceil(shards);
+            std::thread::scope(|scope| {
+                for (t_chunk, p_chunk) in targets.chunks(chunk).zip(plans.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (&(r, pc), out) in t_chunk.iter().zip(p_chunk.iter_mut()) {
+                            if let Some(Op::Compute(w)) = programs[r].ops().get(pc) {
+                                *out = Some(plan_compute(w, cluster.node(r)));
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        for (&(r, pc), plan) in targets.iter().zip(plans) {
+            if let Some(p) = plan {
+                self.plan_cache[r] = Some((pc, p));
+            }
         }
     }
 
@@ -387,23 +527,22 @@ impl Engine {
             let op = self.programs[r].ops()[pc].clone();
             match op {
                 Op::Compute(w) => {
-                    let node = self.cluster.node(r);
-                    let hier = &node.config().mem;
-                    let split = w.split(hier, node.freq_hz());
-                    let mut cycles = w.scaled_cycles(hier);
+                    // A plan precomputed by the shard planner for exactly
+                    // this pc is used as-is; otherwise derive it inline.
+                    // Both are the same pure function, so the floats are
+                    // bit-identical whether or not a plan was cached.
+                    let plan = match self.plan_cache[r].take() {
+                        Some((plan_pc, p)) if plan_pc == pc => p,
+                        _ => plan_compute(&w, self.cluster.node(r)),
+                    };
+                    let mut cycles = plan.cycles;
                     if let Some(f) = self.faults.as_deref() {
                         // Straggler fault: stretch the cycle cost, not the
                         // wall time, so transition pause/resume banking
                         // stays consistent.
                         cycles = f.scale_compute(r, cycles, &mut self.fault_counts);
                     }
-                    let factor = node
-                        .config()
-                        .power
-                        .cpu
-                        .activity
-                        .compute_blend(w.cpu_cycles, w.l2_accesses * hier.l2_latency_cycles);
-                    self.begin_active_phase(r, cycles, factor, split.stall);
+                    self.begin_active_phase(r, cycles, plan.power_factor, plan.stall);
                     return;
                 }
                 Op::Send { dst, bytes, tag } => {
@@ -1082,6 +1221,13 @@ impl Engine {
             m.counter_add("net.solver.invocations", s.invocations);
             m.counter_add("net.solver.rounds", s.rounds);
             m.counter_add("net.solver.fallback_freezes", s.fallback_freezes);
+            // Only the hierarchical (tree-mode) network tracks per-link
+            // domains; gating on activity keeps a flat run's registry
+            // byte-identical to before topologies existed.
+            if s.domains_touched + s.domains_skipped > 0 {
+                m.counter_add("net.solver.domains_touched", s.domains_touched);
+                m.counter_add("net.solver.domains_skipped", s.domains_skipped);
+            }
             m.counter_add("net.rate_recomputes", self.network.rate_recomputes());
             m.counter_add("net.flows_completed", self.network.flows_completed());
             m.gauge_set("net.bytes_delivered", self.network.bytes_delivered());

@@ -70,3 +70,6 @@ pub use result::{RankBreakdown, RunResult, SampleRow};
 // are configured through [`EngineConfig::faults`] and reported through
 // [`RunResult::faults`].
 pub use sim_core::{Fault, FaultCounts, FaultSpec};
+// The interconnect shape is configured through [`EngineConfig::topology`];
+// re-exported so engine users need not depend on net-model directly.
+pub use net_model::Topology;

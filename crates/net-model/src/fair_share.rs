@@ -1,17 +1,29 @@
 //! Max-min fair rate allocation by progressive filling.
 //!
-//! Every flow crosses exactly two capacity constraints: its source node's
-//! uplink and its destination node's downlink (the switch backplane is
-//! non-blocking, as the Catalyst 2950 is for this port count). Progressive
-//! filling raises all unfixed flows' rates together until some link
-//! saturates, freezes the flows on that link, and repeats — yielding the
-//! unique max-min fair allocation.
+//! The solver works over an arbitrary set of directed capacity
+//! constraints ("links"); a flow is constrained by every link on its
+//! path. Progressive filling raises all unfixed flows' rates together
+//! until some link saturates, freezes the flows on that link, and
+//! repeats — yielding the unique max-min fair allocation.
+//!
+//! In the paper's flat testbed every flow crosses exactly two links:
+//! its source node's uplink and its destination node's downlink (the
+//! switch backplane is non-blocking, as the Catalyst 2950 is for this
+//! port count). The flat entry points ([`FairShare::compute_into`],
+//! [`FairShare::compute_with_capacities_into`]) express that as paths
+//! `[2·src, 2·dst+1]` over the same core loop the hierarchical
+//! [`FairShare::compute_topology_into`] uses — the link numbering (see
+//! [`crate::topology`]) makes the generalized scan visit capacities in
+//! the historical per-node up/down order, so flat results are
+//! bit-identical to the pre-topology solver.
 //!
 //! The solver lives in [`FairShare`], which owns all the per-call scratch
-//! (active-flow worklists, per-node residual capacities and counts) so a
+//! (active-flow worklists, per-link residual capacities and counts) so a
 //! caller that recomputes rates on every flow arrival/departure — the
 //! fluid network does — allocates nothing after the first call.
 //! [`max_min_fair`] is a convenience wrapper over a throwaway solver.
+
+use crate::topology::LinkTable;
 
 /// A flow to be allocated: `(src_node, dst_node)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +48,40 @@ pub struct SolverStats {
     pub rounds: u64,
     /// Times the degenerate-float fallback freeze rule fired.
     pub fallback_freezes: u64,
+    /// Link domains an incremental update actually had to revisit
+    /// (maintained by the tree-mode fluid network, not by `fill`).
+    pub domains_touched: u64,
+    /// Link domains an incremental update proved unchanged and skipped.
+    pub domains_skipped: u64,
+}
+
+/// Per-flow link paths for one solver call.
+enum Paths<'a> {
+    /// Flat fabric: flow `i`'s path is `[2·src, 2·dst+1]`, derived on
+    /// the fly — no per-flow storage on the hot path.
+    Flat,
+    /// Explicit paths in CSR form: flow `i` crosses
+    /// `links[offsets[i]..offsets[i+1]]`.
+    Csr {
+        offsets: &'a [u32],
+        links: &'a [u32],
+    },
+}
+
+impl Paths<'_> {
+    #[inline]
+    fn path<'b>(&'b self, i: usize, f: FlowEndpoints, buf: &'b mut [u32; 2]) -> &'b [u32] {
+        match self {
+            Paths::Flat => {
+                // simlint: allow(literal-index): buf is a fixed [u32; 2], both slots exist by construction
+                buf[0] = (2 * f.src) as u32;
+                // simlint: allow(literal-index): buf is a fixed [u32; 2], both slots exist by construction
+                buf[1] = (2 * f.dst + 1) as u32;
+                buf
+            }
+            Paths::Csr { offsets, links } => &links[offsets[i] as usize..offsets[i + 1] as usize],
+        }
+    }
 }
 
 /// Progressive-filling solver with reusable scratch buffers.
@@ -43,10 +89,10 @@ pub struct SolverStats {
 pub struct FairShare {
     active: Vec<usize>,
     still_active: Vec<usize>,
-    up_cap: Vec<f64>,
-    down_cap: Vec<f64>,
-    up_count: Vec<usize>,
-    down_count: Vec<usize>,
+    link_cap: Vec<f64>,
+    link_count: Vec<usize>,
+    path_offsets: Vec<u32>,
+    path_links: Vec<u32>,
     stats: SolverStats,
 }
 
@@ -71,7 +117,15 @@ impl FairShare {
         rates: &mut Vec<f64>,
     ) {
         assert!(link_capacity > 0.0);
-        self.fill(flows, nodes, |_| link_capacity, loopback_capacity, rates);
+        self.fill(
+            flows,
+            2 * nodes,
+            |_| link_capacity,
+            &Paths::Flat,
+            nodes,
+            loopback_capacity,
+            rates,
+        );
     }
 
     /// Like [`FairShare::compute_into`] but with an individual full-duplex
@@ -91,14 +145,63 @@ impl FairShare {
         for &c in capacities {
             assert!(c > 0.0 && c.is_finite(), "link capacity must be positive");
         }
-        self.fill(flows, nodes, |n| capacities[n], loopback_capacity, rates);
+        self.fill(
+            flows,
+            2 * nodes,
+            |link| capacities[link / 2],
+            &Paths::Flat,
+            nodes,
+            loopback_capacity,
+            rates,
+        );
     }
 
+    /// Max-min fair rates over an arbitrary compiled topology: each flow
+    /// is constrained by every link on its up/down path through the
+    /// switch hierarchy (see [`LinkTable::push_path`]). With a flat or
+    /// single-switch table this is bit-identical to
+    /// [`FairShare::compute_into`].
+    pub fn compute_topology_into(
+        &mut self,
+        flows: &[FlowEndpoints],
+        table: &LinkTable,
+        loopback_capacity: f64,
+        rates: &mut Vec<f64>,
+    ) {
+        // Move the CSR scratch out so `fill` can borrow the rest of self.
+        let mut offsets = std::mem::take(&mut self.path_offsets);
+        let mut links = std::mem::take(&mut self.path_links);
+        offsets.clear();
+        links.clear();
+        offsets.push(0);
+        for f in flows {
+            table.push_path(f.src, f.dst, &mut links);
+            offsets.push(links.len() as u32);
+        }
+        self.fill(
+            flows,
+            table.num_links(),
+            |link| table.capacity(link),
+            &Paths::Csr {
+                offsets: &offsets,
+                links: &links,
+            },
+            table.nodes(),
+            loopback_capacity,
+            rates,
+        );
+        self.path_offsets = offsets;
+        self.path_links = links;
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn fill<C: Fn(usize) -> f64>(
         &mut self,
         flows: &[FlowEndpoints],
-        nodes: usize,
+        num_links: usize,
         capacity_of: C,
+        paths: &Paths<'_>,
+        nodes: usize,
         loopback_capacity: f64,
         rates: &mut Vec<f64>,
     ) {
@@ -109,11 +212,10 @@ impl FairShare {
         let FairShare {
             active,
             still_active,
-            up_cap,
-            down_cap,
-            up_count,
-            down_count,
+            link_cap,
+            link_count,
             stats,
+            ..
         } = self;
         stats.invocations += 1;
 
@@ -128,33 +230,29 @@ impl FairShare {
             }
         }
 
-        up_cap.clear();
-        down_cap.clear();
-        for node in 0..nodes {
-            let c = capacity_of(node);
-            up_cap.push(c);
-            down_cap.push(c);
+        link_cap.clear();
+        for link in 0..num_links {
+            link_cap.push(capacity_of(link));
         }
-        up_count.clear();
-        up_count.resize(nodes, 0);
-        down_count.clear();
-        down_count.resize(nodes, 0);
+        link_count.clear();
+        link_count.resize(num_links, 0);
+        let mut buf = [0u32; 2];
         for &i in active.iter() {
-            up_count[flows[i].src] += 1;
-            down_count[flows[i].dst] += 1;
+            for &l in paths.path(i, flows[i], &mut buf) {
+                link_count[l as usize] += 1;
+            }
         }
 
         while !active.is_empty() {
             stats.rounds += 1;
-            // The bottleneck link is the one offering the least share per flow.
+            // The bottleneck link is the one offering the least share per
+            // flow. Link ids place edge up/downlinks at 2v/2v+1, so this
+            // scan visits capacities in the historical per-node order.
             let mut bottleneck_share = f64::INFINITY;
-            for node in 0..nodes {
-                if up_count[node] > 0 {
-                    bottleneck_share = bottleneck_share.min(up_cap[node] / up_count[node] as f64);
-                }
-                if down_count[node] > 0 {
+            for link in 0..num_links {
+                if link_count[link] > 0 {
                     bottleneck_share =
-                        bottleneck_share.min(down_cap[node] / down_count[node] as f64);
+                        bottleneck_share.min(link_cap[link] / link_count[link] as f64);
                 }
             }
             // Always-on: a NaN/infinite share would propagate into every
@@ -168,16 +266,17 @@ impl FairShare {
             let mut frozen_any = false;
             still_active.clear();
             for &i in active.iter() {
-                let f = flows[i];
-                let up_share = up_cap[f.src] / up_count[f.src] as f64;
-                let down_share = down_cap[f.dst] / down_count[f.dst] as f64;
-                let limit = up_share.min(down_share);
+                let path = paths.path(i, flows[i], &mut buf);
+                let mut limit = f64::INFINITY;
+                for &l in path {
+                    limit = limit.min(link_cap[l as usize] / link_count[l as usize] as f64);
+                }
                 if limit <= bottleneck_share * (1.0 + 1e-12) {
                     rates[i] = bottleneck_share;
-                    up_cap[f.src] -= bottleneck_share;
-                    down_cap[f.dst] -= bottleneck_share;
-                    up_count[f.src] -= 1;
-                    down_count[f.dst] -= 1;
+                    for &l in path {
+                        link_cap[l as usize] -= bottleneck_share;
+                        link_count[l as usize] -= 1;
+                    }
                     frozen_any = true;
                 } else {
                     still_active.push(i);
@@ -194,32 +293,27 @@ impl FairShare {
                 // test. Freeze the flows on the strict minimum-share link
                 // directly — that link has at least one flow by construction,
                 // so filling always terminates.
-                let mut min_link: Option<(bool, usize, f64)> = None;
-                for node in 0..nodes {
-                    if up_count[node] > 0 {
-                        let share = up_cap[node] / up_count[node] as f64;
-                        if min_link.is_none_or(|(_, _, s)| share < s) {
-                            min_link = Some((true, node, share));
-                        }
-                    }
-                    if down_count[node] > 0 {
-                        let share = down_cap[node] / down_count[node] as f64;
-                        if min_link.is_none_or(|(_, _, s)| share < s) {
-                            min_link = Some((false, node, share));
+                let mut min_link: Option<(usize, f64)> = None;
+                for link in 0..num_links {
+                    if link_count[link] > 0 {
+                        let share = link_cap[link] / link_count[link] as f64;
+                        if min_link.is_none_or(|(_, s)| share < s) {
+                            min_link = Some((link, share));
                         }
                     }
                 }
                 match min_link {
-                    Some((is_up, node, _)) => {
+                    Some((min_id, _)) => {
+                        let min_id = min_id as u32;
                         still_active.retain(|&i| {
-                            let f = flows[i];
-                            let on_link = if is_up { f.src == node } else { f.dst == node };
+                            let path = paths.path(i, flows[i], &mut buf);
+                            let on_link = path.contains(&min_id);
                             if on_link {
                                 rates[i] = bottleneck_share;
-                                up_cap[f.src] -= bottleneck_share;
-                                down_cap[f.dst] -= bottleneck_share;
-                                up_count[f.src] -= 1;
-                                down_count[f.dst] -= 1;
+                                for &l in path {
+                                    link_cap[l as usize] -= bottleneck_share;
+                                    link_count[l as usize] -= 1;
+                                }
                             }
                             !on_link
                         });
@@ -241,6 +335,15 @@ impl FairShare {
     /// Lifetime work counters for this solver instance.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Record incremental-domain bookkeeping from a caller that scopes
+    /// recomputation to perturbed link domains (the tree-mode fluid
+    /// network) — surfaced through [`SolverStats`] to prove the
+    /// sub-linear asymptotics.
+    pub fn note_domains(&mut self, touched: u64, skipped: u64) {
+        self.stats.domains_touched += touched;
+        self.stats.domains_skipped += skipped;
     }
 }
 
@@ -444,7 +547,121 @@ mod tests {
         FairShare::new().compute_with_capacities_into(&[flow(0, 1)], 3, &[C, C], C, &mut rates);
     }
 
+    #[test]
+    fn single_switch_topology_matches_flat_bitwise() {
+        use crate::topology::Topology;
+        let scenarios: Vec<Vec<FlowEndpoints>> = vec![
+            vec![flow(0, 1), flow(0, 2), flow(3, 2)],
+            vec![flow(0, 0), flow(0, 1), flow(2, 1), flow(2, 3)],
+            (0..20).map(|i| flow(i % 4, (i + 1) % 4)).collect(),
+        ];
+        let table = Topology::FatTree {
+            radix: 8,
+            oversub: 2.0,
+        }
+        .link_table(4, C);
+        let mut solver = FairShare::new();
+        let mut rates = Vec::new();
+        for flows in &scenarios {
+            solver.compute_topology_into(flows, &table, C, &mut rates);
+            let flat = max_min_fair(flows, 4, C, C);
+            assert_eq!(rates.len(), flat.len());
+            for (a, b) in rates.iter().zip(&flat) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn nonblocking_tree_matches_flat_values() {
+        // oversub = 1 with multiple trunk levels: trunks never bind
+        // strictly below the edges, so the allocation equals flat's.
+        use crate::topology::Topology;
+        let table = Topology::FatTree {
+            radix: 2,
+            oversub: 1.0,
+        }
+        .link_table(8, C);
+        let flows: Vec<_> = (0..24).map(|i| flow(i % 8, (i * 3 + 1) % 8)).collect();
+        let mut rates = Vec::new();
+        FairShare::new().compute_topology_into(&flows, &table, C, &mut rates);
+        let flat = max_min_fair(&flows, 8, C, C);
+        for (a, b) in rates.iter().zip(&flat) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_trunk_throttles_cross_traffic() {
+        // 4 hosts, radix 2, oversub 4: the two leaf trunks carry
+        // 2*C/4 = C/2 each. One cross-leaf flow is trunk-limited to
+        // C/2; an intra-leaf flow still gets the full edge.
+        use crate::topology::Topology;
+        let table = Topology::FatTree {
+            radix: 2,
+            oversub: 4.0,
+        }
+        .link_table(4, C);
+        let mut rates = Vec::new();
+        FairShare::new().compute_topology_into(&[flow(0, 2), flow(2, 3)], &table, C, &mut rates);
+        assert!((rates[0] - C / 2.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates[1] - C).abs() < 1e-9, "{rates:?}");
+    }
+
     proptest! {
+        /// The ISSUE-mandated degeneracy: with radix >= nodes (single
+        /// leaf switch) the hierarchical solver must match the flat
+        /// solver bit-for-bit, over random flow sets and radices.
+        #[test]
+        fn prop_wide_tree_is_bitwise_flat(
+            endpoints in proptest::collection::vec((0usize..8, 0usize..8), 1..40),
+            radix in 8usize..64,
+            oversub in 1u32..8,
+        ) {
+            use crate::topology::Topology;
+            let flows: Vec<_> = endpoints.iter().map(|&(s, d)| flow(s, d)).collect();
+            let table = Topology::FatTree { radix, oversub: oversub as f64 }
+                .link_table(8, C);
+            let mut rates = Vec::new();
+            FairShare::new().compute_topology_into(&flows, &table, C, &mut rates);
+            let flat = max_min_fair(&flows, 8, C, C);
+            prop_assert_eq!(rates.len(), flat.len());
+            for (a, b) in rates.iter().zip(&flat) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        /// Feasibility on a deep oversubscribed tree: no link on any
+        /// flow's path carries more than its capacity.
+        #[test]
+        fn prop_tree_allocation_feasible(
+            endpoints in proptest::collection::vec((0usize..8, 0usize..8), 1..40),
+            oversub in 1u32..5,
+        ) {
+            use crate::topology::Topology;
+            let flows: Vec<_> = endpoints.iter().map(|&(s, d)| flow(s, d)).collect();
+            let table = Topology::FatTree { radix: 2, oversub: oversub as f64 }
+                .link_table(8, C);
+            let mut rates = Vec::new();
+            FairShare::new().compute_topology_into(&flows, &table, C, &mut rates);
+            let mut load = vec![0.0f64; table.num_links()];
+            let mut path = Vec::new();
+            for (f, r) in flows.iter().zip(&rates) {
+                prop_assert!(*r > 0.0);
+                path.clear();
+                table.push_path(f.src, f.dst, &mut path);
+                for &l in &path {
+                    load[l as usize] += r;
+                }
+            }
+            for (l, &used) in load.iter().enumerate() {
+                prop_assert!(
+                    used <= table.capacity(l) * (1.0 + 1e-6),
+                    "link {} oversubscribed: {} > {}", l, used, table.capacity(l)
+                );
+            }
+        }
+
         /// No link is ever oversubscribed and every flow gets a positive
         /// rate — the feasibility + efficiency half of max-min fairness.
         #[test]

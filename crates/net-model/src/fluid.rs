@@ -5,8 +5,9 @@
 //! 1. [`FluidNetwork::start_flow`] when a sender/receiver pair is matched;
 //! 2. [`FluidNetwork::next_completion`] to learn when to schedule the next
 //!    network event;
-//! 3. [`FluidNetwork::take_completed`] at that event to collect finished
-//!    transfers (rates are recomputed automatically as flows come and go).
+//! 3. [`FluidNetwork::take_completed_into`] at that event to collect
+//!    finished transfers (rates are recomputed automatically as flows
+//!    come and go).
 //!
 //! ## Incremental recomputation
 //!
@@ -19,11 +20,40 @@
 //! All fast paths are bit-identical to a from-scratch recomputation (a
 //! property-based test below drives random arrivals/departures and checks
 //! rates against [`max_min_fair`] exactly).
+//!
+//! ## Hierarchical (tree) mode
+//!
+//! [`FluidNetwork::with_topology`] with a non-flat [`Topology`] switches
+//! the network to an incremental, sub-linear regime built for
+//! thousand-node fabrics, where the O(flows) solver sweep per arrival is
+//! unaffordable:
+//!
+//! * per-link flow counts are maintained incrementally (O(path) per
+//!   arrival/departure), and each link carries a *quantized* fair share
+//!   `Q(capacity / count)`;
+//! * a flow's rate is fixed at admission to the minimum quantized share
+//!   along its up/down path, and its completion time goes into a lazy
+//!   min-heap (stale entries are generation-stamped and dropped on pop)
+//!   — flows drain lazily, so `advance` is O(1);
+//! * quantization makes shares insensitive to small count changes: a
+//!   path link whose quantized share is unchanged by an update is a
+//!   *skipped* domain, a changed one is *touched*; both are counted in
+//!   [`SolverStats`] to demonstrate the asymptotics.
+//!
+//! Tree mode defines its own (deterministic) semantics: rates are not
+//! re-fair-shared over surviving flows on every event as in flat mode,
+//! so results are reproducible run-to-run but intentionally not
+//! comparable to flat mode bit-for-bit. Flat mode is byte-for-byte
+//! untouched by all of this.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use sim_core::{SimDuration, SimTime};
 
 use crate::fair_share::{FairShare, FlowEndpoints, SolverStats};
 use crate::params::NetworkParams;
+use crate::topology::{LinkTable, Topology};
 
 /// Handle to an active transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,6 +73,68 @@ struct ActiveFlow {
     dst: usize,
     remaining_bytes: f64,
     rate_bytes_per_sec: f64,
+    /// Tree mode only: completion-heap generation stamp for this slot's
+    /// current occupant (stale heap entries carry an older stamp).
+    generation: u64,
+}
+
+/// Incremental per-link state for hierarchical (fat-tree) fabrics.
+#[derive(Debug)]
+struct TreeState {
+    table: LinkTable,
+    /// Live fabric flows crossing each link.
+    count: Vec<u32>,
+    /// Quantized fair share of each link at its current count.
+    qshare: Vec<f64>,
+    /// Rate quantum (bytes/s); shares are floored to a multiple of it so
+    /// small count changes leave them — and every dependent subtree —
+    /// untouched.
+    quantum: f64,
+    /// Pending completions `(finish, generation, slot)`; entries go
+    /// stale when a slot is freed and are dropped lazily on pop.
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    next_generation: u64,
+    active_count: usize,
+    path_scratch: Vec<u32>,
+}
+
+impl TreeState {
+    /// Re-derive link `l`'s quantized share after a count/capacity
+    /// change. Returns whether the share actually moved (a *touched*
+    /// domain, in [`SolverStats`] terms).
+    fn requantize(&mut self, l: usize) -> bool {
+        let c = self.count[l];
+        let share = if c == 0 {
+            self.table.capacity(l)
+        } else {
+            quantize(self.table.capacity(l) / c as f64, self.quantum)
+        };
+        let changed = share.to_bits() != self.qshare[l].to_bits();
+        self.qshare[l] = share;
+        changed
+    }
+}
+
+/// Floor `share` to a multiple of `quantum`, except below one quantum
+/// where the raw share is kept so rates never collapse to zero.
+fn quantize(share: f64, quantum: f64) -> f64 {
+    if share <= quantum {
+        share
+    } else {
+        (share / quantum).floor() * quantum
+    }
+}
+
+/// Absolute drain instant of `remaining_bytes` at `rate` starting at
+/// `from` — the same upward-rounded formula flat mode's
+/// `next_completion` uses.
+fn completion_instant(from: SimTime, remaining_bytes: f64, rate: f64) -> SimTime {
+    let secs = if remaining_bytes <= EPS_BYTES {
+        0.0
+    } else {
+        remaining_bytes / rate
+    };
+    from + SimDuration::from_secs_f64(secs) + SimDuration::from_ps(1)
 }
 
 /// The flow occupying an active slot. Active slots always hold `Some`:
@@ -81,6 +173,9 @@ pub struct FluidNetwork {
     /// uniform-capacity code and the output bit-identical to a build
     /// without fault support.
     link_caps: Option<Vec<f64>>,
+    /// Hierarchical-fabric state; `None` keeps every code path on the
+    /// historical flat model, byte-for-byte.
+    tree: Option<Box<TreeState>>,
     last_advance: SimTime,
     total_bytes_delivered: f64,
     total_flows_completed: u64,
@@ -106,6 +201,7 @@ impl FluidNetwork {
             fabric_count: 0,
             node_touch: vec![0; nodes],
             link_caps: None,
+            tree: None,
             last_advance: SimTime::ZERO,
             total_bytes_delivered: 0.0,
             total_flows_completed: 0,
@@ -114,6 +210,37 @@ impl FluidNetwork {
             scratch_endpoints: Vec::new(),
             scratch_rates: Vec::new(),
         }
+    }
+
+    /// A network of `nodes` endpoints routed over `topology`. A flat
+    /// topology is exactly [`FluidNetwork::new`]; a fat-tree switches to
+    /// the incremental tree-mode model (see the module docs).
+    pub fn with_topology(params: NetworkParams, nodes: usize, topology: &Topology) -> Self {
+        let mut net = Self::new(params, nodes);
+        if *topology != Topology::Flat {
+            let table = topology.link_table(nodes, net.params.goodput_bytes_per_sec());
+            let num_links = table.num_links();
+            // ~1e-6 of the edge rate: coarse enough that counts drifting
+            // by a few flows rarely move a share, fine enough that the
+            // rounding is irrelevant to simulated transfer times.
+            let quantum = net.params.goodput_bytes_per_sec() / (1u64 << 20) as f64;
+            net.tree = Some(Box::new(TreeState {
+                qshare: table.capacities().to_vec(),
+                count: vec![0; num_links],
+                table,
+                quantum,
+                heap: BinaryHeap::new(),
+                next_generation: 0,
+                active_count: 0,
+                path_scratch: Vec::new(),
+            }));
+        }
+        net
+    }
+
+    /// True when the network runs the hierarchical (tree-mode) model.
+    pub fn is_hierarchical(&self) -> bool {
+        self.tree.is_some()
     }
 
     /// Network parameters in force.
@@ -133,6 +260,14 @@ impl FluidNetwork {
             factor > 0.0 && factor <= 1.0,
             "bandwidth factor must be in (0, 1]"
         );
+        if let Some(tree) = &mut self.tree {
+            // Hierarchical fabric: the per-node fault hook degrades both
+            // directions of the node's edge link in the link table.
+            tree.table.scale_edge_capacity(node, factor);
+            tree.requantize(2 * node);
+            tree.requantize(2 * node + 1);
+            return;
+        }
         let goodput = self.params.goodput_bytes_per_sec();
         let caps = self
             .link_caps
@@ -176,12 +311,16 @@ impl FluidNetwork {
             src < self.nodes && dst < self.nodes,
             "endpoint out of range"
         );
+        if self.tree.is_some() {
+            return self.start_flow_tree(now, src, dst, bytes);
+        }
         self.advance(now);
         let flow = ActiveFlow {
             src,
             dst,
             remaining_bytes: bytes as f64,
             rate_bytes_per_sec: 0.0,
+            generation: 0,
         };
         let id = if let Some(slot) = self.free_slots.pop() {
             self.flows[slot] = Some(flow);
@@ -209,6 +348,68 @@ impl FluidNetwork {
                 self.recompute_rates();
             }
         }
+        FlowId(id)
+    }
+
+    /// Tree-mode admission: bump the path links' counts, fix the flow's
+    /// rate to the minimum quantized share along its path, and schedule
+    /// its completion. O(path · log flows).
+    fn start_flow_tree(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> FlowId {
+        self.advance(now);
+        let tree = self
+            .tree
+            .as_mut()
+            // simlint: allow(panic-path): callers dispatch here only when tree mode was built; a None is corrupted state
+            .expect("start_flow_tree requires tree mode");
+        let generation = tree.next_generation;
+        tree.next_generation += 1;
+
+        let rate = if src == dst {
+            LOOPBACK_BYTES_PER_SEC
+        } else {
+            let mut path = std::mem::take(&mut tree.path_scratch);
+            path.clear();
+            tree.table.push_path(src, dst, &mut path);
+            let (mut touched, mut skipped) = (0u64, 0u64);
+            let mut rate = f64::INFINITY;
+            for &l in &path {
+                let l = l as usize;
+                tree.count[l] += 1;
+                if tree.requantize(l) {
+                    touched += 1;
+                } else {
+                    skipped += 1;
+                }
+                rate = rate.min(tree.qshare[l]);
+            }
+            tree.path_scratch = path;
+            self.solver.note_domains(touched, skipped);
+            self.fabric_count += 1;
+            rate
+        };
+
+        let flow = ActiveFlow {
+            src,
+            dst,
+            remaining_bytes: bytes as f64,
+            rate_bytes_per_sec: rate,
+            generation,
+        };
+        let id = if let Some(slot) = self.free_slots.pop() {
+            self.flows[slot] = Some(flow);
+            slot
+        } else {
+            self.flows.push(Some(flow));
+            self.flows.len() - 1
+        };
+        self.node_touch[src] += 1;
+        self.node_touch[dst] += 1;
+
+        // simlint: allow(panic-path): same tree-mode dispatch invariant as above
+        let tree = self.tree.as_mut().expect("tree mode");
+        tree.active_count += 1;
+        let finish = completion_instant(now, bytes as f64, rate);
+        tree.heap.push(Reverse((finish, generation, id)));
         FlowId(id)
     }
 
@@ -251,6 +452,14 @@ impl FluidNetwork {
     /// `advance` point; rounding is upward so the flow is guaranteed
     /// drained by the returned instant.
     pub fn next_completion(&self) -> Option<SimTime> {
+        if let Some(tree) = &self.tree {
+            // The heap head may be stale (its slot completed or was
+            // recycled); waking at a stale instant is harmless — the
+            // `take_completed_into` it triggers pops and discards the
+            // entry, so the next query sees a fresh head and the engine
+            // always makes progress.
+            return tree.heap.peek().map(|&Reverse((t, _, _))| t);
+        }
         let mut best: Option<f64> = None;
         for &slot in &self.active_slots {
             let f = slot_flow(&self.flows, slot);
@@ -270,8 +479,10 @@ impl FluidNetwork {
     }
 
     /// Advance to `now` and remove every drained flow, returning
-    /// `(id, src, dst)` for each in id order. Allocates a fresh vector;
-    /// the engine's hot loop uses [`FluidNetwork::take_completed_into`].
+    /// `(id, src, dst)` for each in id order. Allocates a fresh vector
+    /// per call — every event-loop caller must use
+    /// [`FluidNetwork::take_completed_into`] instead.
+    #[deprecated(note = "allocates a Vec per call; use take_completed_into")]
     pub fn take_completed(&mut self, now: SimTime) -> Vec<(FlowId, usize, usize)> {
         let mut done = Vec::new();
         self.take_completed_into(now, &mut done);
@@ -284,6 +495,10 @@ impl FluidNetwork {
     pub fn take_completed_into(&mut self, now: SimTime, done: &mut Vec<(FlowId, usize, usize)>) {
         done.clear();
         self.advance(now);
+        if self.tree.is_some() {
+            self.take_completed_tree(now, done);
+            return;
+        }
         let mut removed_fabric = 0usize;
         let mut keep = 0usize;
         for read in 0..self.active_slots.len() {
@@ -326,6 +541,68 @@ impl FluidNetwork {
         }
     }
 
+    /// Tree-mode harvest: pop every due completion off the lazy heap,
+    /// release the path links, and return the batch in slot order (the
+    /// same order the flat path reports).
+    fn take_completed_tree(&mut self, now: SimTime, done: &mut Vec<(FlowId, usize, usize)>) {
+        let FluidNetwork {
+            tree,
+            flows,
+            free_slots,
+            node_touch,
+            fabric_count,
+            total_bytes_delivered,
+            total_flows_completed,
+            solver,
+            ..
+        } = self;
+        let tree = tree
+            .as_mut()
+            // simlint: allow(panic-path): callers dispatch here only when tree mode was built; a None is corrupted state
+            .expect("take_completed_tree requires tree mode");
+        let (mut touched, mut skipped) = (0u64, 0u64);
+        while let Some(&Reverse((finish, generation, slot))) = tree.heap.peek() {
+            if finish > now {
+                break;
+            }
+            tree.heap.pop();
+            let stale = flows
+                .get(slot)
+                .and_then(|f| f.as_ref())
+                .is_none_or(|f| f.generation != generation);
+            if stale {
+                continue;
+            }
+            // simlint: allow(panic-path): the stale check above just proved the slot holds this generation's flow
+            let flow = flows[slot].take().expect("live slot holds a flow");
+            done.push((FlowId(slot), flow.src, flow.dst));
+            free_slots.push(slot);
+            node_touch[flow.src] -= 1;
+            node_touch[flow.dst] -= 1;
+            *total_bytes_delivered += flow.remaining_bytes;
+            *total_flows_completed += 1;
+            tree.active_count -= 1;
+            if flow.src != flow.dst {
+                *fabric_count -= 1;
+                let mut path = std::mem::take(&mut tree.path_scratch);
+                path.clear();
+                tree.table.push_path(flow.src, flow.dst, &mut path);
+                for &l in &path {
+                    let l = l as usize;
+                    tree.count[l] -= 1;
+                    if tree.requantize(l) {
+                        touched += 1;
+                    } else {
+                        skipped += 1;
+                    }
+                }
+                tree.path_scratch = path;
+            }
+        }
+        solver.note_domains(touched, skipped);
+        done.sort_unstable_by_key(|&(id, _, _)| id.0);
+    }
+
     /// True while `node` has at least one active flow touching it (drives
     /// the NIC power state). O(1).
     pub fn node_busy(&self, node: usize) -> bool {
@@ -334,7 +611,10 @@ impl FluidNetwork {
 
     /// Number of in-flight flows. O(1).
     pub fn active_flows(&self) -> usize {
-        self.active_slots.len()
+        match &self.tree {
+            Some(tree) => tree.active_count,
+            None => self.active_slots.len(),
+        }
     }
 
     /// The current fair-share rate of a live flow, bytes/s.
@@ -376,6 +656,13 @@ mod tests {
         FluidNetwork::new(NetworkParams::catalyst_2950_100m(), nodes)
     }
 
+    /// Test-side convenience over the allocation-free harvest call.
+    fn take(n: &mut FluidNetwork, now: SimTime) -> Vec<(FlowId, usize, usize)> {
+        let mut done = Vec::new();
+        n.take_completed_into(now, &mut done);
+        done
+    }
+
     #[test]
     fn lone_flow_drains_at_link_rate() {
         let mut n = net(2);
@@ -384,7 +671,7 @@ mod tests {
         let done_at = n.next_completion().unwrap();
         let expect = bytes as f64 / n.params().goodput_bytes_per_sec();
         assert!((done_at.as_secs_f64() - expect).abs() < 1e-6);
-        let done = n.take_completed(done_at);
+        let done = take(&mut n, done_at);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].1, 0);
         assert_eq!(done[0].2, 1);
@@ -401,7 +688,7 @@ mod tests {
         let solo = b as f64 / n.params().goodput_bytes_per_sec();
         let t1 = n.next_completion().unwrap();
         assert!((t1.as_secs_f64() - 2.0 * solo).abs() < 1e-6, "{t1}");
-        let done = n.take_completed(t1);
+        let done = take(&mut n, t1);
         assert_eq!(done.len(), 2); // identical flows drain together
     }
 
@@ -418,12 +705,12 @@ mod tests {
         let t1 = n.next_completion().unwrap();
         let solo = b as f64 / gbps;
         assert!((t1.as_secs_f64() - 1.5 * solo).abs() < 1e-6);
-        let done = n.take_completed(t1);
+        let done = take(&mut n, t1);
         assert_eq!(done.len(), 1);
         // Survivor then gets the full link back.
         let t2 = n.next_completion().unwrap();
         assert!(t2 > t1);
-        assert_eq!(n.take_completed(t2).len(), 1);
+        assert_eq!(take(&mut n, t2).len(), 1);
     }
 
     #[test]
@@ -435,7 +722,7 @@ mod tests {
         let half = n.params().goodput_bytes_per_sec() / 2.0;
         assert_eq!(n.current_rate(long).unwrap().to_bits(), half.to_bits());
         let t1 = n.next_completion().unwrap();
-        assert_eq!(n.take_completed(t1).len(), 1);
+        assert_eq!(take(&mut n, t1).len(), 1);
         let full = n.params().goodput_bytes_per_sec();
         assert_eq!(n.current_rate(long).unwrap().to_bits(), full.to_bits());
     }
@@ -446,7 +733,7 @@ mod tests {
         n.start_flow(SimTime::ZERO, 0, 1, 0);
         let t = n.next_completion().unwrap();
         assert!(t.as_secs_f64() < 1e-9);
-        assert_eq!(n.take_completed(t).len(), 1);
+        assert_eq!(take(&mut n, t).len(), 1);
     }
 
     #[test]
@@ -458,7 +745,7 @@ mod tests {
         assert!(n.node_busy(1));
         assert!(!n.node_busy(2));
         let t = n.next_completion().unwrap();
-        n.take_completed(t);
+        take(&mut n, t);
         assert!(!n.node_busy(0));
     }
 
@@ -469,7 +756,7 @@ mod tests {
         n.start_flow(SimTime::ZERO, 0, 1, 1_000_000);
         // Loopback 10 MB at 1 GB/s = 10 ms, fabric 1 MB ~ 87 ms.
         let t1 = n.next_completion().unwrap();
-        let done = n.take_completed(t1);
+        let done = take(&mut n, t1);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].1, 0);
         assert_eq!(done[0].2, 0);
@@ -480,7 +767,7 @@ mod tests {
         let mut n = net(2);
         n.start_flow(SimTime::ZERO, 0, 1, 500_000);
         let t = n.next_completion().unwrap();
-        n.take_completed(t);
+        take(&mut n, t);
         assert_eq!(n.flows_completed(), 1);
         assert!((n.bytes_delivered() - 500_000.0).abs() < 1.0);
     }
@@ -511,7 +798,7 @@ mod tests {
         let solo = b as f64 / n.params().goodput_bytes_per_sec();
         let t = n.next_completion().unwrap();
         assert!((t.as_secs_f64() - 4.0 * solo).abs() < 1e-6);
-        assert_eq!(n.take_completed(t).len(), 4);
+        assert_eq!(take(&mut n, t).len(), 4);
     }
 
     #[test]
@@ -519,7 +806,7 @@ mod tests {
         let mut n = net(2);
         let a = n.start_flow(SimTime::ZERO, 0, 1, 1000);
         let t = n.next_completion().unwrap();
-        n.take_completed(t);
+        take(&mut n, t);
         let b = n.start_flow(t, 1, 0, 1000);
         assert_eq!(a.0, b.0, "slot should be recycled");
     }
@@ -566,7 +853,7 @@ mod tests {
         n.start_flow(SimTime::ZERO, 0, 1, 1_000);
         let long = n.start_flow(SimTime::ZERO, 0, 2, 50_000_000);
         let t1 = n.next_completion().unwrap();
-        assert_eq!(n.take_completed(t1).len(), 1);
+        assert_eq!(take(&mut n, t1).len(), 1);
         // The survivor crosses the weak link: a quarter rate, not full.
         let quarter = n.params().goodput_bytes_per_sec() * 0.25;
         assert!((n.current_rate(long).unwrap() - quarter).abs() < 1.0);
@@ -587,6 +874,139 @@ mod tests {
     fn degraded_link_rejects_zero_factor() {
         net(2).set_link_bandwidth_factor(0, 0.0);
     }
+
+    fn tree_net(nodes: usize, radix: usize, oversub: f64) -> FluidNetwork {
+        FluidNetwork::with_topology(
+            NetworkParams::catalyst_2950_100m(),
+            nodes,
+            &Topology::FatTree { radix, oversub },
+        )
+    }
+
+    #[test]
+    fn flat_topology_stays_on_flat_model() {
+        let n =
+            FluidNetwork::with_topology(NetworkParams::catalyst_2950_100m(), 4, &Topology::Flat);
+        assert!(!n.is_hierarchical());
+        assert!(tree_net(4, 2, 2.0).is_hierarchical());
+    }
+
+    #[test]
+    fn tree_lone_flow_drains_at_edge_rate() {
+        let mut n = tree_net(4, 2, 1.0);
+        let bytes = 1_150_000u64;
+        n.start_flow(SimTime::ZERO, 0, 1, bytes);
+        let done_at = n.next_completion().unwrap();
+        let expect = bytes as f64 / n.params().goodput_bytes_per_sec();
+        assert!((done_at.as_secs_f64() - expect).abs() < 1e-6);
+        let done = take(&mut n, done_at);
+        assert_eq!(done, vec![(FlowId(0), 0, 1)]);
+        assert_eq!(n.active_flows(), 0);
+        assert!(!n.node_busy(0));
+    }
+
+    #[test]
+    fn tree_oversubscribed_trunk_throttles_cross_leaf_flow() {
+        // radix 2, oversub 4: a cross-leaf flow is trunk-limited to half
+        // the edge rate even with no contention.
+        let mut n = tree_net(4, 2, 4.0);
+        let id = n.start_flow(SimTime::ZERO, 0, 2, 1_000_000);
+        let half = n.params().goodput_bytes_per_sec() / 2.0;
+        let got = n.current_rate(id).unwrap();
+        assert!((got - half).abs() <= half * 1e-6, "{got} vs {half}");
+        // An intra-leaf flow still gets (close to) the full edge.
+        let intra = n.start_flow(SimTime::ZERO, 2, 3, 1_000_000);
+        let full = n.params().goodput_bytes_per_sec();
+        let got = n.current_rate(intra).unwrap();
+        assert!((got - full).abs() <= full * 1e-5, "{got} vs {full}");
+    }
+
+    #[test]
+    fn tree_flows_all_drain_and_account() {
+        let mut n = tree_net(8, 2, 2.0);
+        let mut total = 0u64;
+        for s in 0..8usize {
+            let bytes = 100_000 + 50_000 * s as u64;
+            n.start_flow(SimTime::ZERO, s, (s + 3) % 8, bytes);
+            total += bytes;
+        }
+        let mut completed = 0;
+        let mut guard = 0;
+        while let Some(t) = n.next_completion() {
+            completed += take(&mut n, t).len();
+            guard += 1;
+            assert!(guard < 1000, "tree network failed to converge");
+        }
+        assert_eq!(completed, 8);
+        assert_eq!(n.active_flows(), 0);
+        assert!((n.bytes_delivered() - total as f64).abs() < 1.0);
+        assert_eq!(n.flows_completed(), 8);
+        // Incremental domain bookkeeping fired.
+        let stats = n.solver_stats();
+        assert!(stats.domains_touched > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn tree_quantization_skips_unmoved_domains() {
+        // Dense load on one path: once a link's count is past
+        // sqrt(cap/quantum) (~1.2k here), one more flow no longer moves
+        // the quantized share and the whole update is a skipped domain.
+        let mut n = tree_net(4, 2, 1.0);
+        for _ in 0..5000 {
+            n.start_flow(SimTime::ZERO, 0, 2, 1_000_000);
+        }
+        let stats = n.solver_stats();
+        assert!(
+            stats.domains_skipped > stats.domains_touched,
+            "quantization should skip most domains under dense load: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn tree_runs_are_deterministic() {
+        let run = || {
+            let mut n = tree_net(8, 2, 2.0);
+            let mut events = Vec::new();
+            for i in 0..32usize {
+                n.start_flow(
+                    SimTime::ZERO,
+                    i % 8,
+                    (i * 5 + 2) % 8,
+                    10_000 + i as u64 * 997,
+                );
+            }
+            while let Some(t) = n.next_completion() {
+                for (id, src, dst) in take(&mut n, t) {
+                    events.push((t, id.0, src, dst));
+                }
+            }
+            (events, n.bytes_delivered().to_bits(), n.solver_stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tree_degraded_edge_slows_flow() {
+        let mut n = tree_net(4, 2, 1.0);
+        n.set_link_bandwidth_factor(1, 0.5);
+        let id = n.start_flow(SimTime::ZERO, 0, 1, 1_000_000);
+        let half = n.params().goodput_bytes_per_sec() / 2.0;
+        let got = n.current_rate(id).unwrap();
+        assert!((got - half).abs() <= half * 1e-6, "{got} vs {half}");
+    }
+
+    #[test]
+    fn tree_slot_reuse_keeps_completions_fresh() {
+        let mut n = tree_net(4, 2, 1.0);
+        let a = n.start_flow(SimTime::ZERO, 0, 1, 1000);
+        let t = n.next_completion().unwrap();
+        assert_eq!(take(&mut n, t).len(), 1);
+        // Recycled slot with a new generation; the old heap entry is gone.
+        let b = n.start_flow(t, 1, 0, 1000);
+        assert_eq!(a.0, b.0, "slot should be recycled");
+        let t2 = n.next_completion().unwrap();
+        assert_eq!(take(&mut n, t2), vec![(b, 1, 0)]);
+    }
 }
 
 #[cfg(test)]
@@ -595,6 +1015,13 @@ mod prop_tests {
     use crate::fair_share::max_min_fair;
     use proptest::prelude::*;
     use std::collections::BTreeMap;
+
+    /// Test-side convenience over the allocation-free harvest call.
+    fn take_p(n: &mut FluidNetwork, now: SimTime) -> Vec<(FlowId, usize, usize)> {
+        let mut done = Vec::new();
+        n.take_completed_into(now, &mut done);
+        done
+    }
 
     proptest! {
         /// Any batch of flows fully drains, delivering exactly the bytes
@@ -612,7 +1039,7 @@ mod prop_tests {
             let mut completed = 0usize;
             let mut guard = 0;
             while let Some(t) = net.next_completion() {
-                completed += net.take_completed(t).len();
+                completed += take_p(&mut net, t).len();
                 guard += 1;
                 prop_assert!(guard < 10_000, "network failed to converge");
             }
@@ -644,7 +1071,7 @@ mod prop_tests {
             prop_assume!(total_fabric > 0);
             let mut last = SimTime::ZERO;
             while let Some(t) = net.next_completion() {
-                net.take_completed(t);
+                take_p(&mut net, t);
                 last = t;
             }
             let lower = max_single as f64 / rate;
@@ -672,7 +1099,7 @@ mod prop_tests {
                 if complete {
                     if let Some(t) = net.next_completion() {
                         now = t;
-                        for (id, _, _) in net.take_completed(now) {
+                        for (id, _, _) in take_p(&mut net, now) {
                             shadow.remove(&id.0);
                         }
                     }

@@ -19,7 +19,9 @@
 pub mod fair_share;
 pub mod fluid;
 pub mod params;
+pub mod topology;
 
 pub use fair_share::SolverStats;
 pub use fluid::{FlowId, FluidNetwork};
 pub use params::NetworkParams;
+pub use topology::{LinkTable, Topology};

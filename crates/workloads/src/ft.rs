@@ -75,6 +75,11 @@ pub struct FtConfig {
     pub jitter: f64,
     /// RNG seed for the jitter.
     pub seed: u64,
+    /// Run this many iterations instead of the class's NPB count.
+    /// Scale benchmarking uses `Some(1)` so a 4096-rank class-C run
+    /// exercises one full evolve→fft→checksum epoch without paying for
+    /// twenty.
+    pub iterations_override: Option<u32>,
 }
 
 impl FtConfig {
@@ -87,6 +92,16 @@ impl FtConfig {
             dynamic_dvs: false,
             jitter: 0.01,
             seed: 0x46_54, // "FT"
+            iterations_override: None,
+        }
+    }
+
+    /// A scale-benchmark run: class C work decomposition on `ranks`
+    /// processors, a single iteration.
+    pub fn scale(ranks: usize) -> Self {
+        FtConfig {
+            iterations_override: Some(1),
+            ..FtConfig::paper(FtClass::C, ranks)
         }
     }
 
@@ -94,6 +109,12 @@ impl FtConfig {
     pub fn with_dynamic_dvs(mut self) -> Self {
         self.dynamic_dvs = true;
         self
+    }
+
+    /// Iterations to run: the override if set, else the class's count.
+    pub fn iterations(&self) -> u32 {
+        self.iterations_override
+            .unwrap_or_else(|| self.class.iterations())
     }
 }
 
@@ -133,7 +154,7 @@ fn build_rank(config: &FtConfig, rank: usize, mut rng: DetRng) -> Program {
     b.barrier();
     b.phase_end("setup");
 
-    for _ in 0..config.class.iterations() {
+    for _ in 0..config.iterations() {
         // evolve: pointwise multiply, streaming read+write.
         let evolve = WorkUnit {
             cpu_cycles: EVOLVE_FLOPS_PER_POINT * local_points as f64 * CYCLES_PER_FLOP,

@@ -1,0 +1,83 @@
+//! Scale benchmark: one class-C FT iteration at large rank counts on an
+//! oversubscribed fat-tree, reporting engine throughput per shard count
+//! and verifying the sharded planner's bit-identity guarantee at scale.
+//!
+//! For each rank count the same run executes with 1, 2, and 8 shards;
+//! the three `RunResult`s must compare equal (durations, energies,
+//! breakdowns — everything), which is the scaled-up version of the
+//! assertion `tests/determinism.rs` makes on the small workloads.
+//! Output is a JSON report on stdout; `scripts/bench.sh scale` captures
+//! it into `BENCH_PR6.json`:
+//!
+//! ```sh
+//! cargo run --release --example bench_scale            # up to 4096 ranks
+//! cargo run --release --example bench_scale -- 1024    # cap the sweep
+//! ```
+
+use std::time::Instant;
+
+use pwrperf::{DvsStrategy, EngineConfig, Experiment, RunResult, Topology, Workload};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn run_once(ranks: usize, shards: usize) -> (RunResult, f64) {
+    let engine = EngineConfig {
+        topology: Topology::FatTree {
+            radix: 16,
+            oversub: 2.0,
+        },
+        shards,
+        ..EngineConfig::default()
+    };
+    let t0 = Instant::now();
+    let result = Experiment::new(Workload::ft_scale(ranks), DvsStrategy::StaticMhz(1400))
+        .with_engine(engine)
+        .run();
+    (result, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let max_ranks: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+
+    println!("{{");
+    println!("  \"topology\": \"fat-tree:radix=16,oversub=2\",");
+    println!("  \"scale\": [");
+    let rank_counts: Vec<usize> = [256, 1024, 4096]
+        .into_iter()
+        .filter(|&r| r <= max_ranks)
+        .collect();
+    for (i, &ranks) in rank_counts.iter().enumerate() {
+        let mut baseline: Option<RunResult> = None;
+        let mut rows = Vec::new();
+        for shards in SHARD_COUNTS {
+            let (result, wall) = run_once(ranks, shards);
+            rows.push(format!(
+                "        {{ \"shards\": {shards}, \"events\": {}, \"wall_secs\": {wall:.3}, \
+                 \"events_per_sec\": {} }}",
+                result.events,
+                (result.events as f64 / wall) as u64
+            ));
+            match &baseline {
+                None => baseline = Some(result),
+                Some(b) => assert_eq!(
+                    *b, result,
+                    "{ranks} ranks: {shards} shards diverged from sequential"
+                ),
+            }
+        }
+        let b = baseline.expect("at least one shard count ran");
+        println!("    {{");
+        println!("      \"ranks\": {ranks},");
+        println!("      \"simulated_secs\": {:.4},", b.duration_secs());
+        println!("      \"bit_identical_across_shards\": true,");
+        println!("      \"runs\": [");
+        println!("{}", rows.join(",\n"));
+        println!("      ]");
+        println!("    }}{}", if i + 1 < rank_counts.len() { "," } else { "" });
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -14,11 +14,25 @@
 #     (identical output bytes, near-zero engine work).
 #
 # Usage: scripts/bench.sh [output.json]    (default BENCH_PR1.json)
+#        scripts/bench.sh scale [output.json]   (default BENCH_PR6.json)
+#
+# The `scale` mode runs examples/bench_scale.rs instead: one class-C FT
+# iteration at 256/1024/4096 ranks on an oversubscribed fat-tree, each
+# rank count at 1/2/8 intra-run shards, asserting the RunResults are
+# bit-identical and reporting events/sec per configuration.
 #
 # Runs are sequential on an otherwise idle machine; prefer the median
 # over the mean, and compare medians across trees measured back-to-back.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "scale" ]]; then
+  OUT="${2:-BENCH_PR6.json}"
+  MAX_RANKS="${BENCH_SCALE_MAX_RANKS:-4096}"
+  cargo build --release -q --example bench_scale
+  ./target/release/examples/bench_scale "$MAX_RANKS" | tee "$OUT"
+  exit 0
+fi
 
 OUT="${1:-BENCH_PR1.json}"
 RUNS="${BENCH_RUNS:-30}"

@@ -49,7 +49,7 @@ fn fingerprint_is_stable_across_processes() {
     let exp = Experiment::new(Workload::ft_test(4), DvsStrategy::StaticMhz(1400));
     assert_eq!(
         fingerprint_experiment(&exp).to_hex(),
-        "61e9a418963c5a2819269329a327d4f2"
+        "80f1cae8da38163b7ca03d4683f0a374"
     );
 }
 
@@ -159,6 +159,20 @@ fn any_single_field_edit_changes_the_key() {
         ..NetworkParams::catalyst_2950_100m()
     };
     variants.push(("network bandwidth", base_experiment().with_network(network)));
+
+    // Interconnect shape, and one parameter within it.
+    let mut e = base_experiment();
+    e.engine.topology = pwrperf::Topology::FatTree {
+        radix: 4,
+        oversub: 2.0,
+    };
+    variants.push(("fat-tree topology", e));
+    let mut e = base_experiment();
+    e.engine.topology = pwrperf::Topology::FatTree {
+        radix: 4,
+        oversub: 4.0,
+    };
+    variants.push(("fat-tree oversub", e));
 
     let keys: Vec<(&str, String)> = variants
         .iter()
