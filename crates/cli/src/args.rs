@@ -10,7 +10,7 @@ use workloads::{CgClass, FtClass, MgClass};
 #[derive(Debug)]
 pub enum Command {
     /// `pwrperf run -w <workload> -s <strategy> [--blocking-waits <ms>]
-    /// [--metrics] [--trace-capacity <n>] [--faults <spec>]
+    /// [--metrics] [--causal] [--trace-capacity <n>] [--faults <spec>]
     /// [--topology <spec>] [--shards <n>]`
     Run {
         /// Workload to execute.
@@ -21,6 +21,8 @@ pub enum Command {
         blocking_ms: Option<u64>,
         /// Collect and print PowerScope metrics.
         metrics: bool,
+        /// Record the causal log and print the attribution summary.
+        causal: bool,
         /// Trace ring capacity override (`None` = subcommand default).
         trace_capacity: Option<usize>,
         /// Deterministic fault injection (empty = none).
@@ -101,6 +103,27 @@ pub enum Command {
         out: Option<String>,
         /// Trace ring capacity override (`None` = subcommand default).
         trace_capacity: Option<usize>,
+        /// Poll-then-block window in ms (`None` = busy-poll).
+        blocking_ms: Option<u64>,
+        /// Deterministic fault injection (empty = none).
+        faults: FaultSpec,
+        /// Interconnect shape (`flat` or `fat-tree[:radix=R,oversub=S]`).
+        topology: Topology,
+        /// Intra-run shard count (`None` = `PWRPERF_SHARDS` or 1).
+        shards: Option<usize>,
+    },
+    /// `pwrperf analyze -w <workload> -s <strategy> [-o <ndjson-file>]
+    /// [--perfetto <file>] [--blocking-waits <ms>] [--faults <spec>]
+    /// [--topology <spec>] [--shards <n>]`
+    Analyze {
+        /// Workload to execute.
+        workload: Workload,
+        /// DVS strategy.
+        strategy: DvsStrategy,
+        /// Optional path to dump the attribution as NDJSON.
+        out: Option<String>,
+        /// Optional path to write a Perfetto timeline with flow arrows.
+        perfetto: Option<String>,
         /// Poll-then-block window in ms (`None` = busy-poll).
         blocking_ms: Option<u64>,
         /// Deterministic fault injection (empty = none).
@@ -269,6 +292,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
             let mut strategy = None;
             let mut blocking_ms = None;
             let mut metrics = false;
+            let mut causal = false;
             let mut trace_capacity = None;
             let mut faults = FaultSpec::default();
             let mut topology = Topology::Flat;
@@ -285,6 +309,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                         blocking_ms = Some(parse_blocking(take_value(&mut it, flag)?)?)
                     }
                     "--metrics" => metrics = true,
+                    "--causal" => causal = true,
                     "--trace-capacity" => {
                         trace_capacity = Some(parse_capacity(take_value(&mut it, flag)?)?)
                     }
@@ -299,6 +324,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                 strategy: strategy.ok_or("run needs --strategy")?,
                 blocking_ms,
                 metrics,
+                causal,
                 trace_capacity,
                 faults,
                 topology,
@@ -491,6 +517,45 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                 strategy: strategy.ok_or("stats needs --strategy")?,
                 out,
                 trace_capacity,
+                blocking_ms,
+                faults,
+                topology,
+                shards,
+            })
+        }
+        "analyze" => {
+            let mut workload = None;
+            let mut strategy = None;
+            let mut out = None;
+            let mut perfetto = None;
+            let mut blocking_ms = None;
+            let mut faults = FaultSpec::default();
+            let mut topology = Topology::Flat;
+            let mut shards = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "-w" | "--workload" => {
+                        workload = Some(parse_workload(take_value(&mut it, flag)?)?)
+                    }
+                    "-s" | "--strategy" => {
+                        strategy = Some(parse_strategy(take_value(&mut it, flag)?)?)
+                    }
+                    "-o" | "--out" => out = Some(take_value(&mut it, flag)?.to_string()),
+                    "--perfetto" => perfetto = Some(take_value(&mut it, flag)?.to_string()),
+                    "--blocking-waits" => {
+                        blocking_ms = Some(parse_blocking(take_value(&mut it, flag)?)?)
+                    }
+                    "--faults" => faults = parse_faults(take_value(&mut it, flag)?)?,
+                    "--topology" => topology = parse_topology(take_value(&mut it, flag)?)?,
+                    "--shards" => shards = Some(parse_shards(take_value(&mut it, flag)?)?),
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            Ok(Command::Analyze {
+                workload: workload.ok_or("analyze needs --workload")?,
+                strategy: strategy.ok_or("analyze needs --strategy")?,
+                out,
+                perfetto,
                 blocking_ms,
                 faults,
                 topology,
@@ -1002,6 +1067,70 @@ mod tests {
             parse(&["run", "-w", "swim", "-s", "static-800", "--shards", "0"]),
             Command::Help(Some(_))
         ));
+    }
+
+    #[test]
+    fn parses_analyze() {
+        match parse(&["analyze", "-w", "ft-test4", "-s", "static-800"]) {
+            Command::Analyze {
+                out,
+                perfetto,
+                topology,
+                shards,
+                ..
+            } => {
+                assert_eq!(out, None);
+                assert_eq!(perfetto, None);
+                assert_eq!(topology, Topology::Flat);
+                assert_eq!(shards, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&[
+            "analyze",
+            "-w",
+            "ft-scale-256",
+            "-s",
+            "static-1400",
+            "-o",
+            "blame.ndjson",
+            "--perfetto",
+            "flows.json",
+            "--topology",
+            "fat-tree:radix=16,oversub=2",
+            "--shards",
+            "8",
+        ]) {
+            Command::Analyze {
+                out,
+                perfetto,
+                topology,
+                shards,
+                ..
+            } => {
+                assert_eq!(out.as_deref(), Some("blame.ndjson"));
+                assert_eq!(perfetto.as_deref(), Some("flows.json"));
+                assert!(matches!(topology, Topology::FatTree { radix: 16, .. }));
+                assert_eq!(shards, Some(8));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&["analyze", "-w", "ft-test4"]),
+            Command::Help(Some(_))
+        ));
+    }
+
+    #[test]
+    fn parses_run_causal_flag() {
+        match parse(&["run", "-w", "ft-test4", "-s", "static-800", "--causal"]) {
+            Command::Run { causal, .. } => assert!(causal),
+            other => panic!("{other:?}"),
+        }
+        match parse(&["run", "-w", "ft-test4", "-s", "static-800"]) {
+            Command::Run { causal, .. } => assert!(!causal),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

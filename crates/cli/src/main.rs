@@ -27,6 +27,7 @@ fn main() {
             strategy,
             blocking_ms,
             metrics,
+            causal,
             trace_capacity,
             faults,
             topology,
@@ -36,6 +37,7 @@ fn main() {
             strategy,
             blocking_ms,
             metrics,
+            causal,
             trace_capacity,
             faults,
             topology,
@@ -104,6 +106,25 @@ fn main() {
             strategy,
             out.as_deref(),
             trace_capacity,
+            blocking_ms,
+            faults,
+            topology,
+            shards,
+        ),
+        Command::Analyze {
+            workload,
+            strategy,
+            out,
+            perfetto,
+            blocking_ms,
+            faults,
+            topology,
+            shards,
+        } => analyze(
+            workload,
+            strategy,
+            out.as_deref(),
+            perfetto.as_deref(),
             blocking_ms,
             faults,
             topology,
@@ -183,6 +204,7 @@ fn run(
     strategy: pwrperf::DvsStrategy,
     blocking_ms: Option<u64>,
     metrics: bool,
+    causal: bool,
     trace_capacity: Option<usize>,
     faults: FaultSpec,
     topology: Topology,
@@ -190,6 +212,7 @@ fn run(
 ) {
     let engine = EngineConfig {
         metrics,
+        causal,
         trace_capacity: trace_capacity.unwrap_or(0),
         faults,
         topology,
@@ -255,6 +278,80 @@ fn run(
         println!();
         print!("{}", pwrperf::stats_text(&result));
     }
+    if let Some(a) = &result.attribution {
+        println!();
+        print!(
+            "{}",
+            pwrperf::analyze_text(&workload.label(), &strategy.label(), a)
+        );
+    }
+}
+
+/// `pwrperf analyze`: run with causal recording and print the blame
+/// analysis — critical path, per-rank compute/comm/blocked split, and
+/// the energy attribution (optionally dumped as NDJSON, optionally with
+/// a flow-arrow Perfetto timeline).
+#[allow(clippy::too_many_arguments)] // mirrors the flag set, one hop from parse
+fn analyze(
+    workload: Workload,
+    strategy: pwrperf::DvsStrategy,
+    out: Option<&str>,
+    perfetto: Option<&str>,
+    blocking_ms: Option<u64>,
+    faults: FaultSpec,
+    topology: Topology,
+    shards: Option<usize>,
+) {
+    let shards = resolve_shards(shards);
+    let seed = faults.seed;
+    let engine = EngineConfig {
+        causal: true,
+        // The Perfetto export wants phase slices under the flow arrows.
+        trace_capacity: if perfetto.is_some() { 1 << 20 } else { 0 },
+        faults,
+        topology,
+        shards,
+        ..engine_for(blocking_ms)
+    };
+    let result = Experiment::new(workload.clone(), strategy)
+        .with_engine(engine)
+        .run();
+    let attribution = result
+        .attribution
+        .as_ref()
+        .expect("causal run always attributes");
+    print_faults(&result.faults);
+    print!(
+        "{}",
+        pwrperf::analyze_text(&workload.label(), &strategy.label(), attribution)
+    );
+    let meta = pwrperf::RunMeta {
+        workload: workload.label(),
+        strategy: strategy.label(),
+        topology,
+        shards,
+        seed,
+    };
+    if let Some(path) = out {
+        let ndjson = pwrperf::attribution_ndjson(attribution, &meta);
+        if let Err(e) = std::fs::write(path, &ndjson) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path} ({} records)", ndjson.lines().count());
+    }
+    if let Some(path) = perfetto {
+        let json = pwrperf::perfetto_json(&result);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {path} ({} bytes, {} flow arrows) — open at ui.perfetto.dev",
+            json.len(),
+            result.causal.as_ref().map_or(0, |l| l.msgs.len())
+        );
+    }
 }
 
 /// `pwrperf trace`: run under full instrumentation and write a Perfetto
@@ -311,12 +408,14 @@ fn stats(
     topology: Topology,
     shards: Option<usize>,
 ) {
+    let shards = resolve_shards(shards);
+    let seed = faults.seed;
     let engine = EngineConfig {
         trace_capacity: trace_capacity.unwrap_or(0),
         metrics: true,
         faults,
         topology,
-        shards: resolve_shards(shards),
+        shards,
         ..engine_for(blocking_ms)
     };
     let result = Experiment::new(workload.clone(), strategy)
@@ -327,12 +426,23 @@ fn stats(
     print_faults(&result.faults);
     print!("{}", pwrperf::stats_text(&result));
     if let Some(path) = out {
-        let ndjson = pwrperf::metrics_ndjson(&result);
+        let meta = pwrperf::RunMeta {
+            workload: workload.label(),
+            strategy: strategy.label(),
+            topology,
+            shards,
+            seed,
+        };
+        let ndjson = pwrperf::metrics_ndjson_with_meta(&result, &meta);
         if let Err(e) = std::fs::write(path, &ndjson) {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);
         }
-        println!("wrote {path} ({} metrics)", ndjson.lines().count());
+        // First line is the run-metadata header, the rest are metrics.
+        println!(
+            "wrote {path} ({} metrics + meta header)",
+            ndjson.lines().count().saturating_sub(1)
+        );
     }
 }
 
@@ -504,8 +614,8 @@ fn help() {
 
 USAGE:
   pwrperf run    -w <workload> -s <strategy> [--blocking-waits <ms>]
-                 [--metrics] [--trace-capacity <n>] [--faults <spec>]
-                 [--topology <spec>] [--shards <n>]
+                 [--metrics] [--causal] [--trace-capacity <n>]
+                 [--faults <spec>] [--topology <spec>] [--shards <n>]
   pwrperf sweep  -w <workload> [--dynamic] [-j <threads>]
                  [--store <dir> [--dry-run] | --no-cache]
                  [--faults <spec>]
@@ -517,6 +627,9 @@ USAGE:
                  [--faults <spec>]
   pwrperf stats  -w <workload> -s <strategy> [-o <ndjson-file>]
                  [--trace-capacity <n>] [--blocking-waits <ms>]
+                 [--faults <spec>] [--topology <spec>] [--shards <n>]
+  pwrperf analyze -w <workload> -s <strategy> [-o <ndjson-file>]
+                 [--perfetto <file>] [--blocking-waits <ms>]
                  [--faults <spec>] [--topology <spec>] [--shards <n>]
   pwrperf list
 
@@ -551,6 +664,15 @@ phase slices and message instants per node, plus MHz and watt counter
 tracks. `stats` prints the PowerScope metrics registry (event counts,
 message-latency histograms, DVFS decisions, solver work). Both use
 simulated time only, so output bytes are deterministic.
+
+`analyze` runs under causal tracing and prints the blame analysis:
+the run's critical path (local residency per rank vs network hops)
+and each rank's wall time and joules split into compute, in-flight
+communication, and blocked-waiting — the slack a power redistribution
+controller could reclaim. `run --causal` appends the same table to a
+normal run. The simulation itself is bit-identical with tracing on or
+off. NDJSON exports start with a {{\"meta\":...}} header line naming the
+workload, strategy, topology, shard count, and fault seed.
 
 --topology picks the interconnect: `flat` (the paper's single switch,
 the default) or `fat-tree[:radix=R,oversub=S]`, a switch hierarchy with

@@ -50,18 +50,24 @@ pub use runner::{
     run_batch_checked, run_batch_checked_with, run_batch_telemetry, run_batch_with, thread_count,
     thread_count_with, BatchPolicy, BatchTelemetry, ExperimentError, SHARDS_ENV, THREADS_ENV,
 };
-pub use scope::{metrics_ndjson, perfetto_json, stats_text};
+pub use scope::{
+    analyze_text, attribution_ndjson, metrics_ndjson, metrics_ndjson_with_meta, perfetto_json,
+    stats_text, topology_label, RunMeta, EXPORT_FORMAT_VERSION,
+};
 pub use store::{
     decode_run_result, encode_run_result, fingerprint_experiment, Fingerprint, StoreError,
     StoreStats, SweepStore, STORE_FORMAT_VERSION,
 };
 pub use strategy::DvsStrategy;
 pub use sweep::{
-    crescendo_cached, dynamic_crescendo_cached, static_crescendo_cached, BestPoint, Sweep,
-    SweepJob, SweepOutcome, SweepPlan, SweepReport,
+    crescendo_cached, dynamic_crescendo_cached, render_slack_table, static_crescendo_cached,
+    BestPoint, SlackRow, Sweep, SweepJob, SweepOutcome, SweepPlan, SweepReport,
 };
 pub use workload::Workload;
 
 // Convenience re-exports for downstream binaries.
 pub use edp_metrics;
-pub use mpi_sim::{EngineConfig, Fault, FaultCounts, FaultSpec, RunResult, Topology, WaitPolicy};
+pub use mpi_sim::{
+    CausalLog, EngineConfig, Fault, FaultCounts, FaultSpec, RunAttribution, RunResult, Topology,
+    WaitPolicy,
+};

@@ -31,7 +31,10 @@ use crate::strategy::DvsStrategy;
 /// record header. Bump it whenever the canonical encoding or the record
 /// payload layout changes; old cache entries then miss (and are
 /// rejected) instead of decoding garbage.
-pub const STORE_FORMAT_VERSION: u32 = 2;
+///
+/// v3: `RunResult` payloads gained the causal log and attribution
+/// summary, and `EngineConfig::causal` joined the engine encoding.
+pub const STORE_FORMAT_VERSION: u32 = 3;
 
 const FINGERPRINT_MAGIC: &[u8; 4] = b"PWRF";
 const SALT_LO: u64 = 0x5EED_CAFE_0000_0001;
@@ -290,6 +293,11 @@ fn encode_engine(w: &mut ByteWriter, engine: &EngineConfig) {
             w.put_f64(oversub);
         }
     }
+    // Unlike `shards`, `causal` keys the cache: it leaves the simulated
+    // bits untouched but adds the causal log and attribution to the
+    // stored payload, so a causal run must not replay a record cached
+    // without them (or vice versa).
+    w.put_bool(engine.causal);
     // `engine.shards` is deliberately NOT part of the key: shard count
     // never changes the RunResult (the determinism suite enforces bit
     // identity), so a sharded sweep may reuse a sequentially-filled
@@ -400,6 +408,11 @@ mod tests {
         let mut sharded = experiment();
         sharded.engine.shards = 8;
         assert_eq!(base, fingerprint_experiment(&sharded));
+
+        // Causal recording changes the stored payload, so it must key.
+        let mut causal = experiment();
+        causal.engine.causal = true;
+        assert_ne!(base, fingerprint_experiment(&causal));
     }
 
     #[test]

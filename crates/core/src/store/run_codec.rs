@@ -9,10 +9,11 @@
 //! order, not export order).
 
 use mpi_sim::{RankBreakdown, RunResult, SampleRow};
-use obs::{Histogram, MetricsRegistry};
+use obs::{Histogram, MetricsRegistry, RankAttribution, RunAttribution};
 use power_model::EnergyReport;
 use sim_core::{
-    intern_static, FaultCounts, SimDuration, SimTime, TraceDetail, TraceEvent, TraceKind,
+    intern_static, CausalLog, DvfsRecord, FaultCounts, MsgRecord, SimDuration, SimTime,
+    TraceDetail, TraceEvent, TraceKind, WaitCause, WaitRecord,
 };
 
 use super::codec::{ByteReader, ByteWriter, DecodeError};
@@ -62,6 +63,20 @@ pub fn encode_run_result(result: &RunResult) -> Vec<u8> {
         Some(registry) => {
             w.put_u8(1);
             encode_metrics(&mut w, registry);
+        }
+    }
+    match &result.causal {
+        None => w.put_u8(0),
+        Some(log) => {
+            w.put_u8(1);
+            encode_causal(&mut w, log);
+        }
+    }
+    match &result.attribution {
+        None => w.put_u8(0),
+        Some(attribution) => {
+            w.put_u8(1);
+            encode_attribution(&mut w, attribution);
         }
     }
     w.into_bytes()
@@ -129,6 +144,28 @@ pub fn decode_run_result(bytes: &[u8]) -> Result<RunResult, DecodeError> {
             })
         }
     };
+    let causal = match r.get_u8()? {
+        0 => None,
+        1 => Some(decode_causal(&mut r)?),
+        tag => {
+            return Err(DecodeError::BadTag {
+                offset: r.offset().saturating_sub(1),
+                what: "causal presence",
+                tag,
+            })
+        }
+    };
+    let attribution = match r.get_u8()? {
+        0 => None,
+        1 => Some(decode_attribution(&mut r)?),
+        tag => {
+            return Err(DecodeError::BadTag {
+                offset: r.offset().saturating_sub(1),
+                what: "attribution presence",
+                tag,
+            })
+        }
+    };
     r.finish()?;
     Ok(RunResult {
         duration,
@@ -143,6 +180,8 @@ pub fn decode_run_result(bytes: &[u8]) -> Result<RunResult, DecodeError> {
         events,
         faults,
         metrics,
+        causal,
+        attribution,
     })
 }
 
@@ -411,6 +450,200 @@ fn decode_metrics(r: &mut ByteReader<'_>) -> Result<MetricsRegistry, DecodeError
     Ok(registry)
 }
 
+fn encode_opt_time(w: &mut ByteWriter, t: Option<SimTime>) {
+    match t {
+        None => w.put_u8(0),
+        Some(t) => {
+            w.put_u8(1);
+            w.put_u64(t.0);
+        }
+    }
+}
+
+fn decode_opt_time(r: &mut ByteReader<'_>) -> Result<Option<SimTime>, DecodeError> {
+    let tag_offset = r.offset();
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(SimTime(r.get_u64()?))),
+        tag => Err(DecodeError::BadTag {
+            offset: tag_offset,
+            what: "optional time presence",
+            tag,
+        }),
+    }
+}
+
+fn encode_causal(w: &mut ByteWriter, log: &CausalLog) {
+    w.put_usize(log.msgs.len());
+    for m in &log.msgs {
+        w.put_usize(m.src);
+        w.put_usize(m.dst);
+        w.put_u64(m.bytes);
+        w.put_bool(m.collective);
+        w.put_u64(m.posted_at.0);
+        encode_opt_time(w, m.flow_started_at);
+        encode_opt_time(w, m.drained_at);
+        encode_opt_time(w, m.delivered_at);
+    }
+    w.put_usize(log.waits.len());
+    for wait in &log.waits {
+        w.put_usize(wait.rank);
+        w.put_u64(wait.start.0);
+        w.put_u64(wait.end.0);
+        match wait.cause {
+            WaitCause::SendDrained(id) => {
+                w.put_u8(0);
+                w.put_usize(id);
+            }
+            WaitCause::RecvDelivered(id) => {
+                w.put_u8(1);
+                w.put_usize(id);
+            }
+        }
+        w.put_f64(wait.energy_start_j);
+        w.put_f64(wait.energy_end_j);
+    }
+    w.put_usize(log.dvfs.len());
+    for d in &log.dvfs {
+        w.put_usize(d.node);
+        w.put_u64(d.start.0);
+        w.put_u64(d.end.0);
+    }
+    w.put_usize(log.finish.len());
+    for &t in &log.finish {
+        w.put_u64(t.0);
+    }
+    w.put_usize(log.finish_energy_j.len());
+    for &e in &log.finish_energy_j {
+        w.put_f64(e);
+    }
+}
+
+fn decode_causal(r: &mut ByteReader<'_>) -> Result<CausalLog, DecodeError> {
+    let msgs_len = r.get_seq_len("causal messages", 44)?;
+    let mut msgs = Vec::with_capacity(msgs_len);
+    for _ in 0..msgs_len {
+        msgs.push(MsgRecord {
+            src: decode_node_index(r)?,
+            dst: decode_node_index(r)?,
+            bytes: r.get_u64()?,
+            collective: r.get_bool()?,
+            posted_at: SimTime(r.get_u64()?),
+            flow_started_at: decode_opt_time(r)?,
+            drained_at: decode_opt_time(r)?,
+            delivered_at: decode_opt_time(r)?,
+        });
+    }
+    let waits_len = r.get_seq_len("causal waits", 49)?;
+    let mut waits = Vec::with_capacity(waits_len);
+    for _ in 0..waits_len {
+        let rank = decode_node_index(r)?;
+        let start = SimTime(r.get_u64()?);
+        let end = SimTime(r.get_u64()?);
+        let cause_offset = r.offset();
+        let cause = match r.get_u8()? {
+            0 => WaitCause::SendDrained(decode_node_index(r)?),
+            1 => WaitCause::RecvDelivered(decode_node_index(r)?),
+            tag => {
+                return Err(DecodeError::BadTag {
+                    offset: cause_offset,
+                    what: "wait cause",
+                    tag,
+                })
+            }
+        };
+        waits.push(WaitRecord {
+            rank,
+            start,
+            end,
+            cause,
+            energy_start_j: r.get_f64()?,
+            energy_end_j: r.get_f64()?,
+        });
+    }
+    let dvfs_len = r.get_seq_len("causal dvfs", 24)?;
+    let mut dvfs = Vec::with_capacity(dvfs_len);
+    for _ in 0..dvfs_len {
+        dvfs.push(DvfsRecord {
+            node: decode_node_index(r)?,
+            start: SimTime(r.get_u64()?),
+            end: SimTime(r.get_u64()?),
+        });
+    }
+    let finish_len = r.get_seq_len("causal finish times", 8)?;
+    let mut finish = Vec::with_capacity(finish_len);
+    for _ in 0..finish_len {
+        finish.push(SimTime(r.get_u64()?));
+    }
+    let energy_len = r.get_seq_len("causal finish energy", 8)?;
+    let mut finish_energy_j = Vec::with_capacity(energy_len);
+    for _ in 0..energy_len {
+        finish_energy_j.push(r.get_f64()?);
+    }
+    Ok(CausalLog {
+        msgs,
+        waits,
+        dvfs,
+        finish,
+        finish_energy_j,
+    })
+}
+
+fn encode_attribution(w: &mut ByteWriter, a: &RunAttribution) {
+    w.put_u64(a.makespan.0);
+    w.put_u64(a.critical_path.0);
+    w.put_u64(a.cp_comm.0);
+    w.put_u64(a.cp_hops);
+    w.put_usize(a.ranks.len());
+    for rank in &a.ranks {
+        w.put_u64(rank.compute.0);
+        w.put_u64(rank.comm.0);
+        w.put_u64(rank.blocked.0);
+        w.put_u64(rank.cp_residency.0);
+        w.put_u64(rank.finish.0);
+        w.put_f64(rank.compute_j);
+        w.put_f64(rank.comm_j);
+        w.put_f64(rank.blocked_j);
+        w.put_f64(rank.idle_tail_j);
+        w.put_f64(rank.slack_j);
+        w.put_f64(rank.total_j);
+    }
+    w.put_f64(a.redistributable_j);
+}
+
+fn decode_attribution(r: &mut ByteReader<'_>) -> Result<RunAttribution, DecodeError> {
+    let makespan = SimDuration(r.get_u64()?);
+    let critical_path = SimDuration(r.get_u64()?);
+    let cp_comm = SimDuration(r.get_u64()?);
+    let cp_hops = r.get_u64()?;
+    let ranks_len = r.get_seq_len("attribution ranks", 88)?;
+    let mut ranks = Vec::with_capacity(ranks_len);
+    for _ in 0..ranks_len {
+        ranks.push(RankAttribution {
+            compute: SimDuration(r.get_u64()?),
+            comm: SimDuration(r.get_u64()?),
+            blocked: SimDuration(r.get_u64()?),
+            cp_residency: SimDuration(r.get_u64()?),
+            finish: SimTime(r.get_u64()?),
+            compute_j: r.get_f64()?,
+            comm_j: r.get_f64()?,
+            blocked_j: r.get_f64()?,
+            idle_tail_j: r.get_f64()?,
+            slack_j: r.get_f64()?,
+            total_j: r.get_f64()?,
+        });
+    }
+    let redistributable_j = r.get_f64()?;
+    Ok(RunAttribution {
+        makespan,
+        critical_path,
+        cp_comm,
+        cp_hops,
+        ranks,
+        redistributable_j,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +657,7 @@ mod tests {
             sample_interval: Some(SimDuration::from_millis(5)),
             trace_capacity: 1 << 16,
             metrics: true,
+            causal: true,
             ..EngineConfig::default()
         };
         Experiment::new(Workload::ft_test(2), DvsStrategy::DynamicBaseMhz(1400))
@@ -437,6 +671,8 @@ mod tests {
         assert!(!original.samples.is_empty());
         assert!(!original.trace.is_empty());
         assert!(original.metrics.is_some());
+        assert!(original.causal.as_ref().is_some_and(|c| !c.msgs.is_empty()));
+        assert!(original.attribution.is_some());
         let bytes = encode_run_result(&original);
         let decoded = decode_run_result(&bytes).unwrap();
         assert_eq!(original, decoded);

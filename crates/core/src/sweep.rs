@@ -132,6 +132,64 @@ pub struct SweepOutcome {
     pub report: SweepReport,
 }
 
+/// One row of the sweep-level slack table: the energy attribution of a
+/// single grid cell, aggregated to cluster scope (see
+/// [`Sweep::slack_rows`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackRow {
+    /// Workload label.
+    pub workload: String,
+    /// Strategy label.
+    pub strategy: String,
+    /// Index into [`Sweep::fault_specs`].
+    pub fault_index: usize,
+    /// Run makespan, seconds.
+    pub makespan_s: f64,
+    /// Critical-path time in network flight, seconds.
+    pub cp_comm_s: f64,
+    /// Message hops on the critical path.
+    pub cp_hops: u64,
+    /// Cluster joules off the critical path (comm + blocked + idle tail).
+    pub redistributable_j: f64,
+    /// Whole-run cluster joules.
+    pub total_j: f64,
+}
+
+impl SlackRow {
+    /// `redistributable_j` as a fraction of the run's total energy.
+    pub fn slack_fraction(&self) -> f64 {
+        if self.total_j <= 0.0 {
+            0.0
+        } else {
+            self.redistributable_j / self.total_j
+        }
+    }
+}
+
+/// Render slack rows as the table `pwrperf sweep` appends for causal
+/// sweeps: one line per workload × strategy (× fault spec), the
+/// group-by view of where each configuration's energy slack sits.
+pub fn render_slack_table(rows: &[SlackRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:<18} {:>10} {:>10} {:>8} {:>12} {:>8}\n",
+        "workload", "strategy", "time(s)", "cp_comm", "hops", "slack(J)", "slack%"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<28} {:<18} {:>10.3} {:>10.3} {:>8} {:>12.1} {:>7.1}%\n",
+            row.workload,
+            row.strategy,
+            row.makespan_s,
+            row.cp_comm_s,
+            row.cp_hops,
+            row.redistributable_j,
+            100.0 * row.slack_fraction(),
+        ));
+    }
+    out
+}
+
 /// A `∂`-weighted best operating point over one workload's static ladder
 /// (see [`Sweep::best_static_points`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -306,6 +364,40 @@ impl Sweep {
                 ..SweepReport::default()
             },
         }
+    }
+
+    /// Aggregate the per-run energy attributions of a causal sweep into
+    /// the group-by workload × strategy slack table. Rows come out in
+    /// grid order; cells whose results carry no attribution (the sweep
+    /// ran without [`EngineConfig::causal`]) are skipped, so a
+    /// non-causal sweep yields an empty table rather than zeros.
+    pub fn slack_rows(&self, outcome: &SweepOutcome) -> Vec<SlackRow> {
+        let strategy_count = self.strategies.len();
+        let mut out = Vec::new();
+        for (wi, workload) in self.workloads.iter().enumerate() {
+            for fi in 0..self.fault_specs.len() {
+                let row_base = (wi * self.fault_specs.len() + fi) * strategy_count;
+                for (si, strategy) in self.strategies.iter().enumerate() {
+                    let Some(result) = outcome.results.get(row_base + si) else {
+                        continue;
+                    };
+                    let Some(a) = &result.attribution else {
+                        continue;
+                    };
+                    out.push(SlackRow {
+                        workload: workload.label(),
+                        strategy: strategy.label(),
+                        fault_index: fi,
+                        makespan_s: a.makespan.as_secs_f64(),
+                        cp_comm_s: a.cp_comm.as_secs_f64(),
+                        cp_hops: a.cp_hops,
+                        redistributable_j: a.redistributable_j,
+                        total_j: result.total_energy_j(),
+                    });
+                }
+            }
+        }
+        out
     }
 
     /// For every workload × fault spec × `∂`: the best static operating
@@ -489,6 +581,34 @@ mod tests {
             let mhz = p.best_mhz.expect("ladder sweep has static points");
             assert!((600..=1400).contains(&mhz));
         }
+    }
+
+    #[test]
+    fn causal_sweep_yields_the_slack_table_and_plain_sweeps_do_not() {
+        let sweep = Sweep {
+            engine: EngineConfig {
+                causal: true,
+                ..EngineConfig::default()
+            },
+            ..tiny_sweep()
+        };
+        let outcome = sweep.run_uncached(Some(1));
+        let rows = sweep.slack_rows(&outcome);
+        assert_eq!(rows.len(), 2, "one row per grid cell");
+        for row in &rows {
+            assert!(row.makespan_s > 0.0);
+            assert!(row.total_j > 0.0);
+            assert!((0.0..=1.0).contains(&row.slack_fraction()), "{row:?}");
+        }
+        assert_eq!(rows[0].strategy, "stat 1400MHz");
+        let table = render_slack_table(&rows);
+        assert!(table.contains("slack%"));
+        assert_eq!(table.lines().count(), 3, "header + two rows");
+
+        // Without causal recording there is nothing to aggregate.
+        let plain = tiny_sweep();
+        let rows = plain.slack_rows(&plain.run_uncached(Some(1)));
+        assert!(rows.is_empty());
     }
 
     #[test]

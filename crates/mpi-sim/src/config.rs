@@ -71,6 +71,14 @@ pub struct EngineConfig {
     /// a fat-tree routes flows over per-level trunk links with an
     /// oversubscription ratio (see `net_model::Topology`).
     pub topology: Topology,
+    /// Record the causal dependency log (message lifecycles, released
+    /// waits with their releasing completions, DVFS transition edges,
+    /// wait-boundary energy marks) into [`crate::RunResult::causal`] and
+    /// compute [`crate::RunResult::attribution`] from it. Off by default:
+    /// recording is passive observation in sequential dispatch order and
+    /// never affects simulated behaviour, but leaving it off keeps the
+    /// hot path free of even the `Option` checks.
+    pub causal: bool,
     /// Worker threads for the intra-run sharded planner. Batches of
     /// same-timestamp rank-local events precompute their float plans on
     /// this many threads before the sequential `(time, seq)`-ordered
@@ -90,6 +98,7 @@ impl Default for EngineConfig {
             metrics: false,
             faults: FaultSpec::default(),
             topology: Topology::Flat,
+            causal: false,
             shards: 1,
         }
     }
@@ -117,6 +126,7 @@ mod tests {
         assert!(!c.metrics, "metrics collection must be opt-in");
         assert!(c.faults.is_empty(), "fault injection must be opt-in");
         assert_eq!(c.topology, Topology::Flat, "flat switch is the default");
+        assert!(!c.causal, "causal tracing must be opt-in");
         assert_eq!(c.shards, 1, "sharded planning must be opt-in");
     }
 }

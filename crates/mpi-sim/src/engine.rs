@@ -40,8 +40,8 @@ use obs::{obs_count, obs_observe, MetricsRegistry};
 use power_model::{CpuActivity, OpIndex};
 use sim_core::time::PS_PER_US;
 use sim_core::{
-    duration_to_cycles, EventQueue, FaultCounts, FxHashMap, FxHashSet, SimDuration, SimTime, Trace,
-    TraceDetail, TraceKind,
+    duration_to_cycles, CausalLog, DvfsRecord, EventQueue, FaultCounts, FxHashMap, FxHashSet,
+    MsgRecord, SimDuration, SimTime, Trace, TraceDetail, TraceKind, WaitCause, WaitRecord,
 };
 
 use crate::config::{EngineConfig, WaitPolicy};
@@ -165,6 +165,16 @@ struct Msg {
     collective: bool,
 }
 
+/// Live causal-recording state: the log under construction plus each
+/// rank's currently open blocking wait (entry time and the node's
+/// cumulative joules at entry). A wait record is emitted when the wait is
+/// released, carrying the releasing message completion as its cause.
+#[derive(Debug)]
+struct CausalRecorder {
+    log: CausalLog,
+    open: Vec<Option<(SimTime, f64)>>,
+}
+
 /// The frequency-dependent float plan for one `Op::Compute`: exactly the
 /// values `execute_next` derives before starting the phase. Produced by
 /// [`plan_compute`] — one pure function shared by the inline path and the
@@ -225,6 +235,12 @@ pub struct Engine {
     /// through the `obs_*` macros, which compile out entirely when the
     /// `obs/enabled` feature is off.
     metrics: Option<Box<MetricsRegistry>>,
+    /// Causal dependency recorder, boxed like `metrics`. `None` unless
+    /// [`EngineConfig::causal`] is set, so a disabled run pays only a
+    /// pointer-sized field and `is_some` checks off the hot path. All
+    /// recording happens in the sequential dispatch path, which is what
+    /// makes the log bit-identical at every shard count.
+    causal: Option<Box<CausalRecorder>>,
     /// Fault-injection runtime, boxed for the same reason as `metrics`.
     /// `None` unless [`EngineConfig::faults`] armed at least one fault,
     /// which is what guarantees empty specs are bit-identical to today.
@@ -273,6 +289,7 @@ impl Engine {
             Trace::disabled()
         };
         let config_metrics = config.metrics;
+        let config_causal = config.causal;
         Engine {
             config,
             network,
@@ -322,6 +339,14 @@ impl Engine {
             trace,
             metrics: if config_metrics {
                 Some(Box::new(MetricsRegistry::new()))
+            } else {
+                None
+            },
+            causal: if config_causal {
+                Some(Box::new(CausalRecorder {
+                    log: CausalLog::new(n),
+                    open: vec![None; n],
+                }))
             } else {
                 None
             },
@@ -512,6 +537,41 @@ impl Engine {
         rt.bucket_since = self.now;
     }
 
+    // ----- causal recording ------------------------------------------------
+
+    /// Mark `r` as entering a blocking wait now, with its energy meter
+    /// read, so the eventual release can emit a complete wait record.
+    fn causal_open_wait(&mut self, r: Rank) {
+        if self.causal.is_none() {
+            return;
+        }
+        let energy_j = self.cluster.node(r).energy(self.now).total_j();
+        if let Some(c) = self.causal.as_deref_mut() {
+            c.open[r] = Some((self.now, energy_j));
+        }
+    }
+
+    /// Emit the wait record for `r`'s open wait, released now by `cause`.
+    fn causal_close_wait(&mut self, r: Rank, cause: WaitCause) {
+        if self.causal.is_none() {
+            return;
+        }
+        let energy_end_j = self.cluster.node(r).energy(self.now).total_j();
+        let end = self.now;
+        if let Some(c) = self.causal.as_deref_mut() {
+            if let Some((start, energy_start_j)) = c.open[r].take() {
+                c.log.waits.push(WaitRecord {
+                    rank: r,
+                    start,
+                    end,
+                    cause,
+                    energy_start_j,
+                    energy_end_j,
+                });
+            }
+        }
+    }
+
     // ----- program execution -----------------------------------------------
 
     /// Execute ops for `r` until one blocks or the program ends.
@@ -600,6 +660,7 @@ impl Engine {
                         self.cluster
                             .node_mut(r)
                             .set_activity(self.now, CpuActivity::BusyWait);
+                        self.causal_open_wait(r);
                         return;
                     }
                 }
@@ -699,6 +760,13 @@ impl Engine {
             .node_mut(r)
             .set_activity(self.now, CpuActivity::Halt);
         self.finished += 1;
+        if self.causal.is_some() {
+            let energy_j = self.cluster.node(r).energy(self.now).total_j();
+            if let Some(c) = self.causal.as_deref_mut() {
+                c.log.finish[r] = self.now;
+                c.log.finish_energy_j[r] = energy_j;
+            }
+        }
     }
 
     // ----- waiting ---------------------------------------------------------
@@ -723,6 +791,7 @@ impl Engine {
         self.cluster
             .node_mut(r)
             .set_activity(self.now, CpuActivity::BusyWait);
+        self.causal_open_wait(r);
     }
 
     fn on_wait_block(&mut self, r: Rank) {
@@ -746,8 +815,10 @@ impl Engine {
     }
 
     /// An outstanding non-blocking op completed; resume a rank parked in
-    /// WaitAll once everything it posted has finished.
-    fn maybe_resume_waitall(&mut self, r: Rank) {
+    /// WaitAll once everything it posted has finished. `cause` is the
+    /// completion that just landed — when it releases the wait it is by
+    /// definition the last (gating) one, so it closes the wait record.
+    fn maybe_resume_waitall(&mut self, r: Rank, cause: WaitCause) {
         if matches!(self.ranks[r].state, RState::WaitingAll { .. }) && !self.rank_has_outstanding(r)
         {
             if let RState::WaitingAll {
@@ -756,13 +827,14 @@ impl Engine {
             {
                 self.queue.cancel(ev);
             }
+            self.causal_close_wait(r, cause);
             self.execute_next(r);
         }
     }
 
     /// Clear a satisfied wait condition and resume the rank if nothing is
-    /// left to wait for.
-    fn maybe_resume_waiter(&mut self, r: Rank) {
+    /// left to wait for. `cause` closes the wait record when it does.
+    fn maybe_resume_waiter(&mut self, r: Rank, cause: WaitCause) {
         let ready = matches!(
             &self.ranks[r].state,
             RState::Waiting {
@@ -779,6 +851,7 @@ impl Engine {
             {
                 self.queue.cancel(ev);
             }
+            self.causal_close_wait(r, cause);
             self.execute_next(r);
         }
     }
@@ -798,6 +871,20 @@ impl Engine {
             posted_at: self.now,
             collective,
         });
+        if let Some(c) = self.causal.as_deref_mut() {
+            // Pushed in lockstep with `msgs`, so the causal record shares
+            // the engine's message id.
+            c.log.msgs.push(MsgRecord {
+                src,
+                dst,
+                bytes,
+                collective,
+                posted_at: self.now,
+                flow_started_at: None,
+                drained_at: None,
+                delivered_at: None,
+            });
+        }
         self.trace
             .record_with(self.now, src, TraceKind::MsgStart, || TraceDetail::MsgTo {
                 dst,
@@ -848,6 +935,11 @@ impl Engine {
                     Some(drained) => {
                         let deliver_at = drained + self.network.params().wire_latency;
                         if deliver_at <= self.now {
+                            if let Some(c) = self.causal.as_deref_mut() {
+                                // Physical arrival time: the payload was
+                                // already here when the recv posted.
+                                c.log.msgs[id].delivered_at = Some(deliver_at);
+                            }
                             self.trace
                                 .record_with(self.now, dst, TraceKind::MsgEnd, || {
                                     TraceDetail::MsgFrom { src }
@@ -896,6 +988,9 @@ impl Engine {
         };
         let flow = self.network.start_flow(self.now, src, dst, bytes);
         self.msgs[id].flow_started = true;
+        if let Some(c) = self.causal.as_deref_mut() {
+            c.log.msgs[id].flow_started_at = Some(self.now);
+        }
         if flow.0 >= self.flow_to_msg.len() {
             self.flow_to_msg.resize(flow.0 + 1, None);
         }
@@ -931,6 +1026,9 @@ impl Engine {
                 // simlint: allow(panic-path): flow/message bookkeeping invariant; a miss means corrupted engine state and must stop the run
                 .expect("completed flow without a message");
             self.msgs[id].drained_at = Some(self.now);
+            if let Some(c) = self.causal.as_deref_mut() {
+                c.log.msgs[id].drained_at = Some(self.now);
+            }
             self.refresh_nic(src);
             self.refresh_nic(dst);
             // Sender side completes at drain.
@@ -941,12 +1039,12 @@ impl Engine {
             {
                 if *ns == Some(id) {
                     *ns = None;
-                    self.maybe_resume_waiter(src);
+                    self.maybe_resume_waiter(src, WaitCause::SendDrained(id));
                 }
             }
             // Non-blocking sender: strike the isend off the outstanding set.
             if self.ranks[src].outstanding_sends.remove(&id) {
-                self.maybe_resume_waitall(src);
+                self.maybe_resume_waitall(src, WaitCause::SendDrained(id));
             }
             // Receiver side completes after the wire latency, if posted.
             if self.msgs[id].recv_posted {
@@ -981,6 +1079,9 @@ impl Engine {
     fn on_delivered(&mut self, id: MsgId) {
         let dst = self.msgs[id].dst;
         let src = self.msgs[id].src;
+        if let Some(c) = self.causal.as_deref_mut() {
+            c.log.msgs[id].delivered_at = Some(self.now);
+        }
         self.trace
             .record_with(self.now, dst, TraceKind::MsgEnd, || TraceDetail::MsgFrom {
                 src,
@@ -993,12 +1094,12 @@ impl Engine {
         {
             if *nr == Some(RecvWait::Matched(id)) {
                 *nr = None;
-                self.maybe_resume_waiter(dst);
+                self.maybe_resume_waiter(dst, WaitCause::RecvDelivered(id));
             }
         }
         // Non-blocking receiver: strike the irecv off the outstanding set.
         if self.ranks[dst].outstanding_recvs_matched.remove(&id) {
-            self.maybe_resume_waitall(dst);
+            self.maybe_resume_waitall(dst, WaitCause::RecvDelivered(id));
         }
     }
 
@@ -1057,6 +1158,13 @@ impl Engine {
         }
         self.queue
             .push(self.now + lat, Event::TransitionDone(node, target));
+        if let Some(c) = self.causal.as_deref_mut() {
+            c.log.dvfs.push(DvfsRecord {
+                node,
+                start: self.now,
+                end: self.now + lat,
+            });
+        }
         self.trace
             .record_with(self.now, node, TraceKind::FreqChange, || {
                 TraceDetail::Freq {
@@ -1194,6 +1302,29 @@ impl Engine {
             .collect();
         let total = self.cluster.total_energy(end);
 
+        // Causal teardown: hand the recorded log to the solver. The
+        // attribution derives from simulated state only (log, bucket
+        // totals, metered joules), so it shares the registry's
+        // determinism guarantees at every shard count.
+        let (causal, attribution) = match self.causal.take() {
+            Some(rec) => {
+                let log = rec.log;
+                let buckets: Vec<obs::BucketTotals> = self
+                    .ranks
+                    .iter()
+                    .map(|r| obs::BucketTotals {
+                        compute: r.breakdown.compute + r.breakdown.mem_stall,
+                        wait: r.breakdown.wait_busy + r.breakdown.wait_blocked,
+                        transition: r.breakdown.transition,
+                    })
+                    .collect();
+                let node_total_j: Vec<f64> = per_node.iter().map(|e| e.total_j()).collect();
+                let attribution = obs::attribute(&log, &buckets, &node_total_j);
+                (Some(log), Some(attribution))
+            }
+            None => (None, None),
+        };
+
         // Fold teardown-time statistics into the registry: queue lifetime
         // counters, fair-share solver work, trace accounting, and the
         // cluster-wide per-frequency residency. These are derived from
@@ -1222,12 +1353,11 @@ impl Engine {
             m.counter_add("net.solver.rounds", s.rounds);
             m.counter_add("net.solver.fallback_freezes", s.fallback_freezes);
             // Only the hierarchical (tree-mode) network tracks per-link
-            // domains; gating on activity keeps a flat run's registry
-            // byte-identical to before topologies existed.
-            if s.domains_touched + s.domains_skipped > 0 {
-                m.counter_add("net.solver.domains_touched", s.domains_touched);
-                m.counter_add("net.solver.domains_skipped", s.domains_skipped);
-            }
+            // domains, but the counters are published unconditionally so
+            // downstream diffs (the scale-smoke CI job) never depend on
+            // whether the solver happened to do domain work.
+            m.counter_add("net.solver.domains_touched", s.domains_touched);
+            m.counter_add("net.solver.domains_skipped", s.domains_skipped);
             m.counter_add("net.rate_recomputes", self.network.rate_recomputes());
             m.counter_add("net.flows_completed", self.network.flows_completed());
             m.gauge_set("net.bytes_delivered", self.network.bytes_delivered());
@@ -1276,6 +1406,8 @@ impl Engine {
             events: self.queue.processed_total(),
             faults: self.fault_counts,
             metrics: self.metrics.map(|b| *b),
+            causal,
+            attribution,
         }
     }
 }

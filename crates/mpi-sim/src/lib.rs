@@ -66,6 +66,11 @@ pub use config::{EngineConfig, MsgCostModel, WaitPolicy};
 pub use engine::Engine;
 pub use program::{Op, Program, ProgramBuilder, Rank, Tag};
 pub use result::{RankBreakdown, RunResult, SampleRow};
+// Causal-observability types: the log the engine records behind
+// [`EngineConfig::causal`] (sim-core) and the attribution summary the
+// obs solver derives from it at finalize, both carried on [`RunResult`].
+pub use obs::RunAttribution;
+pub use sim_core::CausalLog;
 // Fault-injection types come from sim-core; re-exported here because they
 // are configured through [`EngineConfig::faults`] and reported through
 // [`RunResult::faults`].

@@ -1,8 +1,8 @@
 //! Simulation outputs.
 
-use obs::MetricsRegistry;
+use obs::{MetricsRegistry, RunAttribution};
 use power_model::EnergyReport;
-use sim_core::{FaultCounts, SimDuration, SimTime, TraceEvent};
+use sim_core::{CausalLog, FaultCounts, SimDuration, SimTime, TraceEvent};
 
 /// One periodic sample of cluster state (the engine's measurement tap;
 /// the `powerpack` crate turns these into ACPI/Baytech-style readings).
@@ -84,6 +84,14 @@ pub struct RunResult {
     /// PowerScope metrics collected during the run; `None` unless
     /// [`crate::EngineConfig::metrics`] was set.
     pub metrics: Option<MetricsRegistry>,
+    /// Causal dependency log (message lifecycles, released waits with
+    /// their releasing completions, DVFS edges); `None` unless
+    /// [`crate::EngineConfig::causal`] was set.
+    pub causal: Option<CausalLog>,
+    /// Critical-path and per-rank time/energy attribution computed from
+    /// the causal log at finalize; `None` unless
+    /// [`crate::EngineConfig::causal`] was set.
+    pub attribution: Option<RunAttribution>,
 }
 
 impl RunResult {
@@ -143,6 +151,8 @@ mod tests {
             events: 0,
             faults: Default::default(),
             metrics: None,
+            causal: None,
+            attribution: None,
         };
         assert_eq!(r.total_energy_j(), 300.0);
         assert_eq!(r.duration_secs(), 10.0);
@@ -164,6 +174,8 @@ mod tests {
             events: 0,
             faults: Default::default(),
             metrics: None,
+            causal: None,
+            attribution: None,
         };
         assert_eq!(r.average_power_w(), 0.0);
     }

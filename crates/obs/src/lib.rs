@@ -16,7 +16,12 @@
 //! * [`perfetto`] — a Chrome/Perfetto `trace_event` JSON builder, plus a
 //!   converter from the engine's [`sim_core::Trace`] so a whole cluster run
 //!   renders as one timeline at <https://ui.perfetto.dev> (one track per
-//!   node: phase slices, message instants, frequency counter tracks).
+//!   node: phase slices, message instants, frequency counter tracks, and
+//!   flow arrows from a causal log).
+//! * [`causal`] — critical-path extraction and per-rank time/energy
+//!   attribution ("blame analysis") over the engine's recorded
+//!   [`sim_core::CausalLog`], feeding `RunResult::attribution` and the
+//!   `pwrperf analyze` subcommand.
 //! * [`obs_count!`] / [`obs_gauge_max!`] / [`obs_observe!`] — feature-gated
 //!   instrumentation macros. With the `enabled` feature off they expand to
 //!   nothing, so instrumented code compiles to exactly the uninstrumented
@@ -30,10 +35,14 @@
 //! (span wall totals, worker utilization) are clearly separated and only
 //! surface in human summaries.
 
+pub mod causal;
 pub mod metrics;
 pub mod perfetto;
 pub mod span;
 
+pub use causal::{
+    attribute, BucketTotals, CausalGraph, CpSegment, CriticalPath, RankAttribution, RunAttribution,
+};
 pub use metrics::{Histogram, MetricValue, MetricsRegistry};
 pub use perfetto::PerfettoTrace;
 pub use span::{SpanProfiler, SpanStats, WallTimer};

@@ -94,6 +94,29 @@ impl PerfettoTrace {
         ));
     }
 
+    /// Open a flow (`ph: "s"`): the tail of an arrow the UI draws from
+    /// (pid, tid, t) to the matching [`PerfettoTrace::flow_end`] with the
+    /// same `id` and `cat`.
+    pub fn flow_start(&mut self, pid: u64, tid: u64, cat: &str, name: &str, id: u64, t: SimTime) {
+        self.records.push(format!(
+            r#"{{"ph":"s","pid":{pid},"tid":{tid},"ts":{},"cat":"{}","name":"{}","id":{id}}}"#,
+            ts(t),
+            escape(cat),
+            escape(name)
+        ));
+    }
+
+    /// Close a flow (`ph: "f"`, binding to the enclosing slice's end): the
+    /// head of the arrow opened by the matching [`PerfettoTrace::flow_start`].
+    pub fn flow_end(&mut self, pid: u64, tid: u64, cat: &str, name: &str, id: u64, t: SimTime) {
+        self.records.push(format!(
+            r#"{{"ph":"f","bp":"e","pid":{pid},"tid":{tid},"ts":{},"cat":"{}","name":"{}","id":{id}}}"#,
+            ts(t),
+            escape(cat),
+            escape(name)
+        ));
+    }
+
     /// A counter-track sample. Counter tracks are keyed by (pid, name); the
     /// UI draws one stepped line per track.
     pub fn counter(&mut self, pid: u64, name: &str, t: SimTime, value: f64) {
@@ -256,6 +279,18 @@ mod tests {
         assert!(json.contains(r#""name":"node 1 MHz""#));
         assert!(json.contains(r#""args":{"value":600}"#));
         assert!(json.contains(r#""ph":"E""#));
+    }
+
+    #[test]
+    fn flow_records_pair_by_id_and_cat() {
+        let mut p = PerfettoTrace::new();
+        p.flow_start(0, 0, "msg", "0->1 64B", 7, SimTime(10));
+        p.flow_end(0, 1, "msg", "0->1 64B", 7, SimTime(30));
+        let json = p.finish();
+        assert!(json.contains(r#""ph":"s""#));
+        assert!(json.contains(r#""ph":"f","bp":"e""#));
+        assert_eq!(json.matches(r#""id":7"#).count(), 2);
+        assert_eq!(json.matches(r#""cat":"msg""#).count(), 2);
     }
 
     #[test]

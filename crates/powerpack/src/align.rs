@@ -230,6 +230,8 @@ mod tests {
             events: 0,
             faults: Default::default(),
             metrics: None,
+            causal: None,
+            attribution: None,
         };
         let aligned = align_samples_with_spans(&result);
         assert_eq!(aligned.len(), 5);
@@ -281,6 +283,8 @@ mod tests {
             events: 0,
             faults: Default::default(),
             metrics: None,
+            causal: None,
+            attribution: None,
         };
         let intervals = phase_intervals(&result.trace);
         // Reference: the legacy full scan, inlined.

@@ -61,6 +61,8 @@ mod tests {
             events: 0,
             faults: Default::default(),
             metrics: None,
+            causal: None,
+            attribution: None,
         }
     }
 

@@ -147,6 +147,8 @@ mod tests {
             events: 0,
             faults: Default::default(),
             metrics: None,
+            causal: None,
+            attribution: None,
         };
         let csv = summary_to_csv(&result);
         assert_eq!(csv.lines().count(), 3);

@@ -197,6 +197,8 @@ mod tests {
             events: 0,
             faults: Default::default(),
             metrics: None,
+            causal: None,
+            attribution: None,
         };
         let profiles = profile_phases(&result);
         let comm = &profiles["comm"];

@@ -106,6 +106,8 @@ mod tests {
             events: 0,
             faults: Default::default(),
             metrics: None,
+            causal: None,
+            attribution: None,
         }
     }
 

@@ -21,6 +21,7 @@
 //!   (stragglers, sick batteries, flaky DVFS, weak links) consumed by the
 //!   engine; empty specs are guaranteed bit-identical to no spec at all.
 
+pub mod causal;
 pub mod event;
 pub mod faults;
 pub mod float;
@@ -31,6 +32,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use causal::{CausalLog, CausalMsgId, DvfsRecord, MsgRecord, WaitCause, WaitRecord};
 pub use event::{EventQueue, QueuedEvent};
 pub use faults::{Fault, FaultCounts, FaultSpec, DEFAULT_FAULT_SEED};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};

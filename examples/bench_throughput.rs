@@ -7,13 +7,16 @@
 //! it is also a convenient target for profilers, which need one
 //! long-running process rather than many 100 ms ones:
 //!
-//! A second argument `traced` runs the same mix with full PowerScope
-//! instrumentation (metrics registry + bounded trace); `scripts/bench.sh`
-//! runs both modes and reports the overhead ratio:
+//! A second argument selects the instrumentation mode: `traced` runs the
+//! same mix with full PowerScope instrumentation (metrics registry +
+//! bounded trace), `causal` with the causal recorder (dependency log +
+//! attribution solve); `scripts/bench.sh` runs all three and reports the
+//! overhead ratios:
 //!
 //! ```sh
 //! cargo run --release --example bench_throughput -- 200
 //! cargo run --release --example bench_throughput -- 200 traced
+//! cargo run --release --example bench_throughput -- 200 causal
 //! ```
 
 use std::time::Instant;
@@ -25,10 +28,13 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(50);
-    let traced = std::env::args().nth(2).as_deref() == Some("traced");
+    let mode = std::env::args().nth(2).unwrap_or_default();
+    let traced = mode == "traced";
+    let causal = mode == "causal";
     let engine = EngineConfig {
         metrics: traced,
         trace_capacity: if traced { 1 << 16 } else { 0 },
+        causal,
         ..EngineConfig::default()
     };
     let experiment = |workload: Workload, strategy| {
@@ -54,7 +60,7 @@ fn main() {
     let secs = t0.elapsed().as_secs_f64();
 
     println!("loops: {loops}");
-    println!("traced: {traced}");
+    println!("mode: {}", if mode.is_empty() { "plain" } else { &mode });
     println!("events: {events}");
     println!("wall_secs: {secs:.4}");
     println!("events_per_sec: {:.0}", events as f64 / secs);

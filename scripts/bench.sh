@@ -6,14 +6,18 @@
 #     peak RSS — the whole-paper regeneration that the batch runner and
 #     engine hot path both feed into;
 #   * engine throughput in simulated events per wall-clock second
-#     (examples/bench_throughput.rs), untraced and with PowerScope
-#     instrumentation on, plus the traced/untraced overhead ratio;
+#     (examples/bench_throughput.rs), untraced, with PowerScope
+#     instrumentation on, and with the causal recorder on, plus the
+#     traced/untraced and causal/untraced overhead ratios;
+#   * causal overhead at scale: a 256-rank class-C FT iteration through
+#     the real binary with and without `--causal` (the acceptance gate is
+#     < 10% overhead enabled);
 #   * per-scenario Criterion timings from the `engine` bench;
 #   * SweepStore cold-vs-warm `all_figures --store` wall clock: the cold
 #     pass executes and fills the result cache, the warm pass replays it
 #     (identical output bytes, near-zero engine work).
 #
-# Usage: scripts/bench.sh [output.json]    (default BENCH_PR1.json)
+# Usage: scripts/bench.sh [output.json]    (default BENCH_PR7.json)
 #        scripts/bench.sh scale [output.json]   (default BENCH_PR6.json)
 #
 # The `scale` mode runs examples/bench_scale.rs instead: one class-C FT
@@ -34,18 +38,21 @@ if [[ "${1:-}" == "scale" ]]; then
   exit 0
 fi
 
-OUT="${1:-BENCH_PR1.json}"
+OUT="${1:-BENCH_PR7.json}"
 RUNS="${BENCH_RUNS:-30}"
 
 cargo build --release -q -p pwrperf-bench --bin all_figures
 cargo build --release -q --example bench_throughput
+cargo build --release -q -p pwrperf-cli
 
 THROUGHPUT="$(./target/release/examples/bench_throughput 100)"
 THROUGHPUT_TRACED="$(./target/release/examples/bench_throughput 100 traced)"
+THROUGHPUT_CAUSAL="$(./target/release/examples/bench_throughput 100 causal)"
 BENCH="$(cargo bench -q -p pwrperf-bench --bench engine 2>/dev/null | grep 'time:' || true)"
 
 RUNS="$RUNS" OUT="$OUT" THROUGHPUT="$THROUGHPUT" \
-  THROUGHPUT_TRACED="$THROUGHPUT_TRACED" BENCH="$BENCH" python3 - <<'EOF'
+  THROUGHPUT_TRACED="$THROUGHPUT_TRACED" THROUGHPUT_CAUSAL="$THROUGHPUT_CAUSAL" \
+  BENCH="$BENCH" python3 - <<'EOF'
 import json, os, re, resource, statistics, subprocess, time
 
 runs = int(os.environ["RUNS"])
@@ -67,6 +74,11 @@ tpt = dict(
     for line in os.environ["THROUGHPUT_TRACED"].splitlines()
     if ": " in line
 )
+tpc = dict(
+    line.split(": ")
+    for line in os.environ["THROUGHPUT_CAUSAL"].splitlines()
+    if ": " in line
+)
 criterion = {
     m[1].strip(): int(m[2])
     for m in re.finditer(r"(.+?)\s+time: (\d+) ns/iter", os.environ["BENCH"])
@@ -84,6 +96,22 @@ warm = subprocess.run([binary, "--store", store], capture_output=True).stdout
 warm_s = time.perf_counter() - t0
 assert cold == warm, "warm all_figures output must be byte-identical to cold"
 shutil.rmtree(store, ignore_errors=True)
+
+# Causal overhead at scale: one 256-rank class-C FT iteration through the
+# real binary, with and without the causal recorder. Median of 5 runs;
+# the acceptance gate for blame analysis is < 10% overhead enabled.
+cli = "./target/release/pwrperf"
+scale_args = ["run", "-w", "ft-scale-256", "-s", "static-1400"]
+def median_wall(extra):
+    walls = []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        subprocess.run([cli, *scale_args, *extra], stdout=subprocess.DEVNULL)
+        walls.append(time.perf_counter() - t0)
+    return statistics.median(walls)
+subprocess.run([cli, *scale_args], stdout=subprocess.DEVNULL)  # warm-up
+scale_plain_s = median_wall([])
+scale_causal_s = median_wall(["--causal"])
 
 report = {
     "all_figures": {
@@ -106,6 +134,21 @@ report = {
         "overhead_ratio": round(
             float(tp["events_per_sec"]) / float(tpt["events_per_sec"]), 4
         ),
+    },
+    "engine_throughput_causal": {
+        "events": int(tpc["events"]),
+        "wall_secs": float(tpc["wall_secs"]),
+        "events_per_sec": int(float(tpc["events_per_sec"])),
+        # Wall-clock cost of the causal recorder (dependency log +
+        # attribution solve) relative to the plain run.
+        "overhead_ratio": round(
+            float(tp["events_per_sec"]) / float(tpc["events_per_sec"]), 4
+        ),
+    },
+    "ft_scale_256_causal": {
+        "plain_ms_median": round(scale_plain_s * 1000, 2),
+        "causal_ms_median": round(scale_causal_s * 1000, 2),
+        "overhead_ratio": round(scale_causal_s / scale_plain_s, 4),
     },
     "criterion_engine_ns_per_iter": criterion,
     "sweepstore_all_figures": {

@@ -49,7 +49,7 @@ fn fingerprint_is_stable_across_processes() {
     let exp = Experiment::new(Workload::ft_test(4), DvsStrategy::StaticMhz(1400));
     assert_eq!(
         fingerprint_experiment(&exp).to_hex(),
-        "80f1cae8da38163b7ca03d4683f0a374"
+        "901d0e7ddfd7e42b15add5b6d5cee3c3"
     );
 }
 
@@ -115,6 +115,11 @@ fn any_single_field_edit_changes_the_key() {
     let mut e = base_experiment();
     e.engine.metrics = false;
     variants.push(("metrics flag", e));
+
+    // Causal recording changes the stored payload, so it must key.
+    let mut e = base_experiment();
+    e.engine.causal = true;
+    variants.push(("causal flag", e));
 
     let mut e = base_experiment();
     e.engine.faults.seed += 1;
@@ -245,6 +250,7 @@ proptest! {
     fn run_result_round_trip_is_bit_identical(
         mhz_idx in 0usize..3,
         metrics in any::<bool>(),
+        causal in any::<bool>(),
         sample_ms in prop_oneof![Just(None), Just(Some(2u64)), Just(Some(7u64))],
         trace_pow in prop_oneof![Just(0usize), Just(6), Just(16)],
         faulty in any::<bool>(),
@@ -260,6 +266,7 @@ proptest! {
         };
         let engine = EngineConfig {
             metrics,
+            causal,
             sample_interval: sample_ms.map(SimDuration::from_millis),
             trace_capacity: if trace_pow == 0 { 0 } else { 1 << trace_pow },
             faults,
