@@ -4,19 +4,44 @@
 //! content-addressed result cache: the first (cold) regeneration fills
 //! it, subsequent (warm) ones replay the identical results without
 //! executing the engine — `scripts/bench.sh` times both modes.
+//!
+//! `--topology <spec>` and `--shards <n>` apply to every run (the same
+//! specs `pwrperf run` takes); `--shards` beats `PWRPERF_SHARDS`, which
+//! beats inline planning. Results are bit-identical at any shard count.
 fn main() {
+    const USAGE: &str = "usage: all_figures [--store <dir>] [--topology <spec>] [--shards <n>]";
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--store" => match args.next() {
                 Some(dir) => pwrperf_bench::figures::set_result_store(dir),
                 None => {
-                    eprintln!("error: --store needs a directory");
+                    eprintln!("error: --store needs a directory\n{USAGE}");
                     std::process::exit(2);
                 }
             },
+            "--topology" => {
+                let spec = args.next().unwrap_or_default();
+                match pwrperf::Topology::parse(&spec) {
+                    Ok(topology) => pwrperf_bench::figures::set_topology(topology),
+                    Err(e) => {
+                        eprintln!("error: bad --topology spec: {e}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--shards" => {
+                let n = args.next().and_then(|v| v.parse::<usize>().ok());
+                match n {
+                    Some(n) if n >= 1 => pwrperf_bench::figures::set_shards(n),
+                    _ => {
+                        eprintln!("error: --shards needs a positive integer\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
-                eprintln!("error: unknown flag '{other}' (usage: all_figures [--store <dir>])");
+                eprintln!("error: unknown flag '{other}' ({USAGE})");
                 std::process::exit(2);
             }
         }

@@ -9,13 +9,15 @@ use powerpack::{CommMicroConfig, MicroConfig};
 use pwrperf::calibration::target;
 use pwrperf::report::{format_best_points, format_crescendo, format_strategy_comparison};
 use pwrperf::{
-    cpuspeed_point, ladder_mhz_desc, run_batch, static_crescendo, static_crescendo_cached,
-    DvsStrategy, Experiment, SweepStore, Workload,
+    crescendo_cached, crescendo_with, ladder_mhz_desc, run_batch, DvsStrategy, EngineConfig,
+    Experiment, SweepStore, Topology, Workload,
 };
 
 use crate::{banner, print_target_row};
 
 static RESULT_STORE: Mutex<Option<PathBuf>> = Mutex::new(None);
+static TOPOLOGY: Mutex<Topology> = Mutex::new(Topology::Flat);
+static SHARDS: Mutex<Option<usize>> = Mutex::new(None);
 
 /// Route every ladder crescendo in this module through a [`SweepStore`]
 /// at `dir` (`all_figures --store <dir>`): the first regeneration fills
@@ -24,19 +26,48 @@ pub fn set_result_store(dir: impl Into<PathBuf>) {
     *RESULT_STORE.lock().expect("store dir lock") = Some(dir.into());
 }
 
+/// Run every figure on the given interconnect (`all_figures --topology`).
+pub fn set_topology(topology: Topology) {
+    *TOPOLOGY.lock().expect("topology lock") = topology;
+}
+
+/// Shard every run's same-timestamp planning over `n` workers
+/// (`all_figures --shards`; results are bit-identical at any count).
+pub fn set_shards(n: usize) {
+    *SHARDS.lock().expect("shards lock") = Some(n);
+}
+
+/// The engine configuration every figure runs with: default knobs plus
+/// the module-level topology/shard overrides (the flag wins over
+/// `PWRPERF_SHARDS`, which wins over inline planning).
+fn base_engine() -> EngineConfig {
+    EngineConfig {
+        topology: *TOPOLOGY.lock().expect("topology lock"),
+        shards: SHARDS
+            .lock()
+            .expect("shards lock")
+            .or_else(pwrperf::env_shards)
+            .unwrap_or(1),
+        ..EngineConfig::default()
+    }
+}
+
 fn ladder_crescendo(w: &Workload) -> Crescendo {
     let dir = RESULT_STORE.lock().expect("store dir lock").clone();
     let Some(dir) = dir else {
-        return static_crescendo(w);
+        return crescendo_with(w, base_engine(), DvsStrategy::StaticMhz);
     };
-    match SweepStore::open(&dir).and_then(|mut store| static_crescendo_cached(w, &mut store)) {
+    let cached = SweepStore::open(&dir).and_then(|mut store| {
+        crescendo_cached(w, base_engine(), DvsStrategy::StaticMhz, &mut store)
+    });
+    match cached {
         Ok(c) => c,
         Err(e) => {
             eprintln!(
                 "warning: result store {} unusable ({e}); running uncached",
                 dir.display()
             );
-            static_crescendo(w)
+            crescendo_with(w, base_engine(), DvsStrategy::StaticMhz)
         }
     }
 }
@@ -47,14 +78,20 @@ fn ladder_crescendo(w: &Workload) -> Crescendo {
 /// `static_crescendo` + `dynamic_crescendo` + `cpuspeed_point`.
 fn strategy_suite(w: &Workload) -> (Crescendo, Crescendo, (f64, f64)) {
     let ladder = ladder_mhz_desc();
+    let engine = base_engine();
     let mut experiments = Vec::with_capacity(2 * ladder.len() + 1);
     for &mhz in &ladder {
-        experiments.push(Experiment::new(w.clone(), DvsStrategy::StaticMhz(mhz)));
+        experiments.push(
+            Experiment::new(w.clone(), DvsStrategy::StaticMhz(mhz)).with_engine(engine.clone()),
+        );
     }
     for &mhz in &ladder {
-        experiments.push(Experiment::new(w.clone(), DvsStrategy::DynamicBaseMhz(mhz)));
+        experiments.push(
+            Experiment::new(w.clone(), DvsStrategy::DynamicBaseMhz(mhz))
+                .with_engine(engine.clone()),
+        );
     }
-    experiments.push(Experiment::new(w.clone(), DvsStrategy::Cpuspeed));
+    experiments.push(Experiment::new(w.clone(), DvsStrategy::Cpuspeed).with_engine(engine));
     let mut results = run_batch(experiments);
     let cs = results.pop().expect("cpuspeed result");
     let mut stat = Crescendo::new();
@@ -138,7 +175,10 @@ pub fn fig3_ft_b_crescendo() {
     let stat = ladder_crescendo(&w);
     println!("{}", format_crescendo("FT.B static control", &stat));
     let reference = stat.reference();
-    let (e_cs, d_cs) = cpuspeed_point(&w);
+    let cs = Experiment::new(w.clone(), DvsStrategy::Cpuspeed)
+        .with_engine(base_engine())
+        .run();
+    let (e_cs, d_cs) = (cs.total_energy_j(), cs.duration_secs());
     println!(
         "cpuspeed daemon: E={:.3} D={:.3} (normalized)",
         e_cs / reference.energy_j,
@@ -315,7 +355,7 @@ pub fn ablation_wait_policy() {
         "Ablation",
         "cpuspeed vs wait visibility (busy-poll vs poll-then-block)",
     );
-    use pwrperf::{EngineConfig, WaitPolicy};
+    use pwrperf::WaitPolicy;
     use sim_core::SimDuration;
     let w = Workload::ft_b8();
     for (label, policy) in [
@@ -331,7 +371,7 @@ pub fn ablation_wait_policy() {
     ] {
         let engine = EngineConfig {
             wait_policy: policy,
-            ..EngineConfig::default()
+            ..base_engine()
         };
         let run = Experiment::new(w.clone(), DvsStrategy::Cpuspeed)
             .with_engine(engine.clone())

@@ -3,7 +3,7 @@
 //! heavier than the parser).
 
 use powerpack::{CommMicroConfig, MicroConfig};
-use pwrperf::{DvsStrategy, FaultSpec, Topology, Workload};
+use pwrperf::{CapPolicy, DvsStrategy, FaultSpec, Topology, Workload};
 use workloads::{CgClass, FtClass, MgClass};
 
 /// A parsed invocation.
@@ -33,7 +33,8 @@ pub enum Command {
         shards: Option<usize>,
     },
     /// `pwrperf sweep -w <workload> [--dynamic] [-j <n>] [--store <dir>]
-    /// [--dry-run] [--no-cache] [--faults <spec>]`
+    /// [--dry-run] [--no-cache] [--faults <spec>] [--power-cap <spec>]
+    /// [--topology <spec>] [--shards <n>]`
     Sweep {
         /// Workload to sweep over the ladder.
         workload: Workload,
@@ -49,6 +50,13 @@ pub enum Command {
         no_cache: bool,
         /// Deterministic fault injection (empty = none).
         faults: FaultSpec,
+        /// Compare power-cap policies against the static ladder
+        /// (`None` = plain crescendo sweep; policy `None` = both).
+        power_cap: Option<(u32, Option<CapPolicy>)>,
+        /// Interconnect shape (`flat` or `fat-tree[:radix=R,oversub=S]`).
+        topology: Topology,
+        /// Intra-run shard count (`None` = `PWRPERF_SHARDS` or 1).
+        shards: Option<usize>,
     },
     /// `pwrperf best -w <workload> [--delta <d>] [-j <n>]`
     Best {
@@ -271,6 +279,36 @@ fn parse_shards(value: &str) -> Result<usize, String> {
         .ok_or_else(|| "--shards needs a positive integer".to_string())
 }
 
+/// Parse a `--power-cap` value: `<watts>[,policy=uniform|redistribute]`.
+/// The policy is left unresolved when omitted so each subcommand can pick
+/// its own default (run: redistribute; sweep: compare both).
+pub fn parse_power_cap(value: &str) -> Result<(u32, Option<CapPolicy>), String> {
+    let (watts, policy) = match value.split_once(',') {
+        None => (value, None),
+        Some((watts, option)) => {
+            let policy = option.strip_prefix("policy=").ok_or_else(|| {
+                format!("bad --power-cap option '{option}' (expected policy=uniform|redistribute)")
+            })?;
+            let policy = match policy {
+                "uniform" => CapPolicy::Uniform,
+                "redistribute" => CapPolicy::Redistribute,
+                other => {
+                    return Err(format!(
+                        "unknown cap policy '{other}' (expected uniform or redistribute)"
+                    ))
+                }
+            };
+            (watts, Some(policy))
+        }
+    };
+    let watts = watts
+        .parse::<u32>()
+        .ok()
+        .filter(|&w| w >= 1)
+        .ok_or_else(|| "--power-cap needs a positive watt budget".to_string())?;
+    Ok((watts, policy))
+}
+
 fn take_value<'a>(args: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<&'a str, String> {
     args.next().ok_or_else(|| format!("{flag} needs a value"))
 }
@@ -290,6 +328,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
         "run" => {
             let mut workload = None;
             let mut strategy = None;
+            let mut power_cap = None;
             let mut blocking_ms = None;
             let mut metrics = false;
             let mut causal = false;
@@ -305,6 +344,7 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                     "-s" | "--strategy" => {
                         strategy = Some(parse_strategy(take_value(&mut it, flag)?)?)
                     }
+                    "--power-cap" => power_cap = Some(parse_power_cap(take_value(&mut it, flag)?)?),
                     "--blocking-waits" => {
                         blocking_ms = Some(parse_blocking(take_value(&mut it, flag)?)?)
                     }
@@ -319,9 +359,20 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                     other => return Err(format!("unknown flag '{other}'")),
                 }
             }
+            let strategy = match (strategy, power_cap) {
+                (Some(_), Some(_)) => {
+                    return Err("--power-cap is a strategy; drop --strategy".to_string())
+                }
+                (Some(strategy), None) => strategy,
+                (None, Some((watts, policy))) => DvsStrategy::PowerCap {
+                    watts,
+                    policy: policy.unwrap_or(CapPolicy::Redistribute),
+                },
+                (None, None) => return Err("run needs --strategy or --power-cap".to_string()),
+            };
             Ok(Command::Run {
                 workload: workload.ok_or("run needs --workload")?,
-                strategy: strategy.ok_or("run needs --strategy")?,
+                strategy,
                 blocking_ms,
                 metrics,
                 causal,
@@ -339,6 +390,9 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
             let mut dry_run = false;
             let mut no_cache = false;
             let mut faults = FaultSpec::default();
+            let mut power_cap = None;
+            let mut topology = Topology::Flat;
+            let mut shards = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "-w" | "--workload" => {
@@ -352,6 +406,9 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                     "--dry-run" => dry_run = true,
                     "--no-cache" => no_cache = true,
                     "--faults" => faults = parse_faults(take_value(&mut it, flag)?)?,
+                    "--power-cap" => power_cap = Some(parse_power_cap(take_value(&mut it, flag)?)?),
+                    "--topology" => topology = parse_topology(take_value(&mut it, flag)?)?,
+                    "--shards" => shards = Some(parse_shards(take_value(&mut it, flag)?)?),
                     other => return Err(format!("unknown flag '{other}'")),
                 }
             }
@@ -361,6 +418,13 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
             if no_cache && (store.is_some() || dry_run) {
                 return Err("--no-cache conflicts with --store/--dry-run".to_string());
             }
+            if dynamic && power_cap.is_some() {
+                return Err(
+                    "--power-cap compares cap policies against the static ladder; \
+                     drop --dynamic"
+                        .to_string(),
+                );
+            }
             Ok(Command::Sweep {
                 workload: workload.ok_or("sweep needs --workload")?,
                 dynamic,
@@ -369,6 +433,9 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                 dry_run,
                 no_cache,
                 faults,
+                power_cap,
+                topology,
+                shards,
             })
         }
         "best" => {
@@ -1131,6 +1198,119 @@ mod tests {
             Command::Run { causal, .. } => assert!(!causal),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_power_cap() {
+        // Bare watts on run: redistribute is the default policy.
+        match parse(&["run", "-w", "ft-test4", "--power-cap", "120"]) {
+            Command::Run { strategy, .. } => assert_eq!(
+                strategy,
+                DvsStrategy::PowerCap {
+                    watts: 120,
+                    policy: CapPolicy::Redistribute
+                }
+            ),
+            other => panic!("{other:?}"),
+        }
+        match parse(&["run", "-w", "ft-test4", "--power-cap", "96,policy=uniform"]) {
+            Command::Run { strategy, .. } => assert_eq!(
+                strategy,
+                DvsStrategy::PowerCap {
+                    watts: 96,
+                    policy: CapPolicy::Uniform
+                }
+            ),
+            other => panic!("{other:?}"),
+        }
+        // Sweep keeps the policy optional (None = compare both).
+        match parse(&["sweep", "-w", "ft-test4", "--power-cap", "120"]) {
+            Command::Sweep { power_cap, .. } => assert_eq!(power_cap, Some((120, None))),
+            other => panic!("{other:?}"),
+        }
+        match parse(&[
+            "sweep",
+            "-w",
+            "ft-test4",
+            "--power-cap",
+            "120,policy=redistribute",
+        ]) {
+            Command::Sweep { power_cap, .. } => {
+                assert_eq!(power_cap, Some((120, Some(CapPolicy::Redistribute))))
+            }
+            other => panic!("{other:?}"),
+        }
+        // Conflicts and malformed specs surface as help with a message.
+        assert!(matches!(
+            parse(&[
+                "run",
+                "-w",
+                "ft-test4",
+                "-s",
+                "static-800",
+                "--power-cap",
+                "120"
+            ]),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse(&["sweep", "-w", "ft-test4", "--dynamic", "--power-cap", "120"]),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse(&["run", "-w", "ft-test4", "--power-cap", "0"]),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse(&["run", "-w", "ft-test4", "--power-cap", "120,policy=fair"]),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse(&["run", "-w", "ft-test4", "--power-cap", "120,uniform"]),
+            Command::Help(Some(_))
+        ));
+    }
+
+    #[test]
+    fn parses_sweep_topology_and_shards() {
+        // Regression: sweep used to silently drop both flags, so sharded
+        // fat-tree sweeps could not be driven from the CLI at all.
+        match parse(&[
+            "sweep",
+            "-w",
+            "ft-test4",
+            "--topology",
+            "fat-tree:radix=4,oversub=2",
+            "--shards",
+            "4",
+        ]) {
+            Command::Sweep {
+                topology, shards, ..
+            } => {
+                assert_eq!(
+                    topology,
+                    Topology::FatTree {
+                        radix: 4,
+                        oversub: 2.0
+                    }
+                );
+                assert_eq!(shards, Some(4));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&["sweep", "-w", "ft-test4"]) {
+            Command::Sweep {
+                topology, shards, ..
+            } => {
+                assert_eq!(topology, Topology::Flat);
+                assert_eq!(shards, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&["sweep", "-w", "ft-test4", "--shards", "0"]),
+            Command::Help(Some(_))
+        ));
     }
 
     #[test]

@@ -51,16 +51,36 @@ fn main() {
             dry_run,
             no_cache,
             faults,
+            power_cap,
+            topology,
+            shards,
         } => {
             set_threads(threads);
-            sweep(
-                workload,
-                dynamic,
-                store.as_deref(),
-                dry_run,
-                no_cache,
+            let engine = EngineConfig {
                 faults,
-            )
+                topology,
+                shards: resolve_shards(shards),
+                ..EngineConfig::default()
+            };
+            match power_cap {
+                Some((watts, policy)) => sweep_cap(
+                    workload,
+                    watts,
+                    policy,
+                    store.as_deref(),
+                    dry_run,
+                    no_cache,
+                    engine,
+                ),
+                None => sweep(
+                    workload,
+                    dynamic,
+                    store.as_deref(),
+                    dry_run,
+                    no_cache,
+                    engine,
+                ),
+            }
         }
         Command::Export {
             workload,
@@ -243,6 +263,22 @@ fn run(
         result.transitions.iter().sum::<u64>(),
         result.transitions.len()
     );
+    if let pwrperf::DvsStrategy::PowerCap { watts, .. } = strategy {
+        let peak = result
+            .samples
+            .iter()
+            .map(|s| s.node_power_w.iter().sum::<f64>())
+            .fold(0.0, f64::max);
+        println!(
+            "power cap: {watts} W budget, peak sampled {peak:.1} W across {} samples [{}]",
+            result.samples.len(),
+            if peak <= f64::from(watts) {
+                "held"
+            } else {
+                "EXCEEDED"
+            }
+        );
+    }
     print_faults(&result.faults);
     let avg_compute: f64 = result
         .breakdown
@@ -316,15 +352,22 @@ fn analyze(
     let result = Experiment::new(workload.clone(), strategy)
         .with_engine(engine)
         .run();
+    // `analyze` arms causal recording itself, but a cached or replayed
+    // record can still come back without a log; fail with the typed
+    // error instead of panicking over the missing attribution.
+    let table = match pwrperf::try_analyze_text(&workload.label(), &strategy.label(), &result) {
+        Ok(table) => table,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     let attribution = result
         .attribution
         .as_ref()
-        .expect("causal run always attributes");
+        .unwrap_or_else(|| unreachable!("try_analyze_text verified the attribution is present"));
     print_faults(&result.faults);
-    print!(
-        "{}",
-        pwrperf::analyze_text(&workload.label(), &strategy.label(), attribution)
-    );
+    print!("{table}");
     let meta = pwrperf::RunMeta {
         workload: workload.label(),
         strategy: strategy.label(),
@@ -452,16 +495,12 @@ fn sweep(
     store: Option<&str>,
     dry_run: bool,
     no_cache: bool,
-    faults: FaultSpec,
+    engine: EngineConfig,
 ) {
     let make: fn(u32) -> pwrperf::DvsStrategy = if dynamic {
         pwrperf::DvsStrategy::DynamicBaseMhz
     } else {
         pwrperf::DvsStrategy::StaticMhz
-    };
-    let engine = EngineConfig {
-        faults,
-        ..EngineConfig::default()
     };
     let crescendo = match store {
         Some(dir) if !no_cache => {
@@ -476,7 +515,7 @@ fn sweep(
                 vec![workload.clone()],
                 pwrperf::ladder_mhz_desc().into_iter().map(make).collect(),
                 Vec::new(),
-                Vec::new(),
+                vec![engine.faults.clone()],
             )
             .with_engine(engine.clone());
             if dry_run {
@@ -533,6 +572,122 @@ fn sweep(
             e,
             d,
             weighted_ed2p(e, d, DELTA_HPC)
+        );
+    }
+}
+
+/// `pwrperf sweep --power-cap`: compare cap policies against every
+/// static ladder point under one engine configuration. Rows are
+/// normalized against static 1400 MHz; the wED2P column (lower is
+/// better) is the score that ranks capped runs.
+fn sweep_cap(
+    workload: Workload,
+    watts: u32,
+    policy: Option<pwrperf::CapPolicy>,
+    store: Option<&str>,
+    dry_run: bool,
+    no_cache: bool,
+    engine: EngineConfig,
+) {
+    use pwrperf::{CapPolicy, DvsStrategy};
+    let mut strategies: Vec<DvsStrategy> = pwrperf::ladder_mhz_desc()
+        .into_iter()
+        .map(DvsStrategy::StaticMhz)
+        .collect();
+    match policy {
+        Some(policy) => strategies.push(DvsStrategy::PowerCap { watts, policy }),
+        None => {
+            for policy in [CapPolicy::Uniform, CapPolicy::Redistribute] {
+                strategies.push(DvsStrategy::PowerCap { watts, policy });
+            }
+        }
+    }
+    let fault_specs = vec![engine.faults.clone()];
+    let grid = pwrperf::Sweep::grid(
+        vec![workload.clone()],
+        strategies.clone(),
+        Vec::new(),
+        fault_specs,
+    )
+    .with_engine(engine);
+    let results = match store {
+        Some(dir) if !no_cache => {
+            let mut store = match pwrperf::SweepStore::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot open store {dir}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if dry_run {
+                let plan = grid.plan(&store);
+                println!(
+                    "dry run against {dir}: {} jobs, {} cache hits, {} misses",
+                    plan.jobs.len(),
+                    plan.hits(),
+                    plan.misses()
+                );
+                for job in &plan.jobs {
+                    println!(
+                        "  {} {} -> {} [{}]",
+                        job.experiment.workload.label(),
+                        job.experiment.strategy.label(),
+                        job.fingerprint.to_hex(),
+                        if job.cached { "hit" } else { "miss" }
+                    );
+                }
+                return;
+            }
+            match grid.run(&mut store, None) {
+                Ok(outcome) => {
+                    let s = store.stats();
+                    println!(
+                        "store {dir}: {} hits, {} misses, {} corrupt, {} B read, {} B written",
+                        s.hits, s.misses, s.corrupt, s.bytes_read, s.bytes_written
+                    );
+                    outcome.results
+                }
+                Err(e) => {
+                    eprintln!("error: store {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => grid.run_uncached(None).results,
+    };
+    println!(
+        "power-cap sweep of {} under a {watts} W cluster budget:",
+        workload.label()
+    );
+    println!(
+        "{:>18} {:>12} {:>10} {:>8} {:>8} {:>12} {:>10}",
+        "strategy", "energy(J)", "delay(s)", "E/E0", "D/D0", "wED2P(HPC)", "peak(W)"
+    );
+    // Normalization base: the first row is always static 1400 MHz.
+    let e0 = results[0].total_energy_j();
+    let d0 = results[0].duration_secs();
+    for (strategy, result) in strategies.iter().zip(&results) {
+        let e = result.total_energy_j() / e0;
+        let d = result.duration_secs() / d0;
+        let peak = result
+            .samples
+            .iter()
+            .map(|s| s.node_power_w.iter().sum::<f64>())
+            .fold(0.0, f64::max);
+        let peak = if result.samples.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{peak:.1}")
+        };
+        println!(
+            "{:>18} {:>12.1} {:>10.3} {:>8.3} {:>8.3} {:>12.3} {:>10}",
+            strategy.label(),
+            result.total_energy_j(),
+            result.duration_secs(),
+            e,
+            d,
+            weighted_ed2p(e, d, DELTA_HPC),
+            peak
         );
     }
 }
@@ -613,12 +768,13 @@ fn help() {
 (reproduction of Ge, Feng, Cameron, IPPS 2005)
 
 USAGE:
-  pwrperf run    -w <workload> -s <strategy> [--blocking-waits <ms>]
-                 [--metrics] [--causal] [--trace-capacity <n>]
+  pwrperf run    -w <workload> (-s <strategy> | --power-cap <spec>)
+                 [--blocking-waits <ms>] [--metrics] [--causal]
+                 [--trace-capacity <n>] [--faults <spec>]
+                 [--topology <spec>] [--shards <n>]
+  pwrperf sweep  -w <workload> [--dynamic | --power-cap <spec>]
+                 [-j <threads>] [--store <dir> [--dry-run] | --no-cache]
                  [--faults <spec>] [--topology <spec>] [--shards <n>]
-  pwrperf sweep  -w <workload> [--dynamic] [-j <threads>]
-                 [--store <dir> [--dry-run] | --no-cache]
-                 [--faults <spec>]
   pwrperf best   -w <workload> [--delta <-1..1>] [-j <threads>]
   pwrperf export -w <workload> -s <strategy> [-o <dir>] [--metrics]
                  [--trace-capacity <n>] [--faults <spec>]
@@ -644,6 +800,8 @@ EXAMPLES:
                 --faults seed:7,slow:2:1.5,battery-stuck:1:40
   pwrperf run   -w ft-scale-4096 -s static-1400 \\
                 --topology fat-tree:radix=16,oversub=2 --shards 8
+  pwrperf run   -w ft-test4 --power-cap 100 --faults slow:0:3.0
+  pwrperf sweep -w ft-test4 --power-cap 100 --faults slow:0:3.0
 
 FAULT SPECS (comma-separated; deterministic under a fixed seed):
   seed:<u64>                  RNG seed (default 0x5EEDFA17)
@@ -673,6 +831,17 @@ controller could reclaim. `run --causal` appends the same table to a
 normal run. The simulation itself is bit-identical with tracing on or
 off. NDJSON exports start with a {{\"meta\":...}} header line naming the
 workload, strategy, topology, shard count, and fault seed.
+
+--power-cap <watts>[,policy=uniform|redistribute] runs the cluster
+power-budget controller: at every power sample the controller replans
+per-node frequencies so worst-case cluster draw stays under the budget.
+`uniform` pins every node to the highest common ladder point that fits;
+`redistribute` (the `run` default) reclaims budget from ranks blocked
+in communication and grants it to lagging ranks, one ladder step at a
+time, most-starved first. `run --power-cap` prints the budget, the peak
+sampled draw, and whether the cap held; `sweep --power-cap` compares
+the cap policies against every static ladder point with weighted-ED2P
+scoring (no policy given = both policies).
 
 --topology picks the interconnect: `flat` (the paper's single switch,
 the default) or `fat-tree[:radix=R,oversub=S]`, a switch hierarchy with

@@ -63,7 +63,7 @@ impl Experiment {
         self
     }
 
-    /// Build the cluster, programs, and governors, and run to completion.
+    /// Build the cluster, programs, and controller, and run to completion.
     pub fn run(&self) -> RunResult {
         let ranks = self.workload.ranks();
         let cluster = match (&self.node_config, &self.network) {
@@ -81,9 +81,24 @@ impl Experiment {
         let programs = self
             .workload
             .programs(self.strategy.wants_instrumentation());
-        let governors = self.strategy.governors(cluster.nodes());
-        Engine::new(cluster, programs, governors, self.engine.clone()).run()
+        let controller = self.strategy.controller(cluster.nodes());
+        let mut engine = self.engine.clone();
+        // A power cap replans at sample instants; a capped run without a
+        // sampling cadence would boot feasible and never redistribute, so
+        // give it the default cap-control interval.
+        if matches!(self.strategy, DvsStrategy::PowerCap { .. }) && engine.sample_interval.is_none()
+        {
+            engine.sample_interval = Some(power_cap_default_sample());
+        }
+        Engine::with_controller(cluster, programs, controller, engine).run()
     }
+}
+
+/// Sampling (and therefore cap-replanning) interval a
+/// [`DvsStrategy::PowerCap`] run falls back to when the experiment did
+/// not configure one.
+pub fn power_cap_default_sample() -> sim_core::SimDuration {
+    sim_core::SimDuration::from_millis(10)
 }
 
 /// The frequencies of the Pentium-M ladder, fastest first (how the paper

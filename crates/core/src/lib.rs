@@ -43,7 +43,7 @@ pub mod workload;
 pub use adaptive::{AutoTuneOutcome, AutoTuner};
 pub use experiment::{
     cpuspeed_point, crescendo_of, crescendo_with, dynamic_crescendo, ladder_mhz_desc,
-    static_crescendo, Experiment,
+    power_cap_default_sample, static_crescendo, Experiment,
 };
 pub use runner::{
     env_shards, parallel_map, parallel_map_telemetry, parallel_map_telemetry_with, run_batch,
@@ -52,7 +52,7 @@ pub use runner::{
 };
 pub use scope::{
     analyze_text, attribution_ndjson, metrics_ndjson, metrics_ndjson_with_meta, perfetto_json,
-    stats_text, topology_label, RunMeta, EXPORT_FORMAT_VERSION,
+    stats_text, topology_label, try_analyze_text, AnalyzeError, RunMeta, EXPORT_FORMAT_VERSION,
 };
 pub use store::{
     decode_run_result, encode_run_result, fingerprint_experiment, Fingerprint, StoreError,
@@ -68,6 +68,6 @@ pub use workload::Workload;
 // Convenience re-exports for downstream binaries.
 pub use edp_metrics;
 pub use mpi_sim::{
-    CausalLog, EngineConfig, Fault, FaultCounts, FaultSpec, RunAttribution, RunResult, Topology,
-    WaitPolicy,
+    CapPolicy, CausalLog, ClusterController, EngineConfig, Fault, FaultCounts, FaultSpec,
+    PowerCapController, RunAttribution, RunResult, Topology, WaitPolicy,
 };

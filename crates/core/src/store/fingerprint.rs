@@ -17,9 +17,10 @@
 use std::hash::Hasher as _;
 
 use cluster_sim::NodeConfig;
-use dvfs::AppSpeedRequest;
+use dvfs::{AppSpeedRequest, CapPolicy};
 use mpi_sim::{EngineConfig, Op, Program, Topology, WaitPolicy};
 use net_model::NetworkParams;
+use power_model::DvfsLadder;
 use sim_core::hash::FxHasher;
 use sim_core::Fault;
 
@@ -34,7 +35,11 @@ use crate::strategy::DvsStrategy;
 ///
 /// v3: `RunResult` payloads gained the causal log and attribution
 /// summary, and `EngineConfig::causal` joined the engine encoding.
-pub const STORE_FORMAT_VERSION: u32 = 3;
+///
+/// v4: strategy frequencies are ladder-resolved before encoding (so
+/// requests clamping to the same operating point share one record), and
+/// the `PowerCap` controller strategy joined the strategy encoding.
+pub const STORE_FORMAT_VERSION: u32 = 4;
 
 const FINGERPRINT_MAGIC: &[u8; 4] = b"PWRF";
 const SALT_LO: u64 = 0x5EED_CAFE_0000_0001;
@@ -142,7 +147,7 @@ fn canonical_parts_bytes(
     let mut w = ByteWriter::new();
     w.put_raw(FINGERPRINT_MAGIC);
     w.put_u32(STORE_FORMAT_VERSION);
-    encode_strategy(&mut w, strategy);
+    encode_strategy(&mut w, strategy, node_config);
     encode_programs(&mut w, programs);
     encode_engine(&mut w, engine);
     // Cluster overrides enter via their `Debug` form: Rust formats f64
@@ -164,8 +169,20 @@ fn encode_debug_override<T: std::fmt::Debug>(w: &mut ByteWriter, value: Option<&
     }
 }
 
-fn encode_strategy(w: &mut ByteWriter, strategy: DvsStrategy) {
-    match strategy {
+fn encode_strategy(w: &mut ByteWriter, strategy: DvsStrategy, node_config: Option<&NodeConfig>) {
+    // Requested frequencies are snapped to the ladder the run will
+    // actually use before encoding: `StaticMhz(5000)` and
+    // `StaticMhz(1400)` execute identically on the Pentium-M ladder, so
+    // they must share one cache record.
+    let default_ladder;
+    let ladder = match node_config {
+        Some(config) => &config.ladder,
+        None => {
+            default_ladder = DvfsLadder::pentium_m_1400();
+            &default_ladder
+        }
+    };
+    match strategy.resolved(ladder) {
         DvsStrategy::Cpuspeed => w.put_u8(0),
         DvsStrategy::StaticMhz(mhz) => {
             w.put_u8(1);
@@ -177,6 +194,14 @@ fn encode_strategy(w: &mut ByteWriter, strategy: DvsStrategy) {
         }
         DvsStrategy::OnDemand => w.put_u8(3),
         DvsStrategy::Conservative => w.put_u8(4),
+        DvsStrategy::PowerCap { watts, policy } => {
+            w.put_u8(5);
+            w.put_u32(watts);
+            w.put_u8(match policy {
+                CapPolicy::Uniform => 0,
+                CapPolicy::Redistribute => 1,
+            });
+        }
     }
 }
 
@@ -413,6 +438,43 @@ mod tests {
         let mut causal = experiment();
         causal.engine.causal = true;
         assert_ne!(base, fingerprint_experiment(&causal));
+    }
+
+    #[test]
+    fn requests_resolving_to_the_same_point_share_a_key() {
+        // 5000 MHz clamps to the 1400 MHz ladder top; the two runs are
+        // bit-identical, so the cache must serve one record for both.
+        let requested = Experiment::new(Workload::ft_test(2), DvsStrategy::StaticMhz(5000));
+        let resolved = Experiment::new(Workload::ft_test(2), DvsStrategy::StaticMhz(1400));
+        assert_eq!(
+            fingerprint_experiment(&requested),
+            fingerprint_experiment(&resolved)
+        );
+        // Off-ladder dynamic bases snap too.
+        let low = Experiment::new(Workload::ft_test(2), DvsStrategy::DynamicBaseMhz(100));
+        let floor = Experiment::new(Workload::ft_test(2), DvsStrategy::DynamicBaseMhz(600));
+        assert_eq!(fingerprint_experiment(&low), fingerprint_experiment(&floor));
+        // Distinct resolved points still get distinct keys.
+        let mid = Experiment::new(Workload::ft_test(2), DvsStrategy::StaticMhz(1000));
+        assert_ne!(
+            fingerprint_experiment(&requested),
+            fingerprint_experiment(&mid)
+        );
+    }
+
+    #[test]
+    fn power_cap_watts_and_policy_key_the_cache() {
+        let cap = |watts, policy| {
+            fingerprint_experiment(&Experiment::new(
+                Workload::ft_test(2),
+                DvsStrategy::PowerCap { watts, policy },
+            ))
+        };
+        let base = cap(120, CapPolicy::Uniform);
+        assert_eq!(base, cap(120, CapPolicy::Uniform));
+        assert_ne!(base, cap(110, CapPolicy::Uniform));
+        assert_ne!(base, cap(120, CapPolicy::Redistribute));
+        assert_ne!(base, fingerprint_experiment(&experiment()));
     }
 
     #[test]

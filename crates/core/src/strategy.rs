@@ -2,12 +2,13 @@
 
 use cluster_sim::Node;
 use dvfs::{
-    AppDirectedGovernor, ConservativeGovernor, CpuspeedGovernor, Governor, OnDemandGovernor,
-    StaticGovernor,
+    AppDirectedGovernor, CapPolicy, ClusterController, ConservativeGovernor, CpuspeedGovernor,
+    Governor, OnDemandGovernor, PerNodeGovernors, PowerCapController, StaticGovernor,
 };
 use power_model::DvfsLadder;
 
-/// A cluster-wide DVS strategy (the paper's Section 4 taxonomy).
+/// A cluster-wide DVS strategy (the paper's Section 4 taxonomy, plus the
+/// cluster power-budget extension).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DvsStrategy {
     /// The stock `cpuspeed` daemon on every node, acting independently.
@@ -22,6 +23,10 @@ pub enum DvsStrategy {
     /// Beyond-the-paper: the kernel `conservative` policy (one-step moves
     /// in both directions) on every node.
     Conservative,
+    /// Beyond-the-paper: a global cluster watt budget enforced at every
+    /// sample instant by [`dvfs::PowerCapController`], with the given
+    /// division policy.
+    PowerCap { watts: u32, policy: CapPolicy },
 }
 
 impl DvsStrategy {
@@ -31,6 +36,23 @@ impl DvsStrategy {
     /// where the library calls are present but the governor ignores them).
     pub fn wants_instrumentation(&self) -> bool {
         matches!(self, DvsStrategy::DynamicBaseMhz(_))
+    }
+
+    /// The strategy with any requested frequency snapped to its actual
+    /// ladder operating point. `index_for_mhz` clamps to the nearest
+    /// point, so `StaticMhz(5000)` *runs* at 1400 MHz; labels and store
+    /// fingerprints must describe the resolved point, or identical runs
+    /// would miss the cache and legends would lie.
+    pub fn resolved(&self, ladder: &DvfsLadder) -> Self {
+        match self {
+            DvsStrategy::StaticMhz(mhz) => {
+                DvsStrategy::StaticMhz(ladder.point(ladder.index_for_mhz(*mhz)).mhz())
+            }
+            DvsStrategy::DynamicBaseMhz(mhz) => {
+                DvsStrategy::DynamicBaseMhz(ladder.point(ladder.index_for_mhz(*mhz)).mhz())
+            }
+            other => *other,
+        }
     }
 
     /// Instantiate one governor per node.
@@ -49,19 +71,41 @@ impl DvsStrategy {
                     }
                     DvsStrategy::OnDemand => Box::new(OnDemandGovernor::stock()),
                     DvsStrategy::Conservative => Box::new(ConservativeGovernor::stock()),
+                    // A power cap is not expressible per node; the top
+                    // point stands in when someone asks anyway, and
+                    // `controller` is the real instantiation path.
+                    DvsStrategy::PowerCap { .. } => Box::new(StaticGovernor::performance()),
                 }
             })
             .collect()
     }
 
-    /// Report label (matches the paper's figure legends).
-    pub fn label(&self) -> String {
+    /// Instantiate the run's [`ClusterController`] — the engine's single
+    /// strategy dispatch path. Per-node strategies wrap their governors;
+    /// the power cap builds its cluster-level controller.
+    pub fn controller(&self, nodes: &[Node]) -> Box<dyn ClusterController> {
         match self {
+            DvsStrategy::PowerCap { watts, policy } => {
+                Box::new(PowerCapController::new(f64::from(*watts), *policy))
+            }
+            per_node => Box::new(PerNodeGovernors::new(per_node.governors(nodes))),
+        }
+    }
+
+    /// Report label (matches the paper's figure legends). Frequencies are
+    /// ladder-resolved first so the label names the point the run
+    /// actually executed at.
+    pub fn label(&self) -> String {
+        match self.resolved(&DvfsLadder::pentium_m_1400()) {
             DvsStrategy::Cpuspeed => "cpuspeed".to_string(),
             DvsStrategy::StaticMhz(mhz) => format!("stat {mhz}MHz"),
             DvsStrategy::DynamicBaseMhz(mhz) => format!("dyn {mhz}MHz"),
             DvsStrategy::OnDemand => "ondemand".to_string(),
             DvsStrategy::Conservative => "conservative".to_string(),
+            DvsStrategy::PowerCap { watts, policy } => match policy {
+                CapPolicy::Uniform => format!("cap {watts}W uniform"),
+                CapPolicy::Redistribute => format!("cap {watts}W redist"),
+            },
         }
     }
 }
@@ -96,6 +140,11 @@ mod tests {
         assert!(!DvsStrategy::Cpuspeed.wants_instrumentation());
         assert!(!DvsStrategy::StaticMhz(600).wants_instrumentation());
         assert!(!DvsStrategy::OnDemand.wants_instrumentation());
+        assert!(!DvsStrategy::PowerCap {
+            watts: 120,
+            policy: CapPolicy::Redistribute
+        }
+        .wants_instrumentation());
     }
 
     #[test]
@@ -112,5 +161,68 @@ mod tests {
         assert_eq!(DvsStrategy::Cpuspeed.label(), "cpuspeed");
         assert_eq!(DvsStrategy::StaticMhz(800).label(), "stat 800MHz");
         assert_eq!(DvsStrategy::DynamicBaseMhz(1000).label(), "dyn 1000MHz");
+        assert_eq!(
+            DvsStrategy::PowerCap {
+                watts: 120,
+                policy: CapPolicy::Uniform
+            }
+            .label(),
+            "cap 120W uniform"
+        );
+        assert_eq!(
+            DvsStrategy::PowerCap {
+                watts: 96,
+                policy: CapPolicy::Redistribute
+            }
+            .label(),
+            "cap 96W redist"
+        );
+    }
+
+    #[test]
+    fn resolution_snaps_off_ladder_requests_to_real_points() {
+        let ladder = DvfsLadder::pentium_m_1400();
+        assert_eq!(
+            DvsStrategy::StaticMhz(5000).resolved(&ladder),
+            DvsStrategy::StaticMhz(1400)
+        );
+        assert_eq!(
+            DvsStrategy::StaticMhz(950).resolved(&ladder),
+            DvsStrategy::StaticMhz(1000)
+        );
+        assert_eq!(
+            DvsStrategy::DynamicBaseMhz(100).resolved(&ladder),
+            DvsStrategy::DynamicBaseMhz(600)
+        );
+        // Already-on-ladder requests are fixed points.
+        assert_eq!(
+            DvsStrategy::StaticMhz(800).resolved(&ladder),
+            DvsStrategy::StaticMhz(800)
+        );
+        // Labels describe the executed point, not the request.
+        assert_eq!(DvsStrategy::StaticMhz(5000).label(), "stat 1400MHz");
+        assert_eq!(DvsStrategy::DynamicBaseMhz(1).label(), "dyn 600MHz");
+    }
+
+    #[test]
+    fn controller_dispatch_covers_every_strategy() {
+        let ns = nodes(4);
+        for strat in [
+            DvsStrategy::Cpuspeed,
+            DvsStrategy::StaticMhz(800),
+            DvsStrategy::DynamicBaseMhz(1400),
+            DvsStrategy::OnDemand,
+            DvsStrategy::Conservative,
+        ] {
+            let c = strat.controller(&ns);
+            assert!(!c.wants_runtime_events(), "{}", strat.label());
+        }
+        let cap = DvsStrategy::PowerCap {
+            watts: 100,
+            policy: CapPolicy::Redistribute,
+        };
+        let c = cap.controller(&ns);
+        assert!(c.wants_runtime_events());
+        assert_eq!(c.name(), "cap 100W redistribute");
     }
 }

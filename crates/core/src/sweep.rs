@@ -473,8 +473,12 @@ pub fn crescendo_cached(
 ) -> Result<Crescendo, StoreError> {
     let ladder = ladder_mhz_desc();
     let strategies: Vec<DvsStrategy> = ladder.iter().map(|&mhz| make(mhz)).collect();
-    let sweep =
-        Sweep::grid(vec![workload.clone()], strategies, Vec::new(), Vec::new()).with_engine(engine);
+    // The grid stamps each job's faults from its fault-spec axis, so the
+    // engine's own spec must ride along there — otherwise a faulted
+    // cached sweep would silently run (and cache) unfaulted results.
+    let fault_specs = vec![engine.faults.clone()];
+    let sweep = Sweep::grid(vec![workload.clone()], strategies, Vec::new(), fault_specs)
+        .with_engine(engine);
     let outcome = sweep.run(store, None)?;
     Ok(Crescendo::from_pairs(
         ladder

@@ -17,14 +17,22 @@
 //! [`OnDemandGovernor`] and [`ConservativeGovernor`] are beyond-the-paper
 //! extensions (the kernel governors that later replaced cpuspeed), used
 //! in the governor-comparison ablations.
+//!
+//! Above all of them sits the [`ClusterController`] layer (the `cluster`
+//! module): a runtime strategy interface that observes *cross-node*
+//! state through engine callbacks. Every governor runs under it via
+//! [`PerNodeGovernors`]; [`PowerCapController`] uses it to enforce a
+//! global cluster watt budget with optional runtime redistribution.
 
 pub mod app_directed;
+pub mod cluster;
 pub mod conservative;
 pub mod cpuspeed;
 pub mod governor;
 pub mod ondemand;
 
 pub use app_directed::AppDirectedGovernor;
+pub use cluster::{CapPolicy, ClusterController, Decision, PerNodeGovernors, PowerCapController};
 pub use conservative::ConservativeGovernor;
 pub use cpuspeed::CpuspeedGovernor;
 pub use governor::{AppSpeedRequest, Governor, StaticGovernor};

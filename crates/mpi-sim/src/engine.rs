@@ -5,7 +5,10 @@
 //! * per-rank [`Program`]s (one rank per node, as in the paper's runs),
 //! * the [`FluidNetwork`] carrying message payloads,
 //! * per-node [`cluster_sim::Node`] power meters and `/proc/stat`,
-//! * per-node DVFS [`Governor`]s (static / cpuspeed / dynamic / ondemand),
+//! * one DVFS [`ClusterController`] — per-node [`Governor`]s (static /
+//!   cpuspeed / dynamic / ondemand) wrapped by [`PerNodeGovernors`], or a
+//!   cluster-level strategy such as [`dvfs::PowerCapController`] observing
+//!   wait boundaries and power samples across all nodes,
 //! * optional periodic power sampling (the PowerPack measurement tap).
 //!
 //! ## Message semantics
@@ -33,7 +36,7 @@
 use std::collections::VecDeque;
 
 use cluster_sim::{Cluster, Node};
-use dvfs::Governor;
+use dvfs::{ClusterController, Decision, Governor, PerNodeGovernors};
 use mem_model::WorkUnit;
 use net_model::{FlowId, FluidNetwork};
 use obs::{obs_count, obs_observe, MetricsRegistry};
@@ -216,7 +219,16 @@ pub struct Engine {
     cluster: Cluster,
     network: FluidNetwork,
     programs: Vec<Program>,
-    governors: Vec<Box<dyn Governor>>,
+    /// The run's strategy, driven through the [`ClusterController`]
+    /// callbacks. Classic per-node governors arrive wrapped in
+    /// [`PerNodeGovernors`]; cluster-level strategies (power caps) see
+    /// cross-node state through the runtime hooks.
+    controller: Box<dyn ClusterController>,
+    /// Cached [`ClusterController::wants_runtime_events`] so per-node
+    /// controllers pay one bool test per hook site, nothing more.
+    controller_events: bool,
+    /// Reused buffer for controller decisions (drained every hook).
+    decision_buf: Vec<Decision>,
     queue: EventQueue<Event>,
     now: SimTime,
     ranks: Vec<RankRuntime>,
@@ -262,11 +274,29 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Assemble a simulation: one program and one governor per node.
+    /// Assemble a simulation: one program and one governor per node. The
+    /// governors run under a [`PerNodeGovernors`] controller — the same
+    /// dispatch path every strategy uses.
     pub fn new(
         cluster: Cluster,
         programs: Vec<Program>,
         governors: Vec<Box<dyn Governor>>,
+        config: EngineConfig,
+    ) -> Self {
+        assert_eq!(governors.len(), cluster.len(), "one governor per node");
+        Self::with_controller(
+            cluster,
+            programs,
+            Box::new(PerNodeGovernors::new(governors)),
+            config,
+        )
+    }
+
+    /// Assemble a simulation driven by a [`ClusterController`].
+    pub fn with_controller(
+        cluster: Cluster,
+        programs: Vec<Program>,
+        controller: Box<dyn ClusterController>,
         config: EngineConfig,
     ) -> Self {
         assert_eq!(
@@ -274,7 +304,6 @@ impl Engine {
             cluster.len(),
             "one program per node (rank i runs on node i)"
         );
-        assert_eq!(governors.len(), cluster.len(), "one governor per node");
         let n = cluster.len();
         let mut network =
             FluidNetwork::with_topology(cluster.network().clone(), n, &config.topology);
@@ -290,11 +319,14 @@ impl Engine {
         };
         let config_metrics = config.metrics;
         let config_causal = config.causal;
+        let controller_events = controller.wants_runtime_events();
         Engine {
             config,
             network,
             programs,
-            governors,
+            controller,
+            controller_events,
+            decision_buf: Vec::new(),
             // A rank contributes at most a handful of concurrently pending
             // events; pre-size the queue so steady state never reallocates.
             queue: EventQueue::with_capacity(16 * n + 16),
@@ -361,14 +393,15 @@ impl Engine {
     /// Run to completion and report.
     pub fn run(mut self) -> RunResult {
         let n = self.cluster.len();
-        // Boot: governors pick initial points instantly (pre-measurement).
+        // Boot: the controller picks initial points instantly
+        // (pre-measurement).
         for i in 0..n {
-            if let Some(target) = self.governors[i].initial(self.cluster.node(i)) {
+            if let Some(target) = self.controller.initial(i, self.cluster.nodes()) {
                 self.cluster
                     .node_mut(i)
                     .force_operating_point(SimTime::ZERO, target);
             }
-            if let Some(interval) = self.governors[i].poll_interval() {
+            if let Some(interval) = self.controller.poll_interval(i) {
                 self.queue
                     .push(SimTime::ZERO + interval, Event::GovernorTick(i));
             }
@@ -661,12 +694,14 @@ impl Engine {
                             .node_mut(r)
                             .set_activity(self.now, CpuActivity::BusyWait);
                         self.causal_open_wait(r);
+                        self.controller_wait_begin(r);
                         return;
                     }
                 }
                 Op::SetSpeed(req) => {
                     let decision =
-                        self.governors[r].on_app_request(self.now, self.cluster.node(r), req);
+                        self.controller
+                            .on_app_request(self.now, r, self.cluster.nodes(), req);
                     if decision.is_some() {
                         obs_count!(self.metrics, "engine.dvfs.decisions", 1);
                     }
@@ -689,10 +724,16 @@ impl Engine {
                 Op::PhaseBegin(name) => {
                     self.trace
                         .record(self.now, r, TraceKind::PhaseBegin, TraceDetail::Phase(name));
+                    if self.controller_phase(r, name, true) {
+                        return;
+                    }
                 }
                 Op::PhaseEnd(name) => {
                     self.trace
                         .record(self.now, r, TraceKind::PhaseEnd, TraceDetail::Phase(name));
+                    if self.controller_phase(r, name, false) {
+                        return;
+                    }
                 }
             }
         }
@@ -792,6 +833,7 @@ impl Engine {
             .node_mut(r)
             .set_activity(self.now, CpuActivity::BusyWait);
         self.causal_open_wait(r);
+        self.controller_wait_begin(r);
     }
 
     fn on_wait_block(&mut self, r: Rank) {
@@ -828,7 +870,9 @@ impl Engine {
                 self.queue.cancel(ev);
             }
             self.causal_close_wait(r, cause);
-            self.execute_next(r);
+            if !self.controller_wait_end(r) {
+                self.execute_next(r);
+            }
         }
     }
 
@@ -852,7 +896,9 @@ impl Engine {
                 self.queue.cancel(ev);
             }
             self.causal_close_wait(r, cause);
-            self.execute_next(r);
+            if !self.controller_wait_end(r) {
+                self.execute_next(r);
+            }
         }
     }
 
@@ -1199,15 +1245,114 @@ impl Engine {
         if self.finished == self.cluster.len() {
             return;
         }
-        let decision = self.governors[node].on_tick(self.now, self.cluster.node(node));
+        let decision = self
+            .controller
+            .on_tick(self.now, node, self.cluster.nodes());
         if let Some(target) = decision {
             obs_count!(self.metrics, "engine.dvfs.decisions", 1);
             self.request_transition(node, target);
         }
-        if let Some(interval) = self.governors[node].poll_interval() {
+        if let Some(interval) = self.controller.poll_interval(node) {
             self.queue
                 .push(self.now + interval, Event::GovernorTick(node));
         }
+    }
+
+    // ----- cluster-controller runtime hooks --------------------------------
+    //
+    // Delivered only when the controller asked for runtime events; the
+    // per-node path (every classic strategy) pays one bool test per site.
+    // All hooks run on the sequential dispatch path in (time, seq) event
+    // order, so controller state — and therefore every decision — is
+    // bit-identical at any shard count.
+
+    /// `r` just blocked in communication; a runtime controller may react.
+    fn controller_wait_begin(&mut self, r: Rank) {
+        if !self.controller_events {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.decision_buf);
+        self.controller
+            .on_wait_begin(self.now, r, self.cluster.nodes(), &mut buf);
+        self.decision_buf = buf;
+        obs_count!(self.metrics, "controller.wait_events", 1);
+        self.apply_decisions(None);
+    }
+
+    /// `r` was just released from its wait (the causal record is already
+    /// closed). Returns true when a controller decision stalled `r` into
+    /// a transition — the caller must then skip resuming it; the `Resume`
+    /// queued here continues it once the new frequency lands.
+    fn controller_wait_end(&mut self, r: Rank) -> bool {
+        if !self.controller_events {
+            return false;
+        }
+        let mut buf = std::mem::take(&mut self.decision_buf);
+        self.controller
+            .on_wait_end(self.now, r, self.cluster.nodes(), &mut buf);
+        self.decision_buf = buf;
+        obs_count!(self.metrics, "controller.wait_events", 1);
+        self.apply_decisions(Some(r))
+    }
+
+    /// `r` crossed a phase marker. Same stall contract as wait end.
+    fn controller_phase(&mut self, r: Rank, name: &'static str, begin: bool) -> bool {
+        if !self.controller_events {
+            return false;
+        }
+        let mut buf = std::mem::take(&mut self.decision_buf);
+        self.controller
+            .on_phase(self.now, r, name, begin, self.cluster.nodes(), &mut buf);
+        self.decision_buf = buf;
+        self.apply_decisions(Some(r))
+    }
+
+    /// A sample row was just recorded; the controller may replan. Sample
+    /// instants are the natural cap-enforcement points: every transition
+    /// granted here settles within the ~10 µs hardware latency, long
+    /// before the next sample reads power.
+    fn controller_sample(&mut self) {
+        if !self.controller_events {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.decision_buf);
+        self.controller
+            .on_sample(self.now, self.cluster.nodes(), &mut buf);
+        self.decision_buf = buf;
+        obs_count!(self.metrics, "controller.samples", 1);
+        self.apply_decisions(None);
+    }
+
+    /// Apply buffered controller decisions through the normal transition
+    /// path — latency, transition energy, and fault injection included.
+    /// When a nonzero-latency transition lands on `resuming` (the rank
+    /// the caller is about to continue), the rank is stalled exactly like
+    /// an app-directed `SetSpeed` and `true` is returned so the caller
+    /// leaves it parked until the transition completes.
+    fn apply_decisions(&mut self, resuming: Option<Rank>) -> bool {
+        if self.decision_buf.is_empty() {
+            return false;
+        }
+        let mut decisions = std::mem::take(&mut self.decision_buf);
+        let mut stalled = false;
+        for d in decisions.drain(..) {
+            obs_count!(self.metrics, "controller.decisions", 1);
+            let lat = self.request_transition(d.node, d.target);
+            if !lat.is_zero() && resuming == Some(d.node) {
+                obs_count!(self.metrics, "controller.stalls", 1);
+                self.ranks[d.node].state = RState::Stalled;
+                self.switch_bucket(d.node, Bucket::Transition);
+                self.cluster
+                    .node_mut(d.node)
+                    .set_activity(self.now, CpuActivity::Halt);
+                // TransitionDone was queued first, so at the tied
+                // timestamp the new frequency applies before resume.
+                self.queue.push(self.now + lat, Event::Resume(d.node));
+                stalled = true;
+            }
+        }
+        self.decision_buf = decisions;
+        stalled
     }
 
     // ----- sampling --------------------------------------------------------
@@ -1250,6 +1395,7 @@ impl Engine {
         if let Some(interval) = self.config.sample_interval {
             self.queue.push(self.now + interval, Event::Sample);
         }
+        self.controller_sample();
     }
 
     /// One node's battery reading for the current sample row, with the

@@ -66,6 +66,9 @@ pub use config::{EngineConfig, MsgCostModel, WaitPolicy};
 pub use engine::Engine;
 pub use program::{Op, Program, ProgramBuilder, Rank, Tag};
 pub use result::{RankBreakdown, RunResult, SampleRow};
+// The cluster-level strategy layer the engine drives (dvfs crate): one
+// controller per run, classic per-node governors wrapped under it.
+pub use dvfs::{CapPolicy, ClusterController, Decision, PerNodeGovernors, PowerCapController};
 // Causal-observability types: the log the engine records behind
 // [`EngineConfig::causal`] (sim-core) and the attribution summary the
 // obs solver derives from it at finalize, both carried on [`RunResult`].

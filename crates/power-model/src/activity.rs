@@ -109,6 +109,19 @@ impl ActivityFactors {
         );
     }
 
+    /// The largest factor any state (or compute blend) can reach — the
+    /// worst-case dynamic multiplier a power-cap controller must assume
+    /// when it budgets a node without knowing what the node will run.
+    /// Blends are convex combinations of `active` and `l2_stall`, so the
+    /// maximum over the five fields bounds every reachable factor.
+    pub fn max_factor(&self) -> f64 {
+        self.active
+            .max(self.mem_stall)
+            .max(self.busy_wait)
+            .max(self.halt)
+            .max(self.l2_stall)
+    }
+
     /// Effective dynamic-power factor of a compute segment that spends
     /// `cpu_cycles` executing and `l2_cycles` waiting on the on-die L2
     /// (both frequency-scaled): the cycle-weighted blend of `active` and

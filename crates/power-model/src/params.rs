@@ -112,6 +112,22 @@ impl NodePowerParams {
             + if nic_active { self.nic_active_w } else { 0.0 }
     }
 
+    /// Worst-case whole-node power at `op`, watts: base plus CPU dynamic
+    /// power at the largest activity factor any state can reach, plus
+    /// static power, plus memory and NIC draw both active. A cluster
+    /// power-cap controller that budgets `max_node_power_w` per node holds
+    /// its cap at every instant regardless of what the nodes execute —
+    /// measured power can only come in at or under this bound.
+    pub fn max_node_power_w(&self, op: OperatingPoint) -> f64 {
+        self.base_w
+            + self
+                .cpu
+                .dynamic_power_with_factor(op, self.cpu.activity.max_factor())
+            + self.cpu.static_power(op)
+            + self.mem_active_w
+            + self.nic_active_w
+    }
+
     /// Sanity-check every parameter; used by the cluster builder so bad
     /// calibration constants fail fast.
     pub fn validate(&self) {
@@ -142,6 +158,22 @@ mod tests {
 
     fn bottom() -> OperatingPoint {
         DvfsLadder::pentium_m_1400().point(0)
+    }
+
+    #[test]
+    fn max_node_power_bounds_every_state() {
+        let node = NodePowerParams::inspiron_8600();
+        for op in [bottom(), top()] {
+            let cap = node.max_node_power_w(op);
+            for a in CpuActivity::ALL {
+                for mem in [false, true] {
+                    for nic in [false, true] {
+                        let p = node.node_power(op, a, mem, nic);
+                        assert!(p <= cap + 1e-12, "{a:?} mem={mem} nic={nic}: {p} > {cap}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Power-cap acceptance benchmark: a load-imbalanced 4-rank FT run
+//! (rank 0 slowed 5x) under an 80 W cluster budget, comparing the
+//! redistribute and uniform cap policies against every uniform
+//! `StaticMhz` point that fits the same budget under worst-case
+//! accounting.
+//!
+//! Asserts the PR's acceptance criterion — redistribution achieves
+//! strictly better weighted ED^2P than the best cap-feasible uniform
+//! static — and emits the numbers as a JSON report on stdout;
+//! `scripts/bench.sh cap` captures it into `BENCH_PR8.json`:
+//!
+//! ```sh
+//! cargo run --release --example bench_powercap
+//! ```
+
+use cluster_sim::NodeConfig;
+use edp_metrics::{weighted_ed2p, DELTA_HPC};
+use pwrperf::{
+    power_cap_default_sample, CapPolicy, DvsStrategy, EngineConfig, Experiment, FaultSpec,
+    RunResult, Workload,
+};
+
+const RANKS: usize = 4;
+const CAP_W: u32 = 80;
+const FAULTS: &str = "slow:0:5.0";
+
+fn run(strategy: DvsStrategy) -> RunResult {
+    let engine = EngineConfig {
+        sample_interval: Some(power_cap_default_sample()),
+        faults: FaultSpec::parse(FAULTS).expect("valid fault spec"),
+        ..EngineConfig::default()
+    };
+    Experiment::new(Workload::ft_test(RANKS), strategy)
+        .with_engine(engine)
+        .run()
+}
+
+fn peak_sampled_w(result: &RunResult) -> f64 {
+    result
+        .samples
+        .iter()
+        .map(|s| s.node_power_w.iter().sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let base = run(DvsStrategy::StaticMhz(1400));
+    let (e0, d0) = (base.total_energy_j(), base.duration_secs());
+    let uncapped_peak = peak_sampled_w(&base);
+    assert!(uncapped_peak > CAP_W as f64, "the cap must bind");
+
+    let wed2p =
+        |r: &RunResult| weighted_ed2p(r.total_energy_j() / e0, r.duration_secs() / d0, DELTA_HPC);
+
+    let config = NodeConfig::inspiron_8600();
+    let mut static_rows = Vec::new();
+    let mut best_uniform_static = f64::INFINITY;
+    for point in config.ladder.points() {
+        let worst_case = RANKS as f64 * config.power.max_node_power_w(*point);
+        if worst_case > CAP_W as f64 {
+            continue;
+        }
+        let r = run(DvsStrategy::StaticMhz(point.mhz()));
+        let w = wed2p(&r);
+        best_uniform_static = best_uniform_static.min(w);
+        static_rows.push(format!(
+            "    {{ \"mhz\": {}, \"worst_case_w\": {worst_case:.1}, \"wed2p\": {w:.4} }}",
+            point.mhz()
+        ));
+    }
+    assert!(!static_rows.is_empty(), "no ladder point fits the budget");
+
+    let uniform = run(DvsStrategy::PowerCap {
+        watts: CAP_W,
+        policy: CapPolicy::Uniform,
+    });
+    let redist = run(DvsStrategy::PowerCap {
+        watts: CAP_W,
+        policy: CapPolicy::Redistribute,
+    });
+    let (w_uniform, w_redist) = (wed2p(&uniform), wed2p(&redist));
+    let (p_uniform, p_redist) = (peak_sampled_w(&uniform), peak_sampled_w(&redist));
+    assert!(p_uniform <= CAP_W as f64 + 1e-9, "uniform breached the cap");
+    assert!(
+        p_redist <= CAP_W as f64 + 1e-9,
+        "redistribute breached the cap"
+    );
+    assert!(
+        w_redist < best_uniform_static,
+        "redistribute {w_redist:.4} must beat best uniform static {best_uniform_static:.4}"
+    );
+
+    println!("{{");
+    println!("  \"workload\": \"ft-test4\",");
+    println!("  \"faults\": \"{FAULTS}\",");
+    println!("  \"cap_watts\": {CAP_W},");
+    println!("  \"uncapped_peak_w\": {uncapped_peak:.1},");
+    println!("  \"delta\": {DELTA_HPC},");
+    println!("  \"feasible_uniform_statics\": [");
+    println!("{}", static_rows.join(",\n"));
+    println!("  ],");
+    println!("  \"best_uniform_static_wed2p\": {best_uniform_static:.4},");
+    println!(
+        "  \"uniform_policy\": {{ \"wed2p\": {w_uniform:.4}, \"peak_sampled_w\": {p_uniform:.1} }},"
+    );
+    println!(
+        "  \"redistribute_policy\": {{ \"wed2p\": {w_redist:.4}, \"peak_sampled_w\": {p_redist:.1} }},"
+    );
+    println!("  \"cap_held\": true,");
+    println!("  \"redistribute_beats_best_uniform\": true");
+    println!("}}");
+}

@@ -19,16 +19,29 @@
 #
 # Usage: scripts/bench.sh [output.json]    (default BENCH_PR7.json)
 #        scripts/bench.sh scale [output.json]   (default BENCH_PR6.json)
+#        scripts/bench.sh cap [output.json]     (default BENCH_PR8.json)
 #
 # The `scale` mode runs examples/bench_scale.rs instead: one class-C FT
 # iteration at 256/1024/4096 ranks on an oversubscribed fat-tree, each
 # rank count at 1/2/8 intra-run shards, asserting the RunResults are
 # bit-identical and reporting events/sec per configuration.
 #
+# The `cap` mode runs examples/bench_powercap.rs: the power-cap
+# acceptance benchmark (imbalanced ft-test4 under an 80 W budget),
+# asserting the cap held and that the redistribute policy beats the
+# best cap-feasible uniform static on weighted ED^2P.
+#
 # Runs are sequential on an otherwise idle machine; prefer the median
 # over the mean, and compare medians across trees measured back-to-back.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "cap" ]]; then
+  OUT="${2:-BENCH_PR8.json}"
+  cargo build --release -q --example bench_powercap
+  ./target/release/examples/bench_powercap | tee "$OUT"
+  exit 0
+fi
 
 if [[ "${1:-}" == "scale" ]]; then
   OUT="${2:-BENCH_PR6.json}"

@@ -180,3 +180,28 @@ fn analyze_table_matches_golden_bytes() {
          (BLESS=1 cargo test --test causal to re-bless a deliberate change)"
     );
 }
+
+/// A record that never carried a causal log — a plain run, round-tripped
+/// through the store codec the way `sweep --store` persists it — must
+/// produce the typed "causal log absent" error from the analysis entry
+/// point, never a panic.
+#[test]
+fn causal_free_record_yields_a_typed_absent_error() {
+    use pwrperf::{decode_run_result, encode_run_result, try_analyze_text, AnalyzeError};
+    let workload = Workload::ft_test(4);
+    let strategy = DvsStrategy::StaticMhz(1400);
+    let plain = Experiment::new(workload.clone(), strategy).run();
+    let loaded = decode_run_result(&encode_run_result(&plain)).expect("codec round-trip");
+    assert!(loaded.causal.is_none() && loaded.attribution.is_none());
+    let err = try_analyze_text(&workload.label(), &strategy.label(), &loaded)
+        .expect_err("causal-free record must not analyze");
+    assert_eq!(err, AnalyzeError::CausalAbsent);
+    assert!(
+        err.to_string().contains("causal log absent"),
+        "error must name the failure: {err}"
+    );
+
+    // And the causal run itself analyzes fine through the same path.
+    let causal = causal_run(workload.clone(), strategy);
+    assert!(try_analyze_text(&workload.label(), &strategy.label(), &causal).is_ok());
+}

@@ -13,8 +13,9 @@ use net_model::NetworkParams;
 use proptest::prelude::*;
 use pwrperf::store::{canonical_experiment_bytes, fingerprint_parts};
 use pwrperf::{
-    decode_run_result, encode_run_result, fingerprint_experiment, DvsStrategy, EngineConfig,
-    Experiment, Fault, FaultSpec, StoreError, Sweep, SweepStore, WaitPolicy, Workload,
+    decode_run_result, encode_run_result, fingerprint_experiment, CapPolicy, DvsStrategy,
+    EngineConfig, Experiment, Fault, FaultSpec, StoreError, Sweep, SweepStore, WaitPolicy,
+    Workload,
 };
 use sim_core::SimDuration;
 
@@ -49,7 +50,7 @@ fn fingerprint_is_stable_across_processes() {
     let exp = Experiment::new(Workload::ft_test(4), DvsStrategy::StaticMhz(1400));
     assert_eq!(
         fingerprint_experiment(&exp).to_hex(),
-        "901d0e7ddfd7e42b15add5b6d5cee3c3"
+        "9060b427c316e0e45d9e6031da45fb7d"
     );
 }
 
@@ -179,6 +180,38 @@ fn any_single_field_edit_changes_the_key() {
     };
     variants.push(("fat-tree oversub", e));
 
+    // The power-cap controller: budget and division policy both key.
+    variants.push((
+        "power cap strategy",
+        Experiment {
+            strategy: DvsStrategy::PowerCap {
+                watts: 120,
+                policy: CapPolicy::Uniform,
+            },
+            ..base_experiment()
+        },
+    ));
+    variants.push((
+        "power cap watts",
+        Experiment {
+            strategy: DvsStrategy::PowerCap {
+                watts: 110,
+                policy: CapPolicy::Uniform,
+            },
+            ..base_experiment()
+        },
+    ));
+    variants.push((
+        "power cap policy",
+        Experiment {
+            strategy: DvsStrategy::PowerCap {
+                watts: 120,
+                policy: CapPolicy::Redistribute,
+            },
+            ..base_experiment()
+        },
+    ));
+
     let keys: Vec<(&str, String)> = variants
         .iter()
         .map(|(label, e)| (*label, fingerprint_experiment(e).to_hex()))
@@ -189,6 +222,40 @@ fn any_single_field_edit_changes_the_key() {
         keys.len(),
         "fingerprint collision among single-field edits: {keys:#?}"
     );
+}
+
+/// Regression (the requested-vs-resolved frequency bug): `StaticMhz(5000)`
+/// clamps to the 1400 MHz ladder top, so it must hit the cache entry a
+/// `StaticMhz(1400)` sweep filled — one record, zero re-execution.
+#[test]
+fn requests_resolving_to_the_same_point_share_a_cache_entry() {
+    let dir = tmp_dir("resolved-share");
+    let mut store = SweepStore::open(&dir).unwrap();
+    let workloads = vec![Workload::ft_test(2)];
+
+    let canonical = Sweep::grid(
+        workloads.clone(),
+        vec![DvsStrategy::StaticMhz(1400)],
+        Vec::new(),
+        Vec::new(),
+    );
+    let cold = canonical.run(&mut store, Some(1)).unwrap();
+    assert_eq!(cold.report.engine_runs, 1);
+
+    let requested = Sweep::grid(
+        workloads,
+        vec![DvsStrategy::StaticMhz(5000)],
+        Vec::new(),
+        Vec::new(),
+    );
+    let warm = requested.run(&mut store, Some(1)).unwrap();
+    assert_eq!(
+        warm.report.engine_runs, 0,
+        "an off-ladder request resolving to a cached point must not re-run"
+    );
+    assert_eq!(warm.report.cache_hits, 1);
+    assert_eq!(warm.results, cold.results);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn ring_programs(cost: MsgCostModel) -> Vec<Program> {
