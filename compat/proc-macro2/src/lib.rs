@@ -318,6 +318,46 @@ impl<'a> IntoIterator for &'a TokenStream {
     }
 }
 
+impl fmt::Display for TokenTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenTree::Group(g) => g.fmt(f),
+            TokenTree::Ident(i) => i.fmt(f),
+            TokenTree::Punct(p) => p.fmt(f),
+            TokenTree::Literal(l) => l.fmt(f),
+        }
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (open, close) = match self.delimiter {
+            Delimiter::Parenthesis => ("(", ")"),
+            Delimiter::Bracket => ("[", "]"),
+            Delimiter::Brace => ("{ ", " }"),
+            Delimiter::None => ("", ""),
+        };
+        write!(f, "{open}{}{close}", self.stream)
+    }
+}
+
+impl fmt::Display for TokenStream {
+    /// Render the tokens back to readable (not byte-faithful) source: one
+    /// space between tokens, except after a `Joint` punct so multi-char
+    /// operators (`->`, `::`, `..=`) and lifetimes (`'a`) stay glued.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut glue_next = true; // no leading space
+        for tree in &self.trees {
+            if !glue_next {
+                f.write_str(" ")?;
+            }
+            tree.fmt(f)?;
+            glue_next = matches!(tree, TokenTree::Punct(p) if p.spacing() == Spacing::Joint);
+        }
+        Ok(())
+    }
+}
+
 /// A lexing failure, with the position it occurred at.
 #[derive(Debug, Clone)]
 pub struct LexError {
@@ -1044,5 +1084,18 @@ mod tests {
     fn inner_attribute_is_not_a_shebang() {
         let ts = lex("#![allow(dead_code)]\nfn f() {}");
         assert_eq!(kinds(&ts)[0], "P:#");
+    }
+
+    #[test]
+    fn display_renders_readable_source() {
+        // Round-trip is readable, not byte-faithful: joint puncts stay
+        // glued so operators and lifetimes survive, groups keep delimiters.
+        let ts = lex("fn f(&'a self, x_w: f64) -> Vec<u64> { x_w as u64 }");
+        assert_eq!(
+            ts.to_string(),
+            "fn f (&'a self , x_w : f64) -> Vec < u64 > { x_w as u64 }"
+        );
+        let ts = lex("a::b(c[0], 1.5e3)");
+        assert_eq!(ts.to_string(), "a :: b (c [0] , 1.5e3)");
     }
 }

@@ -94,6 +94,27 @@ pub enum Visibility {
     Inherited,
 }
 
+/// How a method takes `self` (extension over the real syn API, which
+/// models this as a full `FnArg::Receiver` node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receiver {
+    /// `&self` (with or without a lifetime).
+    Ref,
+    /// `&mut self`.
+    RefMut,
+    /// `self` by value.
+    Owned,
+    /// `mut self` by value.
+    OwnedMut,
+}
+
+impl Receiver {
+    /// True for the receivers that let the method mutate `self`.
+    pub fn is_mut(self) -> bool {
+        matches!(self, Receiver::RefMut | Receiver::OwnedMut)
+    }
+}
+
 /// A function signature: `fn name(<inputs>) -> <output>`.
 #[derive(Debug, Clone)]
 pub struct Signature {
@@ -102,6 +123,40 @@ pub struct Signature {
     pub inputs: TokenStream,
     /// Tokens after `->` (empty stream when the return type is `()`).
     pub output: TokenStream,
+}
+
+impl Signature {
+    /// The method's `self` receiver, if its first parameter is one.
+    /// Handles `self`, `mut self`, `&self`, `&mut self`, and `&'a self`;
+    /// a `self: Pin<...>` typed receiver reports its by-value mode.
+    pub fn receiver(&self) -> Option<Receiver> {
+        let first = split_top_level_commas(&self.inputs).into_iter().next()?;
+        let mut saw_amp = false;
+        let mut saw_mut = false;
+        let mut after_tick = false;
+        for t in &first {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '&' => saw_amp = true,
+                TokenTree::Punct(p) if p.as_char() == '\'' => after_tick = true,
+                TokenTree::Ident(i) if after_tick => {
+                    // The lifetime name; `i` is not the receiver.
+                    let _ = i;
+                    after_tick = false;
+                }
+                TokenTree::Ident(i) if *i == "mut" => saw_mut = true,
+                TokenTree::Ident(i) if *i == "self" => {
+                    return Some(match (saw_amp, saw_mut) {
+                        (true, true) => Receiver::RefMut,
+                        (true, false) => Receiver::Ref,
+                        (false, true) => Receiver::OwnedMut,
+                        (false, false) => Receiver::Owned,
+                    });
+                }
+                _ => return None,
+            }
+        }
+        None
+    }
 }
 
 /// A `fn` item (free function, method, or trait method).
@@ -170,6 +225,96 @@ pub struct ItemImpl {
     pub span: Span,
 }
 
+impl ItemImpl {
+    /// The ident of the implemented-for type: `Foo` in `impl Foo`,
+    /// `impl<T> Foo<T>`, and `impl Trait for Foo`. For path types the last
+    /// segment before any generics is returned.
+    pub fn self_ty_ident(&self) -> Option<String> {
+        let (trait_part, self_part) = self.split_header();
+        let _ = trait_part;
+        last_path_segment(&self_part)
+    }
+
+    /// For `impl Trait for Type`, the trait's last path segment
+    /// (`ClusterController` in `impl dvfs::ClusterController for X`);
+    /// `None` for inherent impls.
+    pub fn trait_ident(&self) -> Option<String> {
+        let (trait_part, _) = self.split_header();
+        last_path_segment(&trait_part?)
+    }
+
+    /// Split the header into (trait tokens, self-type tokens). Leading
+    /// generics and a trailing `where` clause are stripped.
+    fn split_header(&self) -> (Option<Vec<TokenTree>>, Vec<TokenTree>) {
+        let tokens = self.header.tokens();
+        let mut i = 0usize;
+        // Strip leading `<...>` generics (angle matching; `->` never
+        // appears before the generic run closes at depth 0).
+        if matches!(tokens.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            let mut depth = 0i32;
+            let mut prev_dash = false;
+            while i < tokens.len() {
+                if let TokenTree::Punct(p) = &tokens[i] {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' && !prev_dash {
+                        depth -= 1;
+                    }
+                    prev_dash = c == '-';
+                } else {
+                    prev_dash = false;
+                }
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        // Split on a top-level `for` keyword (skipping HRTB `for<...>`)
+        // and stop at `where`.
+        let mut trait_part: Option<Vec<TokenTree>> = None;
+        let mut current = Vec::new();
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Ident(id) if *id == "where" => break,
+                TokenTree::Ident(id)
+                    if *id == "for"
+                        && !matches!(
+                            tokens.get(i + 1),
+                            Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                        ) =>
+                {
+                    trait_part = Some(std::mem::take(&mut current));
+                    i += 1;
+                }
+                t => {
+                    current.push(t.clone());
+                    i += 1;
+                }
+            }
+        }
+        (trait_part, current)
+    }
+}
+
+/// The last `::`-separated path segment before any `<` generics:
+/// `dvfs::cluster::Decision<T>` -> `Decision`. Leading `&`/`dyn`/`mut`
+/// are skipped.
+fn last_path_segment(tokens: &[TokenTree]) -> Option<String> {
+    let mut last = None;
+    for t in tokens {
+        match t {
+            TokenTree::Ident(i) if *i == "dyn" || *i == "mut" => {}
+            TokenTree::Ident(i) => last = Some(i.to_string()),
+            TokenTree::Punct(p) if p.as_char() == ':' || p.as_char() == '&' => {}
+            TokenTree::Punct(p) if p.as_char() == '<' => break,
+            _ => break,
+        }
+    }
+    last
+}
+
 /// A `trait` definition; `header` is everything between `trait` and the
 /// body (name, generics, supertraits).
 #[derive(Debug, Clone)]
@@ -179,6 +324,16 @@ pub struct ItemTrait {
     pub header: TokenStream,
     pub items: Vec<Item>,
     pub span: Span,
+}
+
+impl ItemTrait {
+    /// The trait's name: the first ident of the header.
+    pub fn ident(&self) -> Option<String> {
+        match self.header.tokens().first() {
+            Some(TokenTree::Ident(i)) => Some(i.to_string()),
+            _ => None,
+        }
+    }
 }
 
 /// Any item the shallow parser models, plus `Verbatim` for the rest
@@ -927,6 +1082,29 @@ pub fn split_top_level_commas(stream: &TokenStream) -> Vec<Vec<TokenTree>> {
     parts
 }
 
+/// Split a token run on top-level `;`. Inside a function body's brace
+/// group this yields statements: semicolons nested in inner groups
+/// (blocks, array types, closures' bodies) don't split because groups are
+/// single tokens. The final expression (no trailing `;`) is its own part.
+/// Extension over the real syn API, like [`split_top_level_commas`].
+pub fn split_top_level_semis(stream: &TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts = Vec::new();
+    let mut current = Vec::new();
+    for t in stream.tokens() {
+        if matches!(t, TokenTree::Punct(p) if p.as_char() == ';') {
+            if !current.is_empty() {
+                parts.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1087,6 +1265,86 @@ mod tests {
             })
             .collect();
         assert_eq!(out, "Vec<T>");
+    }
+
+    #[test]
+    fn receivers_classify_all_self_modes() {
+        let src = "impl X {
+            fn a(&self) {}
+            fn b(&mut self, v: u32) {}
+            fn c(self) {}
+            fn d(mut self) {}
+            fn e(&'a self) {}
+            fn f(x: u32) {}
+            fn g() {}
+        }";
+        let f = file(src);
+        let [Item::Impl(im)] = &f.items[..] else {
+            panic!("expected impl");
+        };
+        let rec = |i: usize| -> Option<Receiver> {
+            let Item::Fn(func) = &im.items[i] else {
+                panic!()
+            };
+            func.sig.receiver()
+        };
+        assert_eq!(rec(0), Some(Receiver::Ref));
+        assert_eq!(rec(1), Some(Receiver::RefMut));
+        assert!(rec(1).unwrap().is_mut());
+        assert_eq!(rec(2), Some(Receiver::Owned));
+        assert_eq!(rec(3), Some(Receiver::OwnedMut));
+        assert_eq!(rec(4), Some(Receiver::Ref));
+        assert_eq!(rec(5), None);
+        assert_eq!(rec(6), None);
+    }
+
+    #[test]
+    fn impl_headers_expose_trait_and_self_type() {
+        let f = file("impl ClusterController for PowerCapController { }");
+        let [Item::Impl(im)] = &f.items[..] else {
+            panic!()
+        };
+        assert_eq!(im.trait_ident().as_deref(), Some("ClusterController"));
+        assert_eq!(im.self_ty_ident().as_deref(), Some("PowerCapController"));
+
+        let f = file("impl<T: Clone> Foo<T> where T: Send { }");
+        let [Item::Impl(im)] = &f.items[..] else {
+            panic!()
+        };
+        assert_eq!(im.trait_ident(), None);
+        assert_eq!(im.self_ty_ident().as_deref(), Some("Foo"));
+
+        let f = file("impl std::fmt::Display for net::Flow<'_> { }");
+        let [Item::Impl(im)] = &f.items[..] else {
+            panic!()
+        };
+        assert_eq!(im.trait_ident().as_deref(), Some("Display"));
+        assert_eq!(im.self_ty_ident().as_deref(), Some("Flow"));
+    }
+
+    #[test]
+    fn trait_header_exposes_name() {
+        let f = file("pub trait Governor: Send { fn decide(&mut self); }");
+        let [Item::Trait(tr)] = &f.items[..] else {
+            panic!()
+        };
+        assert_eq!(tr.ident().as_deref(), Some("Governor"));
+    }
+
+    #[test]
+    fn statements_split_on_top_level_semis_only() {
+        let f = file("fn f() { let a = [0u8; 4]; if x { y(); } let b = a; b }");
+        let [Item::Fn(func)] = &f.items[..] else {
+            panic!()
+        };
+        let body = func.body.as_ref().unwrap();
+        let stmts = split_top_level_semis(body.stream());
+        // `[0u8; 4]` and `y();` are nested; the tail expression `b` is its
+        // own statement. `if x { ... } let b` lands in one part because the
+        // if-block has no separating semi — acceptable at this altitude.
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(&stmts[0][0], TokenTree::Ident(i) if *i == "let"));
+        assert!(matches!(&stmts[2][0], TokenTree::Ident(i) if *i == "b"));
     }
 
     #[test]

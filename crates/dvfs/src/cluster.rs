@@ -150,6 +150,17 @@ pub trait ClusterController {
 
     /// Periodic power sample about to be taken across the cluster.
     fn on_sample(&mut self, _now: SimTime, _nodes: &[Node], _out: &mut Vec<Decision>) {}
+
+    /// Digest of the controller's mutable state for the engine's
+    /// determinism sanitizer (`simsan` builds): two runs that agree on
+    /// every checkpoint must have controllers in identical states, so
+    /// stateful controllers fold their decision-relevant fields in here.
+    /// Stateless controllers keep the default. Not feature-gated: the
+    /// trait contract must not change shape with a downstream crate's
+    /// feature set, and an unused `&self -> u64` default costs nothing.
+    fn state_digest(&self) -> u64 {
+        0
+    }
 }
 
 /// The classic per-node strategies under the controller interface: one
@@ -400,6 +411,38 @@ impl ClusterController for PowerCapController {
         self.alloc = self.plan(nodes.len());
         self.emit(nodes, out);
     }
+
+    fn state_digest(&self) -> u64 {
+        // Every field a replan reads: cap, policy, the allocation being
+        // enforced, and the wait-fairness bookkeeping. `p_max` is derived
+        // once from static node config and never mutated, so it is
+        // covered by the fields that built it.
+        let mut h = fnv_fold(FNV_OFFSET, self.cap_w.to_bits());
+        h = fnv_fold(h, self.policy as u64);
+        for &idx in &self.alloc {
+            h = fnv_fold(h, idx as u64);
+        }
+        for &b in &self.blocked {
+            h = fnv_fold(h, u64::from(b));
+        }
+        for &w in &self.wait_total {
+            h = fnv_fold(h, w.as_ps());
+        }
+        for &s in &self.wait_since {
+            h = fnv_fold(h, s.since(SimTime::ZERO).as_ps());
+        }
+        h
+    }
+}
+
+/// FNV-1a basis for [`ClusterController::state_digest`] implementations.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold one word into an FNV-1a digest, byte by byte, little-endian.
+fn fnv_fold(h: u64, v: u64) -> u64 {
+    v.to_le_bytes()
+        .iter()
+        .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
 }
 
 #[cfg(test)]

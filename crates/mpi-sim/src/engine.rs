@@ -213,6 +213,43 @@ fn plan_compute(w: &WorkUnit, node: &Node) -> ComputePlan {
     }
 }
 
+/// Sanitizer checkpoint tags: which instant produced a digest. Folded
+/// into the hash so a stream that drops one checkpoint and gains another
+/// cannot collide back to equality.
+#[cfg(feature = "simsan")]
+const SAN_TAG_PHASE_BEGIN: u8 = 1;
+#[cfg(feature = "simsan")]
+const SAN_TAG_PHASE_END: u8 = 2;
+#[cfg(feature = "simsan")]
+const SAN_TAG_SAMPLE: u8 = 3;
+#[cfg(feature = "simsan")]
+const SAN_TAG_FINAL: u8 = 4;
+
+/// FNV-1a accumulator for sanitizer checkpoints. Not a quality hash —
+/// it is a cheap, dependency-free, platform-stable fold; the sanitizer
+/// compares full streams, so a single colliding checkpoint would also
+/// need every subsequent checkpoint to collide to mask a divergence.
+#[cfg(feature = "simsan")]
+struct SanHasher(u64);
+
+#[cfg(feature = "simsan")]
+impl SanHasher {
+    fn new() -> Self {
+        SanHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// The simulator. Construct with [`Engine::new`], run with [`Engine::run`].
 pub struct Engine {
     config: EngineConfig,
@@ -271,6 +308,13 @@ pub struct Engine {
     /// an empty slot — always the case at `shards <= 1`) falls back to
     /// the identical inline computation.
     plan_cache: Vec<Option<(usize, ComputePlan)>>,
+    /// Determinism-sanitizer hash stream (`simsan` builds only): one
+    /// digest of observable engine state per checkpoint — phase
+    /// boundaries, sample instants, and the pre-finalize instant. The
+    /// stream must be bit-identical at every shard count; see
+    /// [`Engine::run_sanitized`].
+    #[cfg(feature = "simsan")]
+    san_hashes: Vec<u64>,
 }
 
 impl Engine {
@@ -387,11 +431,39 @@ impl Engine {
             last_battery: vec![None; n],
             completed_buf: Vec::new(),
             plan_cache: vec![None; n],
+            #[cfg(feature = "simsan")]
+            san_hashes: Vec::new(),
         }
     }
 
     /// Run to completion and report.
     pub fn run(mut self) -> RunResult {
+        self.drive();
+        self.finalize()
+    }
+
+    /// Run to completion under the determinism sanitizer: alongside the
+    /// normal [`RunResult`], return the checkpoint hash stream — one
+    /// digest of observable engine state (clock, queue counters, rank
+    /// clocks, metered energy, battery registers, controller digest) per
+    /// phase boundary, sample instant, and the pre-finalize instant.
+    ///
+    /// The hard guarantee backing sharded planning and snapshot/replay:
+    /// the stream is bit-identical at every shard count, not just the
+    /// final result — a shard-order divergence that later cancels out
+    /// still trips the sanitizer at the first checkpoint it perturbs.
+    #[cfg(feature = "simsan")]
+    pub fn run_sanitized(mut self) -> (RunResult, Vec<u64>) {
+        self.drive();
+        self.san_checkpoint(SAN_TAG_FINAL);
+        let hashes = std::mem::take(&mut self.san_hashes);
+        (self.finalize(), hashes)
+    }
+
+    /// Boot the controller and pump the event loop until every rank
+    /// retires (the shared body of [`Engine::run`] and
+    /// [`Engine::run_sanitized`]).
+    fn drive(&mut self) {
         let n = self.cluster.len();
         // Boot: the controller picks initial points instantly
         // (pre-measurement).
@@ -433,7 +505,6 @@ impl Engine {
             self.finished, n,
             "deadlock: events exhausted with ranks pending"
         );
-        self.finalize()
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -724,6 +795,8 @@ impl Engine {
                 Op::PhaseBegin(name) => {
                     self.trace
                         .record(self.now, r, TraceKind::PhaseBegin, TraceDetail::Phase(name));
+                    #[cfg(feature = "simsan")]
+                    self.san_checkpoint(SAN_TAG_PHASE_BEGIN);
                     if self.controller_phase(r, name, true) {
                         return;
                     }
@@ -731,6 +804,8 @@ impl Engine {
                 Op::PhaseEnd(name) => {
                     self.trace
                         .record(self.now, r, TraceKind::PhaseEnd, TraceDetail::Phase(name));
+                    #[cfg(feature = "simsan")]
+                    self.san_checkpoint(SAN_TAG_PHASE_END);
                     if self.controller_phase(r, name, false) {
                         return;
                     }
@@ -1396,6 +1471,10 @@ impl Engine {
             self.queue.push(self.now + interval, Event::Sample);
         }
         self.controller_sample();
+        // After the controller replans: the digest then covers the
+        // decisions it just made, not only the state it saw.
+        #[cfg(feature = "simsan")]
+        self.san_checkpoint(SAN_TAG_SAMPLE);
     }
 
     /// One node's battery reading for the current sample row, with the
@@ -1427,6 +1506,37 @@ impl Engine {
         };
         self.last_battery[i] = Some(reading);
         reading
+    }
+
+    // ----- determinism sanitizer -------------------------------------------
+
+    /// Append one digest of observable engine state to the sanitizer
+    /// stream. Everything hashed is simulation state — simulated clock,
+    /// queue lifetime counters, per-rank program counters and activity
+    /// buckets, metered joules, battery registers, and the controller's
+    /// own digest — so two runs that agree here agree on everything the
+    /// [`RunResult`] is derived from. Host-side state (allocation
+    /// addresses, map iteration order, thread scheduling) never enters
+    /// the hash.
+    #[cfg(feature = "simsan")]
+    fn san_checkpoint(&mut self, tag: u8) {
+        let mut h = SanHasher::new();
+        h.write_u64(u64::from(tag));
+        h.write_u64(self.now.since(SimTime::ZERO).as_ps());
+        h.write_u64(self.finished as u64);
+        h.write_u64(self.queue.len() as u64);
+        h.write_u64(self.queue.pushed_total());
+        for r in &self.ranks {
+            h.write_u64(r.pc as u64);
+            h.write_u64(r.bucket as u64);
+        }
+        for i in 0..self.cluster.len() {
+            let node = self.cluster.node(i);
+            h.write_u64(node.energy(self.now).total_j().to_bits());
+            h.write_u64(node.battery_reading());
+        }
+        h.write_u64(self.controller.state_digest());
+        self.san_hashes.push(h.finish());
     }
 
     // ----- teardown --------------------------------------------------------

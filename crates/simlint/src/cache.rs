@@ -1,0 +1,233 @@
+//! Incremental lint cache (`target/simlint-cache.json`).
+//!
+//! The cache remembers, per workspace-relative file, the FNV-1a hash of
+//! its content and whether the last run attributed zero findings to it.
+//! On the next run:
+//!
+//! * **Fast path** — same rule fingerprint, identical file set and
+//!   hashes, and the previous run was completely clean: the whole run is
+//!   skipped and reports zero findings.
+//! * **Partial path** — files whose hash matches a clean entry skip the
+//!   per-file rule pass and allow hygiene. The workspace dataflow passes
+//!   (shard-purity, unit-flow, controller-discipline) still parse and
+//!   analyze *every* file: a change in one file can create a finding
+//!   located in another, so finer-grained invalidation of those passes
+//!   would be unsound.
+//!
+//! Any load failure — missing file, old format, foreign fingerprint — is
+//! a cache miss, never an error. `--no-cache` bypasses both paths.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::{Config, RULES};
+
+/// Bump when the cached semantics change so stale files self-invalidate.
+const FORMAT: u64 = 1;
+
+/// One cached file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileEntry {
+    /// FNV-1a of the file content.
+    pub hash: u64,
+    /// True when the last run attributed zero findings to this file.
+    pub clean: bool,
+}
+
+/// The whole cache document.
+#[derive(Debug, Default)]
+pub struct Cache {
+    /// Hash of everything that can change findings besides file content:
+    /// rule catalogue, scope, skip list, and `simlint.toml` text.
+    pub fingerprint: u64,
+    /// True when the last run had zero findings overall.
+    pub workspace_clean: bool,
+    pub files: BTreeMap<String, FileEntry>,
+}
+
+/// 64-bit FNV-1a.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The configuration fingerprint: any difference forces a full re-run.
+pub fn fingerprint(cfg: &Config, toml_text: &str) -> u64 {
+    let mut buf = format!("format={FORMAT};");
+    for (id, _) in RULES {
+        buf.push_str(id);
+        buf.push(';');
+    }
+    for c in &cfg.scope_crates {
+        buf.push_str(c);
+        buf.push(';');
+    }
+    for r in &cfg.skip_rules {
+        buf.push_str(r);
+        buf.push(';');
+    }
+    for r in &cfg.purity_roots {
+        buf.push_str(r);
+        buf.push(';');
+    }
+    for t in &cfg.controller_traits {
+        buf.push_str(t);
+        buf.push(';');
+    }
+    buf.push_str(toml_text);
+    fnv1a(buf.as_bytes())
+}
+
+impl Cache {
+    /// Where the cache lives under a workspace root.
+    pub fn path(root: &Path) -> PathBuf {
+        root.join("target").join("simlint-cache.json")
+    }
+
+    /// Load a cache file; `None` on any shape or read problem.
+    pub fn load(path: &Path) -> Option<Cache> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let fingerprint = u64_field(&text, "fingerprint")?;
+        let workspace_clean = bool_field(&text, "workspace_clean")?;
+        let mut files = BTreeMap::new();
+        // Entries render one per line as
+        // `    {"path": "...", "hash": "...", "clean": true}`.
+        for line in text.lines() {
+            let line = line.trim();
+            if !line.starts_with("{\"path\":") {
+                continue;
+            }
+            let path = str_field(line, "path")?;
+            let hash = u64_field(line, "hash")?;
+            let clean = bool_field(line, "clean")?;
+            files.insert(unescape(&path), FileEntry { hash, clean });
+        }
+        Some(Cache {
+            fingerprint,
+            workspace_clean,
+            files,
+        })
+    }
+
+    /// Write the cache, creating `target/` if needed. Failures are the
+    /// caller's to ignore — a missing cache only costs time.
+    pub fn store(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"fingerprint\": \"{:016x}\",", self.fingerprint);
+        let _ = writeln!(out, "  \"workspace_clean\": {},", self.workspace_clean);
+        let _ = writeln!(out, "  \"files\": [");
+        for (i, (p, e)) in self.files.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"path\": \"{}\", \"hash\": \"{:016x}\", \"clean\": {}}}{}",
+                escape(p),
+                e.hash,
+                e.clean,
+                if i + 1 == self.files.len() { "" } else { "," }
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        std::fs::write(path, out)
+    }
+}
+
+fn str_field(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = text.find(&pat)? + pat.len();
+    let end = text[start..].find('"')? + start;
+    Some(text[start..end].to_string())
+}
+
+fn u64_field(text: &str, key: &str) -> Option<u64> {
+    u64::from_str_radix(&str_field(text, key)?, 16).ok()
+}
+
+fn bool_field(text: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\": ");
+    let start = text.find(&pat)? + pat.len();
+    let rest = &text[start..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("\\\"", "\"").replace("\\\\", "\\")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_disk_format() {
+        let mut c = Cache {
+            fingerprint: 0xdead_beef,
+            workspace_clean: false,
+            files: BTreeMap::new(),
+        };
+        c.files.insert(
+            "crates/dvfs/src/cluster.rs".to_string(),
+            FileEntry {
+                hash: 42,
+                clean: true,
+            },
+        );
+        c.files.insert(
+            "crates/mpi-sim/src/engine.rs".to_string(),
+            FileEntry {
+                hash: 7,
+                clean: false,
+            },
+        );
+        let dir = std::env::temp_dir().join("simlint-cache-test");
+        let path = dir.join("simlint-cache.json");
+        c.store(&path).expect("store");
+        let back = Cache::load(&path).expect("load");
+        assert_eq!(back.fingerprint, c.fingerprint);
+        assert_eq!(back.workspace_clean, c.workspace_clean);
+        assert_eq!(back.files, c.files);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_is_a_miss_not_an_error() {
+        let dir = std::env::temp_dir().join("simlint-cache-garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("simlint-cache.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(Cache::load(&path).is_none());
+        assert!(Cache::load(&dir.join("missing.json")).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_tracks_config_and_toml() {
+        let cfg = Config::workspace_default();
+        let a = fingerprint(&cfg, "");
+        let b = fingerprint(&cfg, "[purity]\nroots = [\"f\"]\n");
+        assert_ne!(a, b);
+        let mut skipped = cfg.clone();
+        skipped.skip_rules.insert("unit-flow".to_string());
+        assert_ne!(a, fingerprint(&skipped, ""));
+    }
+}

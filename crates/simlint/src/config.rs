@@ -1,7 +1,10 @@
 //! Rule-set configuration: which crates are in scope, which files hold
-//! sanctioned escape hatches, and what the blessed unit types are.
+//! sanctioned escape hatches, what the blessed unit types are, and the
+//! dataflow settings (purity roots, controller traits) that `simlint.toml`
+//! can override.
 
 use std::collections::BTreeSet;
+use std::path::Path;
 
 /// Everything the analyzer needs to know about the workspace's conventions.
 /// [`Config::workspace_default`] encodes this repository's rules; callers
@@ -30,7 +33,29 @@ pub struct Config {
     pub measurement_crates: Vec<&'static str>,
     /// Rule ids disabled for this run.
     pub skip_rules: BTreeSet<String>,
+    /// Declared pure roots for the `shard-purity` dataflow pass: bare
+    /// names match free functions (`plan_compute`), `Type::method` forms
+    /// match inherent/trait methods. Everything transitively reachable
+    /// from a root must stay side-effect free. `simlint.toml`'s
+    /// `[purity] roots` overrides this list.
+    pub purity_roots: Vec<String>,
+    /// Trait names whose impls the `controller-discipline` family audits
+    /// (`simlint.toml`'s `[controller] traits` overrides).
+    pub controller_traits: Vec<String>,
 }
+
+/// The `ClusterController` hooks that only fire when
+/// `wants_runtime_events` returns true — and whose non-sample members may
+/// never emit `Decision`s.
+pub const CONTROLLER_RUNTIME_HOOKS: &[&str] =
+    &["on_wait_begin", "on_wait_end", "on_phase", "on_sample"];
+
+/// The runtime hooks that must *not* push decisions (decisions are legal
+/// only from sample instants — DESIGN.md §15).
+pub const CONTROLLER_NON_SAMPLE_HOOKS: &[&str] = &["on_wait_begin", "on_wait_end", "on_phase"];
+
+/// The gate method runtime hooks hide behind.
+pub const CONTROLLER_GATE: &str = "wants_runtime_events";
 
 /// The unit suffixes rule `unit-suffix-type` and `unit-mix` recognize, in
 /// longest-first order so `_mwh` wins over `_w` and `_mhz`/`_hz` resolve
@@ -116,6 +141,18 @@ pub const RULES: &[(&str, &str)] = &[
         "unused-allow",
         "a justified allow-comment that suppresses nothing",
     ),
+    (
+        "shard-purity",
+        "functions reachable from declared pure roots must not take &mut self, touch statics, use interior mutability, or call I/O/rng",
+    ),
+    (
+        "unit-flow",
+        "unit suffixes must agree across let-bindings, call arguments, and function returns",
+    ),
+    (
+        "controller-discipline",
+        "ClusterController runtime hooks must be gated behind wants_runtime_events and emit Decisions only from on_sample",
+    ),
 ];
 
 impl Config {
@@ -141,6 +178,36 @@ impl Config {
             must_use_fn_prefixes: vec!["run_batch", "aligned_"],
             measurement_crates: vec!["power-model", "powerpack"],
             skip_rules: BTreeSet::new(),
+            purity_roots: vec![
+                "plan_compute".to_string(),
+                "Engine::plan_target".to_string(),
+                "PowerCapController::plan".to_string(),
+            ],
+            controller_traits: vec!["ClusterController".to_string()],
+        }
+    }
+
+    /// The workspace defaults overlaid with `<root>/simlint.toml`, when
+    /// present. Only the dataflow sections are file-configurable; the
+    /// per-file rule plumbing stays in code.
+    pub fn load(root: &Path) -> Config {
+        let mut cfg = Config::workspace_default();
+        let path = root.join("simlint.toml");
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            cfg.apply_toml(&text);
+        }
+        cfg
+    }
+
+    /// Overlay `simlint.toml` content: `[purity] roots` and
+    /// `[controller] traits` replace the built-in lists when present.
+    pub fn apply_toml(&mut self, text: &str) {
+        let doc = crate::toml::parse(text);
+        if let Some(roots) = doc.list("purity", "roots") {
+            self.purity_roots = roots;
+        }
+        if let Some(traits) = doc.list("controller", "traits") {
+            self.controller_traits = traits;
         }
     }
 

@@ -9,24 +9,42 @@
 //!
 //! Library layout:
 //!
-//! * [`config`] — rule ids, scope, blessed unit types;
+//! * [`config`] — rule ids, scope, blessed unit types, dataflow settings;
+//! * [`toml`] — the tiny TOML subset `simlint.toml` is written in;
 //! * [`allow`] — the `// simlint: allow(rule): why` grammar;
 //! * [`scan`] — token-stream flattening and unit-chain walkers;
-//! * [`rules`] — the rule implementations ([`lint_source`]);
+//! * [`rules`] — the per-file rule implementations ([`lint_source`]);
+//! * [`model`] — the workspace symbol table and call graph;
+//! * [`purity`], [`unitflow`], [`controller`] — the dataflow rule
+//!   families built on the model (DESIGN.md §16);
+//! * [`cache`] — the incremental content-hash cache;
+//! * [`sarif`] — SARIF 2.1.0 rendering;
 //! * this module — file discovery, orchestration, and rendering.
 
 pub mod allow;
+pub mod cache;
 pub mod config;
+pub mod controller;
+pub mod model;
+pub mod purity;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
+pub mod toml;
+pub mod unitflow;
 
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use allow::AllowTable;
+use cache::{Cache, FileEntry};
+
 pub use config::Config;
 pub use rules::{lint_source, Finding};
+pub use sarif::render_sarif;
 
 /// Walk upward from `start` to the directory whose `Cargo.toml` declares
 /// `[workspace]`.
@@ -80,22 +98,140 @@ fn rel_unix(root: &Path, abs: &Path) -> String {
     rel.to_string_lossy().replace('\\', "/")
 }
 
-/// Lint the whole workspace under `root` with `cfg`; findings come back
-/// sorted by (file, line, column, rule).
-pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Finding>> {
-    let files = discover_files(root, cfg)?;
+/// The full analysis over in-memory sources: per-file rules, the
+/// workspace dataflow families (shard-purity, unit-flow,
+/// controller-discipline), and allow hygiene — all sharing one allow
+/// table per file so `// simlint: allow(...)` works uniformly. Findings
+/// come back sorted by (file, line, column, rule).
+pub fn analyze_sources(files: &[(String, String)], cfg: &Config) -> Vec<Finding> {
+    analyze_sources_skipping(files, cfg, &BTreeSet::new())
+}
+
+/// [`analyze_sources`] with an incremental-cache skip set: files in
+/// `skip` bypass the per-file pass and hygiene (they were clean and
+/// unchanged), but still feed the workspace model — a change elsewhere
+/// can surface a dataflow finding in any file.
+fn analyze_sources_skipping(
+    files: &[(String, String)],
+    cfg: &Config,
+    skip: &BTreeSet<String>,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for (rel, abs) in files {
-        let src = fs::read_to_string(&abs)?;
-        findings.extend(lint_source(&rel, &src, cfg));
+    let mut parsed: Vec<(String, Option<syn::File>)> = Vec::with_capacity(files.len());
+    let mut allows: Vec<(String, AllowTable)> = Vec::with_capacity(files.len());
+    for (rel, src) in files {
+        let table = AllowTable::parse(src);
+        if !skip.contains(rel) {
+            findings.extend(rules::lint_source_with(rel, src, cfg, &table));
+        }
+        parsed.push((rel.clone(), syn::parse_file(src).ok()));
+        allows.push((rel.clone(), table));
+    }
+    let ws = model::Workspace::build(&parsed, cfg);
+    let mut dataflow = Vec::new();
+    dataflow.extend(purity::check(&ws, cfg));
+    dataflow.extend(unitflow::check(&ws, cfg));
+    dataflow.extend(controller::check(&ws, cfg));
+    for f in dataflow {
+        let table = allows.iter().find(|(r, _)| *r == f.file).map(|(_, t)| t);
+        if table.is_some_and(|t| t.suppresses(f.line, f.rule)) {
+            continue;
+        }
+        findings.push(f);
+    }
+    for (rel, table) in &allows {
+        if !skip.contains(rel) {
+            findings.extend(rules::allow_hygiene(rel, table, cfg));
+        }
     }
     sort_findings(&mut findings);
+    findings
+}
+
+/// Lint the whole workspace under `root` with `cfg`; findings come back
+/// sorted by (file, line, column, rule). Uncached.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Finding>> {
+    lint_workspace_cached(root, cfg, false)
+}
+
+/// Workspace lint with the incremental cache (`target/simlint-cache.json`)
+/// consulted and refreshed when `use_cache` is true.
+pub fn lint_workspace_cached(
+    root: &Path,
+    cfg: &Config,
+    use_cache: bool,
+) -> io::Result<Vec<Finding>> {
+    let files = discover_files(root, cfg)?;
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
+    for (rel, abs) in files {
+        sources.push((rel, fs::read_to_string(&abs)?));
+    }
+    let toml_text = fs::read_to_string(root.join("simlint.toml")).unwrap_or_default();
+    let fp = cache::fingerprint(cfg, &toml_text);
+    let cache_path = Cache::path(root);
+    let prior = if use_cache {
+        Cache::load(&cache_path).filter(|c| c.fingerprint == fp)
+    } else {
+        None
+    };
+    let hashes: Vec<u64> = sources
+        .iter()
+        .map(|(_, src)| cache::fnv1a(src.as_bytes()))
+        .collect();
+    if let Some(prior) = &prior {
+        let unchanged = prior.workspace_clean
+            && prior.files.len() == sources.len()
+            && sources
+                .iter()
+                .zip(&hashes)
+                .all(|((rel, _), h)| prior.files.get(rel).map(|e| e.hash) == Some(*h));
+        if unchanged {
+            return Ok(Vec::new());
+        }
+    }
+    let skip: BTreeSet<String> = match &prior {
+        Some(prior) => sources
+            .iter()
+            .zip(&hashes)
+            .filter(|((rel, _), h)| {
+                prior.files.get(rel.as_str())
+                    == Some(&FileEntry {
+                        hash: **h,
+                        clean: true,
+                    })
+            })
+            .map(|((rel, _), _)| rel.clone())
+            .collect(),
+        None => BTreeSet::new(),
+    };
+    let findings = analyze_sources_skipping(&sources, cfg, &skip);
+    if use_cache {
+        let dirty: BTreeSet<&str> = findings.iter().map(|f| f.file.as_str()).collect();
+        let mut next = Cache {
+            fingerprint: fp,
+            workspace_clean: findings.is_empty(),
+            files: Default::default(),
+        };
+        for ((rel, _), h) in sources.iter().zip(&hashes) {
+            next.files.insert(
+                rel.clone(),
+                FileEntry {
+                    hash: *h,
+                    clean: !dirty.contains(rel.as_str()),
+                },
+            );
+        }
+        // Best-effort: a cache that fails to write only costs time.
+        let _ = next.store(&cache_path);
+    }
     Ok(findings)
 }
 
 /// Lint an explicit set of files (paths relative to `root` or absolute).
+/// The workspace model is built from just these files, so dataflow
+/// findings that need cross-file context may be partial; uncached.
 pub fn lint_paths(root: &Path, paths: &[PathBuf], cfg: &Config) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    let mut sources = Vec::new();
     for p in paths {
         let abs = if p.is_absolute() {
             p.clone()
@@ -103,10 +239,9 @@ pub fn lint_paths(root: &Path, paths: &[PathBuf], cfg: &Config) -> io::Result<Ve
             root.join(p)
         };
         let src = fs::read_to_string(&abs)?;
-        findings.extend(lint_source(&rel_unix(root, &abs), &src, cfg));
+        sources.push((rel_unix(root, &abs), src));
     }
-    sort_findings(&mut findings);
-    Ok(findings)
+    Ok(analyze_sources(&sources, cfg))
 }
 
 fn sort_findings(findings: &mut [Finding]) {

@@ -1,33 +1,45 @@
 //! simlint CLI.
 //!
 //! ```text
-//! simlint [--json] [--deny] [--list-rules] [--root DIR] [--skip-rule ID]... [PATH...]
+//! simlint [--json|--sarif] [--deny] [--no-cache] [--list-rules]
+//!         [--root DIR] [--skip-rule ID]... [PATH...]
 //! ```
 //!
 //! With no PATHs, lints every in-scope crate of the enclosing workspace
-//! (found by walking up to a `Cargo.toml` with `[workspace]`). `--deny`
-//! makes any finding exit nonzero — that is what CI runs.
+//! (found by walking up to a `Cargo.toml` with `[workspace]`), consulting
+//! the incremental cache in `target/simlint-cache.json` unless
+//! `--no-cache` is given. Explicit PATHs are always linted fresh.
+//! `--deny` makes any finding exit nonzero — that is what CI runs.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use simlint::{
-    config::RULES, find_workspace_root, lint_paths, lint_workspace, render_json, render_text,
-    Config,
+    config::RULES, find_workspace_root, lint_paths, lint_workspace_cached, render_json,
+    render_sarif, render_text, Config,
 };
 
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
     let mut deny = false;
+    let mut no_cache = false;
     let mut root_arg: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
-    let mut cfg = Config::workspace_default();
+    let mut skip_rules: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--sarif" => format = Format::Sarif,
             "--deny" => deny = true,
+            "--no-cache" => no_cache = true,
             "--list-rules" => {
                 for (id, desc) in RULES {
                     println!("{id:<22} {desc}");
@@ -43,14 +55,14 @@ fn main() -> ExitCode {
                     if !RULES.iter().any(|(r, _)| *r == id) {
                         return usage_error(&format!("unknown rule `{id}` (see --list-rules)"));
                     }
-                    cfg.skip_rules.insert(id);
+                    skip_rules.push(id);
                 }
                 None => return usage_error("--skip-rule needs a rule id"),
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: simlint [--json] [--deny] [--list-rules] [--root DIR] \
-                     [--skip-rule ID]... [PATH...]"
+                    "usage: simlint [--json|--sarif] [--deny] [--no-cache] [--list-rules] \
+                     [--root DIR] [--skip-rule ID]... [PATH...]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -75,9 +87,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // `simlint.toml` overlays the built-in dataflow config; CLI skips win.
+    let mut cfg = Config::load(&root);
+    cfg.skip_rules.extend(skip_rules);
 
     let result = if paths.is_empty() {
-        lint_workspace(&root, &cfg)
+        // Cache only helps (and is only sound) in full-workspace mode;
+        // the skip-rule set is part of its fingerprint.
+        lint_workspace_cached(&root, &cfg, !no_cache)
     } else {
         lint_paths(&root, &paths, &cfg)
     };
@@ -89,10 +106,10 @@ fn main() -> ExitCode {
         }
     };
 
-    if json {
-        print!("{}", render_json(&findings));
-    } else {
-        print!("{}", render_text(&findings));
+    match format {
+        Format::Text => print!("{}", render_text(&findings)),
+        Format::Json => print!("{}", render_json(&findings)),
+        Format::Sarif => print!("{}", render_sarif(&findings)),
     }
     if deny && !findings.is_empty() {
         ExitCode::FAILURE

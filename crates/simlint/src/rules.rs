@@ -42,9 +42,23 @@ pub struct Finding {
     pub message: String,
 }
 
-/// Lint one file's source text.
+/// Lint one file's source text (per-file rules + allow hygiene).
 pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     let allows = AllowTable::parse(src);
+    let mut findings = lint_source_with(rel_path, src, cfg, &allows);
+    findings.extend(allow_hygiene(rel_path, &allows, cfg));
+    findings
+}
+
+/// The per-file rules against a caller-owned allow table. The workspace
+/// passes share the same table, so their suppressions count as "used" and
+/// hygiene (run separately via [`allow_hygiene`]) sees the whole picture.
+pub fn lint_source_with(
+    rel_path: &str,
+    src: &str,
+    cfg: &Config,
+    allows: &AllowTable,
+) -> Vec<Finding> {
     let mut ctx = Ctx {
         cfg,
         rel_path,
@@ -67,8 +81,42 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
             });
         }
     }
-    ctx.allow_hygiene();
     ctx.findings
+}
+
+/// `bad-allow` / `unused-allow` hygiene. Run after every pass that can
+/// mark entries used has finished.
+pub fn allow_hygiene(rel_path: &str, allows: &AllowTable, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for e in allows.entries() {
+        if !e.justified {
+            if cfg.rule_enabled("bad-allow") {
+                out.push(Finding {
+                    file: rel_path.to_string(),
+                    line: e.comment_line,
+                    column: 1,
+                    rule: "bad-allow",
+                    message: format!(
+                        "allow({}) has no justification; write `// simlint: allow({}): <why>`",
+                        e.rules.join(", "),
+                        e.rules.join(", "),
+                    ),
+                });
+            }
+        } else if !e.used.get() && cfg.rule_enabled("unused-allow") {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: e.comment_line,
+                column: 1,
+                rule: "unused-allow",
+                message: format!(
+                    "allow({}) suppresses nothing; remove the stale escape",
+                    e.rules.join(", ")
+                ),
+            });
+        }
+    }
+    out
 }
 
 /// The crate directory name a `crates/<name>/...` path belongs to.
@@ -80,7 +128,7 @@ fn crate_of(rel_path: &str) -> Option<String> {
     parts.next().map(|s| s.to_string())
 }
 
-fn path_is_test(rel_path: &str) -> bool {
+pub(crate) fn path_is_test(rel_path: &str) -> bool {
     rel_path.contains("/tests/")
         || rel_path.contains("/benches/")
         || rel_path.contains("/examples/")
@@ -96,7 +144,7 @@ struct Ctx<'c> {
     cfg: &'c Config,
     rel_path: &'c str,
     crate_name: Option<String>,
-    allows: AllowTable,
+    allows: &'c AllowTable,
     findings: Vec<Finding>,
     in_test_file: bool,
 }
@@ -121,40 +169,6 @@ impl Ctx<'_> {
 
     fn raw_push(&mut self, finding: Finding) {
         self.findings.push(finding);
-    }
-
-    /// `bad-allow` / `unused-allow` hygiene after the main walk.
-    fn allow_hygiene(&mut self) {
-        let mut extra = Vec::new();
-        for e in self.allows.entries() {
-            if !e.justified {
-                if self.cfg.rule_enabled("bad-allow") {
-                    extra.push(Finding {
-                        file: self.rel_path.to_string(),
-                        line: e.comment_line,
-                        column: 1,
-                        rule: "bad-allow",
-                        message: format!(
-                            "allow({}) has no justification; write `// simlint: allow({}): <why>`",
-                            e.rules.join(", "),
-                            e.rules.join(", "),
-                        ),
-                    });
-                }
-            } else if !e.used.get() && self.cfg.rule_enabled("unused-allow") {
-                extra.push(Finding {
-                    file: self.rel_path.to_string(),
-                    line: e.comment_line,
-                    column: 1,
-                    rule: "unused-allow",
-                    message: format!(
-                        "allow({}) suppresses nothing; remove the stale escape",
-                        e.rules.join(", ")
-                    ),
-                });
-            }
-        }
-        self.findings.extend(extra);
     }
 
     fn walk_items(&mut self, items: &[Item], in_test: bool) {

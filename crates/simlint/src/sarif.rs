@@ -1,0 +1,125 @@
+//! SARIF 2.1.0 rendering — the minimal shape GitHub code scanning needs
+//! to turn findings into PR annotations: one run, the `simlint` driver
+//! with the rule catalogue, and one result per finding with a physical
+//! location. Hand-rolled like `render_json`; the container has no serde.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::config::RULES;
+use crate::rules::Finding;
+
+/// Render findings as a SARIF 2.1.0 log.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"simlint\",\n");
+    out.push_str("          \"rules\": [");
+    // Catalogue rules plus any ad-hoc ids findings carry (e.g. `parse`).
+    let mut ids: Vec<&str> = RULES.iter().map(|(id, _)| *id).collect();
+    let known: BTreeSet<&str> = ids.iter().copied().collect();
+    let mut extra: Vec<&str> = findings
+        .iter()
+        .map(|f| f.rule)
+        .filter(|r| !known.contains(r))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    ids.append(&mut extra);
+    for (i, id) in ids.iter().enumerate() {
+        let desc = RULES
+            .iter()
+            .find(|(r, _)| r == id)
+            .map(|(_, d)| *d)
+            .unwrap_or("");
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            esc(id),
+            esc(desc)
+        );
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \
+             \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            \
+             {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}\n          ]\n        }}",
+            esc(f.rule),
+            esc(&f.message),
+            esc(&f.file),
+            f.line,
+            f.column
+        );
+    }
+    if !findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_shape_carries_schema_rules_and_locations() {
+        let findings = vec![Finding {
+            file: "crates/dvfs/src/cluster.rs".to_string(),
+            line: 12,
+            column: 5,
+            rule: "shard-purity",
+            message: "`plan_compute` \u{2192} `freq_hz`: takes `&mut self`".to_string(),
+        }];
+        let s = render_sarif(&findings);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("sarif-2.1.0.json"));
+        assert!(s.contains("\"name\": \"simlint\""));
+        assert!(s.contains("\"id\": \"shard-purity\""));
+        assert!(s.contains("\"ruleId\": \"shard-purity\""));
+        assert!(s.contains("\"uri\": \"crates/dvfs/src/cluster.rs\""));
+        assert!(s.contains("\"startLine\": 12"));
+        assert!(s.contains("\"startColumn\": 5"));
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn empty_findings_render_an_empty_results_array() {
+        let s = render_sarif(&[]);
+        assert!(s.contains("\"results\": []"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+}

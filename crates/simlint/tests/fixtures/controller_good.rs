@@ -1,0 +1,38 @@
+//! Fixture: a disciplined controller — runtime hooks gated, decisions
+//! only from `on_sample`, and one justified escape for an observing hook.
+
+pub struct GoodCap {
+    budget_w: f64,
+    waits: u64,
+}
+
+impl ClusterController for GoodCap {
+    fn wants_runtime_events(&self) -> bool {
+        true
+    }
+
+    // simlint: allow(controller-discipline): drains stale decisions on wait entry; audited in review
+    fn on_wait_begin(
+        &mut self,
+        now: SimTime,
+        rank: usize,
+        nodes: &[Node],
+        out: &mut Vec<Decision>,
+    ) {
+        out.clear();
+    }
+
+    fn on_wait_end(
+        &mut self,
+        now: SimTime,
+        rank: usize,
+        nodes: &[Node],
+        _out: &mut Vec<Decision>,
+    ) {
+        self.waits += 1;
+    }
+
+    fn on_sample(&mut self, now: SimTime, nodes: &[Node], out: &mut Vec<Decision>) {
+        out.push(Decision { node: 0, op: 1 });
+    }
+}

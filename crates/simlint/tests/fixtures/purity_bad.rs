@@ -1,0 +1,27 @@
+//! Fixture: shard-purity violations reached from the `plan_compute` pure
+//! root. Parsed by the analyzer, never compiled.
+
+pub struct Node {
+    freq: f64,
+}
+
+impl Node {
+    pub fn bump(&mut self) -> f64 {
+        self.freq += 1.0;
+        self.freq
+    }
+}
+
+pub fn plan_compute(node: &Node) -> f64 {
+    helper(node)
+}
+
+fn helper(node: &Node) -> f64 {
+    log_plan();
+    COUNTER += 1;
+    node.bump()
+}
+
+fn log_plan() {
+    println!("planning");
+}

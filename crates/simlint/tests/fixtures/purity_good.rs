@@ -1,0 +1,27 @@
+//! Fixture: the same shape as `purity_bad.rs` with every sink removed —
+//! shared references all the way down, no statics, no I/O.
+
+pub struct Node {
+    freq: f64,
+}
+
+impl Node {
+    pub fn freq_value(&self) -> f64 {
+        self.freq
+    }
+
+    /// Mutation exists on the type but is never on a pure path.
+    pub fn set(&mut self, freq: f64) {
+        self.freq = freq;
+    }
+}
+
+pub fn plan_compute(node: &Node) -> f64 {
+    helper(node)
+}
+
+fn helper(node: &Node) -> f64 {
+    let mut scratch = Vec::new();
+    scratch.push(node.freq_value());
+    scratch.iter().sum()
+}

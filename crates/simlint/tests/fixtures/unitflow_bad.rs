@@ -1,0 +1,18 @@
+//! Fixture: unit-flow violations across let-bindings, call arguments,
+//! and return values — including the shadowed re-binding that escaped
+//! the v1 per-declaration rule.
+
+pub fn total_j(power_w: f64, dt_s: f64) -> f64 {
+    power_w * dt_s
+}
+
+pub fn drain(cap_mwh: f64) -> f64 {
+    let level_mwh = cap_mwh;
+    let level_mwh: u32 = 0;
+    let leak_w = cap_mwh;
+    total_j(leak_w, leak_w)
+}
+
+pub fn reading_w(energy_j: f64) -> f64 {
+    energy_j
+}

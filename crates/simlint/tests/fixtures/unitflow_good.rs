@@ -1,0 +1,17 @@
+//! Fixture: unit flow that stays consistent — shadowing with a
+//! dimension-changing product, suffix-true calls and returns.
+
+pub fn total_j(power_w: f64, dt_s: f64) -> f64 {
+    power_w * dt_s
+}
+
+pub fn drain_mwh(cap_mwh: f64, frac: f64) -> f64 {
+    let level_mwh = cap_mwh;
+    let level_mwh = level_mwh * frac;
+    level_mwh
+}
+
+pub fn consume(power_w: f64, dt_s: f64) -> f64 {
+    let e_j = total_j(power_w, dt_s);
+    e_j
+}

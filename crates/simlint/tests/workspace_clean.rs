@@ -1,7 +1,8 @@
-//! Golden test: the workspace itself must be simlint-clean. Any new
+//! Golden test: the workspace itself must be simlint-clean — under the
+//! full configuration (`simlint.toml` dataflow roots included). Any new
 //! violation fails CI here even before the `--deny` run in the workflow.
 
-use simlint::{lint_workspace, render_json, render_text, Config};
+use simlint::{lint_workspace, lint_workspace_cached, render_json, render_text, Config};
 use std::path::Path;
 
 fn workspace_root() -> &'static Path {
@@ -12,9 +13,15 @@ fn workspace_root() -> &'static Path {
         .expect("simlint manifest dir has a workspace root two levels up")
 }
 
+/// The configuration the CLI runs with: defaults plus `simlint.toml`
+/// (purity roots, controller traits).
+fn real_config() -> Config {
+    Config::load(workspace_root())
+}
+
 #[test]
 fn workspace_has_zero_findings() {
-    let findings = lint_workspace(workspace_root(), &Config::workspace_default())
+    let findings = lint_workspace(workspace_root(), &real_config())
         .expect("workspace lint must not hit IO/parse errors");
     assert!(
         findings.is_empty(),
@@ -25,13 +32,30 @@ fn workspace_has_zero_findings() {
 
 #[test]
 fn json_report_is_empty_and_well_formed() {
-    let findings = lint_workspace(workspace_root(), &Config::workspace_default())
+    let findings = lint_workspace(workspace_root(), &real_config())
         .expect("workspace lint must not hit IO/parse errors");
     let json = render_json(&findings);
     assert!(json.contains("\"count\": 0"), "{json}");
     assert!(
         json.starts_with('{') && json.trim_end().ends_with('}'),
         "{json}"
+    );
+}
+
+#[test]
+fn cached_passes_agree_with_the_uncached_pass() {
+    // First cached pass fills target/simlint-cache.json; the second hits
+    // the clean-workspace fast path. Both must report exactly what the
+    // uncached pass reports (zero findings, per the golden test above).
+    let root = workspace_root();
+    let cfg = real_config();
+    let cold = lint_workspace_cached(root, &cfg, true).expect("cold cached pass");
+    let warm = lint_workspace_cached(root, &cfg, true).expect("warm cached pass");
+    assert!(cold.is_empty(), "{}", render_text(&cold));
+    assert_eq!(cold, warm);
+    assert!(
+        root.join("target/simlint-cache.json").is_file(),
+        "cached pass must persist the cache file"
     );
 }
 

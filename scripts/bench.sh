@@ -17,7 +17,11 @@
 #     pass executes and fills the result cache, the warm pass replays it
 #     (identical output bytes, near-zero engine work).
 #
-# Usage: scripts/bench.sh [output.json]    (default BENCH_PR7.json)
+#   * simlint analyzer wall clock, cold (--no-cache) and warm (the
+#     content-hash incremental cache) — the static-analysis cost the
+#     lint gate adds to a developer loop;
+#
+# Usage: scripts/bench.sh [output.json]    (default BENCH_PR9.json)
 #        scripts/bench.sh scale [output.json]   (default BENCH_PR6.json)
 #        scripts/bench.sh cap [output.json]     (default BENCH_PR8.json)
 #
@@ -51,12 +55,13 @@ if [[ "${1:-}" == "scale" ]]; then
   exit 0
 fi
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR9.json}"
 RUNS="${BENCH_RUNS:-30}"
 
 cargo build --release -q -p pwrperf-bench --bin all_figures
 cargo build --release -q --example bench_throughput
 cargo build --release -q -p pwrperf-cli
+cargo build --release -q -p simlint
 
 THROUGHPUT="$(./target/release/examples/bench_throughput 100)"
 THROUGHPUT_TRACED="$(./target/release/examples/bench_throughput 100 traced)"
@@ -126,6 +131,18 @@ subprocess.run([cli, *scale_args], stdout=subprocess.DEVNULL)  # warm-up
 scale_plain_s = median_wall([])
 scale_causal_s = median_wall(["--causal"])
 
+# simlint analyzer cost: the cold full pass CI runs, then the warm
+# cached pass the developer loop sees (fingerprint hit, zero re-parses).
+lint = "./target/release/simlint"
+def lint_wall(args):
+    t0 = time.perf_counter()
+    r = subprocess.run([lint, *args], stdout=subprocess.DEVNULL)
+    assert r.returncode == 0, f"simlint {args} found violations"
+    return time.perf_counter() - t0
+lint_cold_s = lint_wall(["--deny", "--no-cache"])
+lint_wall(["--deny"])  # fill the cache
+lint_warm_s = lint_wall(["--deny"])
+
 report = {
     "all_figures": {
         "runs": runs,
@@ -162,6 +179,11 @@ report = {
         "plain_ms_median": round(scale_plain_s * 1000, 2),
         "causal_ms_median": round(scale_causal_s * 1000, 2),
         "overhead_ratio": round(scale_causal_s / scale_plain_s, 4),
+    },
+    "simlint": {
+        "cold_ms": round(lint_cold_s * 1000, 2),
+        "warm_ms": round(lint_warm_s * 1000, 2),
+        "warm_speedup": round(lint_cold_s / lint_warm_s, 2),
     },
     "criterion_engine_ns_per_iter": criterion,
     "sweepstore_all_figures": {

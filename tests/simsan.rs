@@ -1,0 +1,169 @@
+//! Determinism sanitizer (`--features simsan`): the engine's checkpoint
+//! hash stream — state digests at phase boundaries, sample instants, and
+//! the pre-finalize instant — must be bit-identical at every shard
+//! count. This is strictly stronger than comparing final `RunResult`s:
+//! a shard-order divergence that later cancels out still trips the
+//! sanitizer at the first checkpoint it perturbs.
+//!
+//! CI runs this suite with `PWRPERF_SHARDS=1,2,8`; unset, the same three
+//! counts are the default.
+
+#![cfg(feature = "simsan")]
+
+use cluster_sim::Cluster;
+use dvfs::CapPolicy;
+use mpi_sim::{Engine, EngineConfig, FaultSpec, RunResult};
+use pwrperf::{DvsStrategy, Workload};
+use sim_core::SimDuration;
+use workloads::{CgClass, MgClass};
+
+/// Shard counts under test: `PWRPERF_SHARDS` as a comma list, else 1/2/8.
+fn shard_counts() -> Vec<usize> {
+    std::env::var("PWRPERF_SHARDS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 8])
+}
+
+/// The paper's benchmark trio at test scale.
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload::ft_test(4),
+        Workload::Cg {
+            class: CgClass::Test,
+            ranks: 4,
+        },
+        Workload::Mg {
+            class: MgClass::Test,
+            ranks: 4,
+        },
+    ]
+}
+
+/// Build the engine exactly as `Experiment::run` does and run it under
+/// the sanitizer.
+fn sanitized(
+    w: &Workload,
+    strategy: DvsStrategy,
+    shards: usize,
+    faults: &str,
+) -> (RunResult, Vec<u64>) {
+    let cluster = Cluster::paper_testbed(w.ranks());
+    let programs = w.programs(strategy.wants_instrumentation());
+    let controller = strategy.controller(cluster.nodes());
+    let config = EngineConfig {
+        sample_interval: Some(SimDuration::from_millis(50)),
+        faults: FaultSpec::parse(faults).expect("valid fault spec"),
+        shards,
+        ..EngineConfig::default()
+    };
+    Engine::with_controller(cluster, programs, controller, config).run_sanitized()
+}
+
+#[test]
+fn hash_streams_are_bit_identical_across_shard_counts() {
+    for w in &workloads() {
+        let (_, baseline) = sanitized(w, DvsStrategy::DynamicBaseMhz(1400), 1, "");
+        assert!(
+            baseline.len() > 10,
+            "{}: expected a real checkpoint stream, got {}",
+            w.label(),
+            baseline.len()
+        );
+        for shards in shard_counts() {
+            let (_, stream) = sanitized(w, DvsStrategy::DynamicBaseMhz(1400), shards, "");
+            assert_eq!(
+                stream,
+                baseline,
+                "{}: sanitizer stream diverged at {shards} shards",
+                w.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_hash_streams_are_bit_identical_across_shard_counts() {
+    // Fault injection mutates per-rank state as faults fire; the stream
+    // must still agree checkpoint-for-checkpoint at every shard count.
+    let spec = "seed:11,slow:1:1.4,dvfs-fail:2:0.3,weak-link:3:0.6";
+    let w = Workload::ft_test(4);
+    let (result, baseline) = sanitized(&w, DvsStrategy::DynamicBaseMhz(1400), 1, spec);
+    assert!(result.faults.total() > 0, "the spec must actually fire");
+    for shards in shard_counts() {
+        let (_, stream) = sanitized(&w, DvsStrategy::DynamicBaseMhz(1400), shards, spec);
+        assert_eq!(
+            stream, baseline,
+            "faulted sanitizer stream diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn stateful_controller_digests_agree_across_shard_counts() {
+    // The power-cap controller folds its replanning state into every
+    // checkpoint via `state_digest`; a shard-dependent controller state
+    // would diverge here even if node-level results happened to agree.
+    let strategy = DvsStrategy::PowerCap {
+        watts: 100,
+        policy: CapPolicy::Redistribute,
+    };
+    let w = Workload::ft_test(4);
+    let (_, baseline) = sanitized(&w, strategy, 1, "");
+    for shards in shard_counts() {
+        let (_, stream) = sanitized(&w, strategy, shards, "");
+        assert_eq!(
+            stream, baseline,
+            "power-cap sanitizer stream diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn sanitized_runs_report_the_same_result_as_plain_runs() {
+    // The sanitizer observes; it must not perturb. `run_sanitized` has
+    // to hand back the byte-for-byte `RunResult` of `Engine::run`.
+    let w = Workload::ft_test(4);
+    let strategy = DvsStrategy::DynamicBaseMhz(1400);
+    let make_engine = || {
+        let cluster = Cluster::paper_testbed(w.ranks());
+        let programs = w.programs(strategy.wants_instrumentation());
+        let controller = strategy.controller(cluster.nodes());
+        let config = EngineConfig {
+            sample_interval: Some(SimDuration::from_millis(50)),
+            ..EngineConfig::default()
+        };
+        Engine::with_controller(cluster, programs, controller, config)
+    };
+    let plain = make_engine().run();
+    let (sanitized, hashes) = make_engine().run_sanitized();
+    assert_eq!(plain, sanitized);
+    assert_eq!(
+        plain.total_energy_j().to_bits(),
+        sanitized.total_energy_j().to_bits()
+    );
+    assert!(!hashes.is_empty());
+}
+
+#[test]
+fn different_workloads_produce_different_streams() {
+    // Guard against a degenerate hasher: distinct simulations must not
+    // share a checkpoint stream.
+    let (_, ft) = sanitized(
+        &Workload::ft_test(4),
+        DvsStrategy::DynamicBaseMhz(1400),
+        1,
+        "",
+    );
+    let cg = Workload::Cg {
+        class: CgClass::Test,
+        ranks: 4,
+    };
+    let (_, cg_stream) = sanitized(&cg, DvsStrategy::DynamicBaseMhz(1400), 1, "");
+    assert_ne!(ft, cg_stream);
+}
