@@ -2,9 +2,7 @@
 //! three subcommands and a dozen flags; a parser dependency would be
 //! heavier than the parser).
 
-use powerpack::{CommMicroConfig, MicroConfig};
-use pwrperf::{CapPolicy, DvsStrategy, FaultSpec, Topology, Workload};
-use workloads::{CgClass, FtClass, MgClass};
+use pwrperf::{CapPolicy, DvsStrategy, FaultSpec, SweepSpec, Topology, Workload};
 
 /// A parsed invocation.
 #[derive(Debug)]
@@ -141,107 +139,59 @@ pub enum Command {
         /// Intra-run shard count (`None` = `PWRPERF_SHARDS` or 1).
         shards: Option<usize>,
     },
+    /// `pwrperf serve --store <dir> (--socket <path> | --tcp <addr>)
+    /// [-j <n>] [--max-store-bytes <n>]`
+    Serve {
+        /// Store directory the daemon owns.
+        store: String,
+        /// Unix-domain socket path to listen on.
+        socket: Option<String>,
+        /// TCP address to listen on (e.g. `127.0.0.1:0`).
+        tcp: Option<String>,
+        /// Worker threads for miss execution (`None` = auto-detect).
+        threads: Option<usize>,
+        /// Compaction byte budget (`None` = keep every valid record).
+        max_store_bytes: Option<u64>,
+    },
+    /// `pwrperf client (--socket <path> | --tcp <addr>)
+    /// (sweep | query | status | shutdown) [grid flags]`
+    Client {
+        /// Unix-domain socket path of the daemon.
+        socket: Option<String>,
+        /// TCP address of the daemon.
+        tcp: Option<String>,
+        /// What to ask.
+        action: ClientAction,
+    },
     /// `pwrperf list`
     List,
     /// `pwrperf help` (or parse failure, with a message).
     Help(Option<String>),
 }
 
-/// Parse a workload name.
+/// What a `pwrperf client` invocation asks the daemon.
+#[derive(Debug)]
+pub enum ClientAction {
+    /// Run (or replay) a sweep grid.
+    Sweep(SweepSpec),
+    /// Aggregate stored results (never executes).
+    Query(SweepSpec),
+    /// Print the daemon's `service.*` counters.
+    Status,
+    /// Ask the daemon to exit.
+    Shutdown,
+}
+
+/// Parse a workload name (delegates to the core name registry, which the
+/// sweep-service wire protocol shares).
 pub fn parse_workload(name: &str) -> Result<Workload, String> {
-    // `ft-scale-<ranks>`: one class-C FT iteration on a large
-    // power-of-two rank count (the scale benchmark family).
-    if let Some(ranks) = name.strip_prefix("ft-scale-") {
-        let ranks: usize = ranks
-            .parse()
-            .map_err(|_| format!("bad rank count in '{name}'"))?;
-        if !ranks.is_power_of_two() {
-            return Err(format!("'{name}': FT needs a power-of-two rank count"));
-        }
-        return Ok(Workload::ft_scale(ranks));
-    }
-    let w = match name {
-        "ft-a8" => Workload::Ft {
-            class: FtClass::A,
-            ranks: 8,
-        },
-        "ft-b8" => Workload::ft_b8(),
-        "ft-c8" => Workload::ft_c8(),
-        "ft-test4" => Workload::ft_test(4),
-        "cg-a8" => Workload::Cg {
-            class: CgClass::A,
-            ranks: 8,
-        },
-        "cg-b8" => Workload::cg_b8(),
-        "mg-a8" => Workload::Mg {
-            class: MgClass::A,
-            ranks: 8,
-        },
-        "mg-b8" => Workload::mg_b8(),
-        "transpose" => Workload::transpose_paper(),
-        "swim" => Workload::Swim,
-        "mgrid" => Workload::Mgrid,
-        "mem-micro" => Workload::MemoryMicro(MicroConfig::default()),
-        "cpu-micro" => Workload::CpuMicro(MicroConfig { passes: 400_000 }),
-        "comm-256k" => Workload::Comm(CommMicroConfig::paper_256k()),
-        "comm-4k" => Workload::Comm(CommMicroConfig::paper_4k_strided()),
-        other => return Err(format!("unknown workload '{other}' (try `pwrperf list`)")),
-    };
-    Ok(w)
+    Workload::parse_name(name)
 }
 
-/// Parse a strategy name.
+/// Parse a strategy name (delegates to the core name registry).
 pub fn parse_strategy(name: &str) -> Result<DvsStrategy, String> {
-    if let Some(mhz) = name.strip_prefix("static-") {
-        let mhz: u32 = mhz
-            .parse()
-            .map_err(|_| format!("bad frequency in '{name}'"))?;
-        return Ok(DvsStrategy::StaticMhz(mhz));
-    }
-    if let Some(mhz) = name.strip_prefix("dynamic-") {
-        let mhz: u32 = mhz
-            .parse()
-            .map_err(|_| format!("bad frequency in '{name}'"))?;
-        return Ok(DvsStrategy::DynamicBaseMhz(mhz));
-    }
-    match name {
-        "cpuspeed" => Ok(DvsStrategy::Cpuspeed),
-        "ondemand" => Ok(DvsStrategy::OnDemand),
-        "conservative" => Ok(DvsStrategy::Conservative),
-        other => Err(format!("unknown strategy '{other}' (try `pwrperf list`)")),
-    }
+    DvsStrategy::parse_name(name)
 }
-
-/// Known workload names (for `list` and error hints).
-pub const WORKLOAD_NAMES: &[&str] = &[
-    "ft-a8",
-    "ft-b8",
-    "ft-c8",
-    "ft-test4",
-    "ft-scale-256",
-    "ft-scale-1024",
-    "ft-scale-4096",
-    "cg-a8",
-    "cg-b8",
-    "mg-a8",
-    "mg-b8",
-    "transpose",
-    "swim",
-    "mgrid",
-    "mem-micro",
-    "cpu-micro",
-    "comm-256k",
-    "comm-4k",
-];
-
-/// Known strategy names.
-pub const STRATEGY_NAMES: &[&str] = &[
-    "static-<mhz>",
-    "dynamic-<mhz>",
-    "cpuspeed",
-    "ondemand",
-    "conservative",
-];
 
 fn parse_threads(value: &str) -> Result<usize, String> {
     value
@@ -311,6 +261,15 @@ pub fn parse_power_cap(value: &str) -> Result<(u32, Option<CapPolicy>), String> 
 
 fn take_value<'a>(args: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<&'a str, String> {
     args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// The service commands need exactly one endpoint.
+fn check_endpoint(socket: &Option<String>, tcp: &Option<String>) -> Result<(), String> {
+    match (socket, tcp) {
+        (Some(_), Some(_)) => Err("--socket and --tcp are mutually exclusive".to_string()),
+        (None, None) => Err("need --socket <path> or --tcp <addr>".to_string()),
+        _ => Ok(()),
+    }
 }
 
 /// Parse the full argument vector (without the program name).
@@ -629,6 +588,108 @@ fn parse_inner(args: &[&str]) -> Result<Command, String> {
                 shards,
             })
         }
+        "serve" => {
+            let mut store = None;
+            let mut socket = None;
+            let mut tcp = None;
+            let mut threads = None;
+            let mut max_store_bytes = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--store" => store = Some(take_value(&mut it, flag)?.to_string()),
+                    "--socket" => socket = Some(take_value(&mut it, flag)?.to_string()),
+                    "--tcp" => tcp = Some(take_value(&mut it, flag)?.to_string()),
+                    "-j" | "--threads" => {
+                        threads = Some(parse_threads(take_value(&mut it, flag)?)?)
+                    }
+                    "--max-store-bytes" => {
+                        max_store_bytes = Some(
+                            take_value(&mut it, flag)?
+                                .parse::<u64>()
+                                .map_err(|_| "--max-store-bytes needs a byte count".to_string())?,
+                        )
+                    }
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            check_endpoint(&socket, &tcp)?;
+            Ok(Command::Serve {
+                store: store.ok_or("serve needs --store <dir>")?,
+                socket,
+                tcp,
+                threads,
+                max_store_bytes,
+            })
+        }
+        "client" => {
+            let action = it
+                .next()
+                .ok_or("client needs an action: sweep | query | status | shutdown")?;
+            let mut socket = None;
+            let mut tcp = None;
+            let mut spec = SweepSpec::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--socket" => socket = Some(take_value(&mut it, flag)?.to_string()),
+                    "--tcp" => tcp = Some(take_value(&mut it, flag)?.to_string()),
+                    "-w" | "--workload" => {
+                        let name = take_value(&mut it, flag)?;
+                        parse_workload(name)?; // validate early, ship the name
+                        spec.workloads.push(name.to_string());
+                    }
+                    "-s" | "--strategy" => {
+                        let name = take_value(&mut it, flag)?;
+                        parse_strategy(name)?;
+                        spec.strategies.push(name.to_string());
+                    }
+                    "--delta" => {
+                        let delta: f64 = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| "bad --delta value".to_string())?;
+                        if !(-1.0..=1.0).contains(&delta) {
+                            return Err("--delta must be in [-1, 1]".to_string());
+                        }
+                        spec.deltas.push(delta);
+                    }
+                    "--faults" => {
+                        let value = take_value(&mut it, flag)?;
+                        parse_faults(value)?;
+                        spec.fault_specs.push(value.to_string());
+                    }
+                    "--topology" => {
+                        let value = take_value(&mut it, flag)?;
+                        parse_topology(value)?;
+                        spec.topology = value.to_string();
+                    }
+                    "--shards" => spec.shards = parse_shards(take_value(&mut it, flag)?)?,
+                    "--causal" => spec.causal = true,
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            check_endpoint(&socket, &tcp)?;
+            let action = match action {
+                "sweep" | "query" => {
+                    if spec.workloads.is_empty() || spec.strategies.is_empty() {
+                        return Err(format!(
+                            "client {action} needs at least one --workload and one --strategy"
+                        ));
+                    }
+                    if action == "sweep" {
+                        ClientAction::Sweep(spec)
+                    } else {
+                        ClientAction::Query(spec)
+                    }
+                }
+                "status" => ClientAction::Status,
+                "shutdown" => ClientAction::Shutdown,
+                other => return Err(format!("unknown client action '{other}'")),
+            };
+            Ok(Command::Client {
+                socket,
+                tcp,
+                action,
+            })
+        }
         "list" => Ok(Command::List),
         "help" | "-h" | "--help" => Ok(Command::Help(None)),
         other => Err(format!("unknown subcommand '{other}'")),
@@ -720,7 +781,7 @@ mod tests {
 
     #[test]
     fn all_listed_workloads_parse() {
-        for name in WORKLOAD_NAMES {
+        for name in Workload::names() {
             assert!(parse_workload(name).is_ok(), "{name}");
         }
     }
@@ -1309,6 +1370,98 @@ mod tests {
         }
         assert!(matches!(
             parse(&["sweep", "-w", "ft-test4", "--shards", "0"]),
+            Command::Help(Some(_))
+        ));
+    }
+
+    #[test]
+    fn parses_serve_and_client() {
+        match parse(&[
+            "serve",
+            "--store",
+            "/tmp/cache",
+            "--socket",
+            "/tmp/pwrperfd.sock",
+            "-j",
+            "4",
+            "--max-store-bytes",
+            "1048576",
+        ]) {
+            Command::Serve {
+                store,
+                socket,
+                tcp,
+                threads,
+                max_store_bytes,
+            } => {
+                assert_eq!(store, "/tmp/cache");
+                assert_eq!(socket.as_deref(), Some("/tmp/pwrperfd.sock"));
+                assert_eq!(tcp, None);
+                assert_eq!(threads, Some(4));
+                assert_eq!(max_store_bytes, Some(1_048_576));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&[
+            "client",
+            "sweep",
+            "--tcp",
+            "127.0.0.1:7777",
+            "-w",
+            "ft-test4",
+            "-w",
+            "mem-micro",
+            "-s",
+            "static-800",
+            "-s",
+            "cap-80-uniform",
+            "--delta",
+            "0.2",
+            "--faults",
+            "slow:0:2.0",
+        ]) {
+            Command::Client {
+                tcp,
+                action: ClientAction::Sweep(spec),
+                ..
+            } => {
+                assert_eq!(tcp.as_deref(), Some("127.0.0.1:7777"));
+                assert_eq!(spec.workloads, vec!["ft-test4", "mem-micro"]);
+                assert_eq!(spec.strategies, vec!["static-800", "cap-80-uniform"]);
+                assert_eq!(spec.deltas, vec![0.2]);
+                assert_eq!(spec.fault_specs, vec!["slow:0:2.0"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&["client", "status", "--socket", "/tmp/d.sock"]),
+            Command::Client {
+                action: ClientAction::Status,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&["client", "shutdown", "--tcp", "127.0.0.1:7777"]),
+            Command::Client {
+                action: ClientAction::Shutdown,
+                ..
+            }
+        ));
+        // Endpoint discipline and name validation happen at parse time.
+        assert!(matches!(
+            parse(&["serve", "--store", "/tmp/c"]),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse(&["serve", "--store", "/tmp/c", "--socket", "/a", "--tcp", "b:1"]),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse(&["client", "sweep", "--socket", "/a", "-w", "warp", "-s", "cpuspeed"]),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse(&["client", "sweep", "--socket", "/a"]),
             Command::Help(Some(_))
         ));
     }

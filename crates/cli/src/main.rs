@@ -10,11 +10,11 @@
 
 mod args;
 
-use args::{Command, STRATEGY_NAMES, WORKLOAD_NAMES};
+use args::Command;
 use edp_metrics::{best_operating_point, efficiency_gain, weighted_ed2p, DELTA_HPC};
 use pwrperf::{
-    static_crescendo, EngineConfig, Experiment, FaultCounts, FaultSpec, Topology, WaitPolicy,
-    Workload,
+    static_crescendo, DvsStrategy, EngineConfig, Experiment, FaultCounts, FaultSpec, Topology,
+    WaitPolicy, Workload,
 };
 use sim_core::SimDuration;
 
@@ -158,6 +158,24 @@ fn main() {
             set_threads(threads);
             best(workload, delta)
         }
+        Command::Serve {
+            store,
+            socket,
+            tcp,
+            threads,
+            max_store_bytes,
+        } => serve_daemon(
+            &store,
+            socket.as_deref(),
+            tcp.as_deref(),
+            threads,
+            max_store_bytes,
+        ),
+        Command::Client {
+            socket,
+            tcp,
+            action,
+        } => client_cmd(socket.as_deref(), tcp.as_deref(), action),
         Command::List => list(),
         Command::Help(msg) => {
             let failed = msg.is_some();
@@ -589,7 +607,7 @@ fn sweep_cap(
     no_cache: bool,
     engine: EngineConfig,
 ) {
-    use pwrperf::{CapPolicy, DvsStrategy};
+    use pwrperf::CapPolicy;
     let mut strategies: Vec<DvsStrategy> = pwrperf::ladder_mhz_desc()
         .into_iter()
         .map(DvsStrategy::StaticMhz)
@@ -751,13 +769,105 @@ fn export(
     print_faults(&result.faults);
 }
 
+/// `pwrperf serve`: run the sweep service daemon until a client sends
+/// `shutdown`.
+fn serve_daemon(
+    store_dir: &str,
+    socket: Option<&str>,
+    tcp: Option<&str>,
+    threads: Option<usize>,
+    max_store_bytes: Option<u64>,
+) {
+    use pwrperf::{CompactionPolicy, Server, ServerConfig, SweepStore};
+    let store = match SweepStore::open(store_dir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("error: cannot open store {store_dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let config = ServerConfig {
+        workers: threads,
+        compaction: CompactionPolicy { max_store_bytes },
+    };
+    let server = match (socket, tcp) {
+        (Some(path), None) => Server::bind_unix(store, config, path).inspect(|_| {
+            println!("pwrperfd listening on unix socket {path} (store: {store_dir})");
+        }),
+        (None, Some(addr)) => Server::bind_tcp(store, config, addr).inspect(|s| {
+            let bound = s
+                .tcp_addr()
+                .map_or_else(|| addr.to_string(), |a| a.to_string());
+            println!("pwrperfd listening on tcp {bound} (store: {store_dir})");
+        }),
+        _ => unreachable!("the parser enforces exactly one endpoint"),
+    };
+    let server = match server {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush(); // readiness line before blocking
+    if let Err(e) = server.serve() {
+        eprintln!("error: serve loop failed: {e}");
+        std::process::exit(1);
+    }
+    println!("pwrperfd: clean shutdown");
+}
+
+/// `pwrperf client`: one request against a running daemon.
+fn client_cmd(socket: Option<&str>, tcp: Option<&str>, action: args::ClientAction) {
+    use args::ClientAction;
+    use pwrperf::Client;
+    let client = match (socket, tcp) {
+        (Some(path), None) => Client::connect_unix(path),
+        (None, Some(addr)) => Client::connect_tcp(addr),
+        _ => unreachable!("the parser enforces exactly one endpoint"),
+    };
+    let mut client = match client {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: cannot connect: {e}");
+            std::process::exit(1);
+        }
+    };
+    let outcome = match action {
+        ClientAction::Sweep(spec) => client.submit_sweep(&spec).map(|done| {
+            println!("{}", done.report.render_text().trim_end());
+            println!("{} results received", done.results.len());
+        }),
+        ClientAction::Query(spec) => client.query(&spec).map(|reply| {
+            print!("{}", reply.table);
+            println!(
+                "query: {} rows, {} missing (store-only; nothing executed)",
+                reply.rows, reply.missing
+            );
+        }),
+        ClientAction::Status => client.status().map(|status| {
+            for (name, value) in &status.counters {
+                println!("{name} {value}");
+            }
+        }),
+        ClientAction::Shutdown => client.shutdown().map(|()| {
+            println!("daemon acknowledged shutdown");
+        }),
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn list() {
     println!("workloads:");
-    for w in WORKLOAD_NAMES {
+    for w in Workload::names() {
         println!("  {w}");
     }
     println!("strategies:");
-    for s in STRATEGY_NAMES {
+    for s in DvsStrategy::names() {
         println!("  {s}");
     }
 }
@@ -787,6 +897,13 @@ USAGE:
   pwrperf analyze -w <workload> -s <strategy> [-o <ndjson-file>]
                  [--perfetto <file>] [--blocking-waits <ms>]
                  [--faults <spec>] [--topology <spec>] [--shards <n>]
+  pwrperf serve  --store <dir> (--socket <path> | --tcp <addr>)
+                 [-j <threads>] [--max-store-bytes <n>]
+  pwrperf client (sweep | query | status | shutdown)
+                 (--socket <path> | --tcp <addr>)
+                 [-w <workload>]... [-s <strategy>]... [--delta <d>]...
+                 [--faults <spec>]... [--topology <spec>] [--shards <n>]
+                 [--causal]
   pwrperf list
 
 EXAMPLES:
@@ -802,6 +919,11 @@ EXAMPLES:
                 --topology fat-tree:radix=16,oversub=2 --shards 8
   pwrperf run   -w ft-test4 --power-cap 100 --faults slow:0:3.0
   pwrperf sweep -w ft-test4 --power-cap 100 --faults slow:0:3.0
+  pwrperf serve --store /tmp/cache --socket /tmp/pwrperfd.sock
+  pwrperf client sweep --socket /tmp/pwrperfd.sock \\
+                -w ft-test4 -s static-800 -s cpuspeed --delta 0.2
+  pwrperf client query --socket /tmp/pwrperfd.sock \\
+                -w ft-test4 -s static-800 -s cpuspeed --delta 0.2
 
 FAULT SPECS (comma-separated; deterministic under a fixed seed):
   seed:<u64>                  RNG seed (default 0x5EEDFA17)

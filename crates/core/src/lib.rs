@@ -35,6 +35,7 @@ pub mod experiment;
 pub mod report;
 pub mod runner;
 pub mod scope;
+pub mod service;
 pub mod store;
 pub mod strategy;
 pub mod sweep;
@@ -53,6 +54,11 @@ pub use runner::{
 pub use scope::{
     analyze_text, attribution_ndjson, metrics_ndjson, metrics_ndjson_with_meta, perfetto_json,
     stats_text, topology_label, try_analyze_text, AnalyzeError, RunMeta, EXPORT_FORMAT_VERSION,
+};
+pub use service::{
+    aggregate, compact, AggregateRow, AggregateTable, Client, CompactionPolicy, CompactionReport,
+    MissExecutor, ProtocolError, QueryReply, Request, Response, Server, ServerConfig, ServiceError,
+    ServiceMetrics, StatusReply, SweepDone, SweepSpec, PROTOCOL_VERSION,
 };
 pub use store::{
     decode_run_result, encode_run_result, fingerprint_experiment, Fingerprint, StoreError,

@@ -171,6 +171,15 @@ pub struct BatchPolicy {
     /// budget exists for host-level transients (allocation failure,
     /// thread-spawn limits) that a rerun can survive.
     pub retries: u32,
+    /// Spacing before the first retry. Each further retry doubles it,
+    /// saturating at [`BatchPolicy::backoff_max`] — bounded deterministic
+    /// backoff, so a host-level transient (fd exhaustion, allocation
+    /// pressure) gets breathing room instead of an immediate identical
+    /// re-attempt. `Duration::ZERO` (the default, so tests stay fast)
+    /// disables spacing entirely.
+    pub backoff_base: Duration,
+    /// Upper bound on any single retry delay.
+    pub backoff_max: Duration,
 }
 
 impl Default for BatchPolicy {
@@ -178,7 +187,28 @@ impl Default for BatchPolicy {
         BatchPolicy {
             workers: None,
             retries: 1,
+            backoff_base: Duration::ZERO,
+            backoff_max: Duration::from_secs(1),
         }
+    }
+}
+
+impl BatchPolicy {
+    /// The delay inserted before retry number `retry` (1-based): an
+    /// exponential doubling of [`BatchPolicy::backoff_base`], capped at
+    /// [`BatchPolicy::backoff_max`]. Pure and deterministic — the same
+    /// policy always produces the same schedule.
+    pub fn backoff_delay(&self, retry: u32) -> Duration {
+        if retry == 0 || self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        // Cap the shift so the multiplier can't overflow u32 even for
+        // absurd retry budgets; backoff_max bounds the result anyway.
+        let doublings = retry.saturating_sub(1).min(20);
+        let factor = 1u32 << doublings;
+        self.backoff_base
+            .checked_mul(factor)
+            .map_or(self.backoff_max, |d| d.min(self.backoff_max))
     }
 }
 
@@ -237,8 +267,31 @@ pub fn run_batch_checked_with(
     experiments: Vec<Experiment>,
     policy: BatchPolicy,
 ) -> Vec<Result<RunResult, ExperimentError>> {
-    let workers = thread_count_with(experiments.len(), policy.workers.or_else(env_threads));
-    let (slots, _telemetry) = parallel_map_caught(&experiments, &|e: &Experiment| e.run(), workers);
+    checked_map_with(&experiments, |e: &Experiment| e.run(), policy)
+}
+
+/// The checked-batch core, generic over the job closure: map `f` over
+/// `items` on [`BatchPolicy`]-controlled workers, converting per-job
+/// panics into per-slot [`ExperimentError`]s after the policy's bounded
+/// retry (with [`BatchPolicy::backoff_delay`] spacing between attempts).
+///
+/// The `attempts` an error reports is an execution count, not a loop
+/// count: it is incremented exactly once per invocation of `f` for that
+/// slot, so `attempts == 1 + retries` always matches the number of times
+/// the job actually ran (pinned by `checked_attempts_equal_executions`).
+#[must_use]
+pub fn checked_map_with<T, R, F>(
+    items: &[T],
+    f: F,
+    policy: BatchPolicy,
+) -> Vec<Result<R, ExperimentError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = thread_count_with(items.len(), policy.workers.or_else(env_threads));
+    let (slots, _telemetry) = parallel_map_caught(items, &f, workers);
     slots
         .into_iter()
         .enumerate()
@@ -247,10 +300,16 @@ pub fn run_batch_checked_with(
                 Ok(r) => return Ok(r),
                 Err(payload) => payload,
             };
+            // One execution has happened (the parallel pass above); each
+            // loop iteration performs exactly one more.
             let mut attempts = 1u32;
             while attempts <= policy.retries {
+                let delay = policy.backoff_delay(attempts);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
                 attempts += 1;
-                match catch_unwind(AssertUnwindSafe(|| experiments[index].run())) {
+                match catch_unwind(AssertUnwindSafe(|| f(&items[index]))) {
                     Ok(r) => return Ok(r),
                     Err(payload) => last = payload,
                 }
@@ -546,5 +605,78 @@ mod tests {
         let p = BatchPolicy::default();
         assert_eq!(p.workers, None);
         assert_eq!(p.retries, 1);
+        assert_eq!(p.backoff_base, Duration::ZERO, "spacing is opt-in");
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_doubling_capped() {
+        let p = BatchPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(80),
+            ..BatchPolicy::default()
+        };
+        let schedule: Vec<u64> = (0..=6)
+            .map(|k| p.backoff_delay(k).as_millis() as u64)
+            .collect();
+        assert_eq!(schedule, vec![0, 10, 20, 40, 80, 80, 80]);
+        // Disabled by default: every delay is zero whatever the retry.
+        let off = BatchPolicy::default();
+        assert!((0..100).all(|k| off.backoff_delay(k).is_zero()));
+        // Absurd retry numbers stay bounded instead of overflowing.
+        assert_eq!(p.backoff_delay(u32::MAX), Duration::from_millis(80));
+    }
+
+    #[test]
+    fn checked_attempts_equal_executions() {
+        // The attempts-accounting audit: the count an ExperimentError
+        // reports must equal the number of times the job actually ran,
+        // for every retry budget.
+        for retries in [0u32, 1, 3] {
+            let executions = AtomicUsize::new(0);
+            let items = vec![0u32];
+            let out = checked_map_with(
+                &items,
+                |_| -> u32 {
+                    executions.fetch_add(1, Ordering::SeqCst);
+                    panic!("always fails")
+                },
+                BatchPolicy {
+                    workers: Some(1),
+                    retries,
+                    ..BatchPolicy::default()
+                },
+            );
+            let err = out[0].as_ref().unwrap_err();
+            assert_eq!(err.attempts, 1 + retries, "reported attempts");
+            assert_eq!(
+                executions.load(Ordering::SeqCst) as u32,
+                err.attempts,
+                "reported attempts must equal actual executions (retries={retries})"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_failure_recovers_within_retry_budget() {
+        let executions = AtomicUsize::new(0);
+        let items = vec![7u32];
+        let out = checked_map_with(
+            &items,
+            |&x| {
+                // First execution panics (a host-level transient); the
+                // retry succeeds.
+                if executions.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient");
+                }
+                x * 2
+            },
+            BatchPolicy {
+                workers: Some(1),
+                retries: 1,
+                ..BatchPolicy::default()
+            },
+        );
+        assert_eq!(out[0].as_ref().unwrap(), &14);
+        assert_eq!(executions.load(Ordering::SeqCst), 2);
     }
 }

@@ -1,0 +1,99 @@
+//! The blocking client the CLI and tests drive.
+//!
+//! One [`Client`] holds one connection and speaks strict
+//! request/response: every call writes one frame and blocks until the
+//! matching reply (or a typed error) comes back. A server-side
+//! [`Response::Error`] surfaces as [`ProtocolError::Remote`]; a reply of
+//! the wrong kind surfaces as [`ProtocolError::Unexpected`] — the client
+//! never guesses.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use super::protocol::{
+    ProtocolError, QueryReply, Request, Response, StatusReply, SweepDone, SweepSpec,
+};
+use super::wire::{read_response, write_request};
+
+/// Object-safe alias for "any byte stream we can speak frames over".
+trait Stream: Read + Write {}
+impl<T: Read + Write> Stream for T {}
+
+/// A connected service client.
+pub struct Client {
+    stream: Box<dyn Stream>,
+}
+
+impl Client {
+    /// Connect over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<Self, ProtocolError> {
+        let stream = UnixStream::connect(path.as_ref())?;
+        Ok(Client {
+            stream: Box::new(stream),
+        })
+    }
+
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: &str) -> Result<Self, ProtocolError> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            stream: Box::new(stream),
+        })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ProtocolError> {
+        write_request(&mut self.stream, request)?;
+        match read_response(&mut self.stream)? {
+            Response::Error(msg) => Err(ProtocolError::Remote(msg)),
+            response => Ok(response),
+        }
+    }
+
+    /// Submit a sweep; blocks until every cell is served or executed.
+    pub fn submit_sweep(&mut self, spec: &SweepSpec) -> Result<SweepDone, ProtocolError> {
+        match self.round_trip(&Request::SubmitSweep(spec.clone()))? {
+            Response::SweepDone(done) => Ok(done),
+            other => Err(ProtocolError::Unexpected {
+                wanted: "sweep-done",
+                got: other.name(),
+            }),
+        }
+    }
+
+    /// Ask for the ED²P/wED²P aggregation of a grid (store-only).
+    pub fn query(&mut self, spec: &SweepSpec) -> Result<QueryReply, ProtocolError> {
+        match self.round_trip(&Request::Query(spec.clone()))? {
+            Response::QueryDone(reply) => Ok(reply),
+            other => Err(ProtocolError::Unexpected {
+                wanted: "query-done",
+                got: other.name(),
+            }),
+        }
+    }
+
+    /// Fetch the daemon's `service.*` counters.
+    pub fn status(&mut self) -> Result<StatusReply, ProtocolError> {
+        match self.round_trip(&Request::Status)? {
+            Response::Status(status) => Ok(status),
+            other => Err(ProtocolError::Unexpected {
+                wanted: "status",
+                got: other.name(),
+            }),
+        }
+    }
+
+    /// Ask the daemon to exit; returns once it acknowledges.
+    pub fn shutdown(&mut self) -> Result<(), ProtocolError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ProtocolError::Unexpected {
+                wanted: "shutting-down",
+                got: other.name(),
+            }),
+        }
+    }
+}

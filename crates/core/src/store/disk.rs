@@ -1,6 +1,14 @@
 //! The persistent record store: one checksummed file per fingerprint.
 //!
-//! Layout of `<store-dir>/<fingerprint-hex>.run`:
+//! Records are sharded by the first fingerprint byte —
+//! `<store-dir>/<hh>/<fingerprint-hex>.run`, where `hh` is the first two
+//! hex digits — so a store holding tens of thousands of records never
+//! puts more than ~1/256th of them in one directory. Stores written
+//! before sharding kept every record flat in the root; reads transparently
+//! fall back to that legacy location, and compaction (the service layer)
+//! migrates legacy records into their shard.
+//!
+//! Layout of a record file:
 //!
 //! ```text
 //! magic      b"PWRS"                      4 bytes
@@ -11,15 +19,18 @@
 //! checksum   checksum64(payload)          u64 LE
 //! ```
 //!
-//! Writes go to a temporary sibling and `rename` into place, so a killed
-//! sweep leaves either a complete record or no record — never a torn one
-//! the next run would have to distrust. Reads validate every header
-//! field and the checksum before decoding; any mismatch is a typed
-//! [`StoreError`], which the sweep layer treats as a cache miss.
+//! Writes go to a temporary sibling — named with the writer's pid and a
+//! per-process sequence number, so concurrent writers of the *same* key
+//! never interleave on one tmp file — then `sync_all` and `rename` into
+//! place. A killed sweep leaves either a complete record or no record,
+//! never a torn one the next run would have to distrust. Reads validate
+//! every header field and the checksum before decoding; any mismatch is a
+//! typed [`StoreError`], which the sweep layer treats as a cache miss.
 
 use std::fs;
-use std::io::ErrorKind;
+use std::io::{ErrorKind, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use mpi_sim::RunResult;
 
@@ -29,6 +40,11 @@ use super::run_codec::{decode_run_result, encode_run_result};
 
 const RECORD_MAGIC: &[u8; 4] = b"PWRS";
 const HEADER_LEN: usize = 4 + 4 + 16 + 8;
+
+/// Per-process sequence for unique tmp-file names: two threads writing
+/// the same fingerprint concurrently must never share a tmp sibling, or
+/// one renames the other's half-written bytes into place.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Why a store operation failed.
 #[derive(Debug)]
@@ -137,33 +153,61 @@ impl SweepStore {
         &self.dir
     }
 
-    /// Where `fingerprint`'s record lives (whether or not it exists).
+    /// Where `fingerprint`'s record lives (whether or not it exists):
+    /// the sharded location, `<dir>/<hh>/<hex>.run`.
     pub fn record_path(&self, fingerprint: Fingerprint) -> PathBuf {
+        let hex = fingerprint.to_hex();
+        self.dir.join(&hex[..2]).join(format!("{hex}.run"))
+    }
+
+    /// Where a pre-sharding store kept `fingerprint`'s record: flat in
+    /// the root. Reads fall back here; writes never land here.
+    pub fn legacy_record_path(&self, fingerprint: Fingerprint) -> PathBuf {
         self.dir.join(format!("{}.run", fingerprint.to_hex()))
     }
 
     /// Cheap existence probe (no validation) — what `--dry-run` reports.
     pub fn contains(&self, fingerprint: Fingerprint) -> bool {
-        self.record_path(fingerprint).exists()
+        self.record_path(fingerprint).exists() || self.legacy_record_path(fingerprint).exists()
+    }
+
+    /// Every record file on disk (any validity): sharded records plus
+    /// legacy flat ones, sorted by path for deterministic iteration.
+    pub fn record_files(&self) -> Result<Vec<PathBuf>, StoreError> {
+        let read_dir = |dir: &Path| -> Result<Vec<PathBuf>, StoreError> {
+            let entries = fs::read_dir(dir).map_err(|source| StoreError::Io {
+                path: dir.to_path_buf(),
+                source,
+            })?;
+            let mut out = Vec::new();
+            for entry in entries {
+                let entry = entry.map_err(|source| StoreError::Io {
+                    path: dir.to_path_buf(),
+                    source,
+                })?;
+                out.push(entry.path());
+            }
+            Ok(out)
+        };
+        let mut files = Vec::new();
+        for path in read_dir(&self.dir)? {
+            if path.is_dir() {
+                for sub in read_dir(&path)? {
+                    if sub.extension().is_some_and(|e| e == "run") {
+                        files.push(sub);
+                    }
+                }
+            } else if path.extension().is_some_and(|e| e == "run") {
+                files.push(path);
+            }
+        }
+        files.sort();
+        Ok(files)
     }
 
     /// Number of records currently on disk (any validity).
     pub fn record_count(&self) -> Result<usize, StoreError> {
-        let entries = fs::read_dir(&self.dir).map_err(|source| StoreError::Io {
-            path: self.dir.clone(),
-            source,
-        })?;
-        let mut count = 0;
-        for entry in entries {
-            let entry = entry.map_err(|source| StoreError::Io {
-                path: self.dir.clone(),
-                source,
-            })?;
-            if entry.path().extension().is_some_and(|e| e == "run") {
-                count += 1;
-            }
-        }
-        Ok(count)
+        Ok(self.record_files()?.len())
     }
 
     /// Load the record for `fingerprint`. `Ok(None)` is a clean miss; a
@@ -171,12 +215,23 @@ impl SweepStore {
     /// caller decides to re-run — the record is left in place for
     /// inspection and will be overwritten by the fresh result).
     pub fn load(&mut self, fingerprint: Fingerprint) -> Result<Option<RunResult>, StoreError> {
-        let path = self.record_path(fingerprint);
+        let mut path = self.record_path(fingerprint);
         let bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == ErrorKind::NotFound => {
-                self.stats.misses += 1;
-                return Ok(None);
+                // Read-through to the pre-sharding flat layout.
+                path = self.legacy_record_path(fingerprint);
+                match fs::read(&path) {
+                    Ok(bytes) => bytes,
+                    Err(e) if e.kind() == ErrorKind::NotFound => {
+                        self.stats.misses += 1;
+                        return Ok(None);
+                    }
+                    Err(source) => {
+                        self.stats.corrupt += 1;
+                        return Err(StoreError::Io { path, source });
+                    }
+                }
             }
             Err(source) => {
                 self.stats.corrupt += 1;
@@ -196,7 +251,10 @@ impl SweepStore {
         }
     }
 
-    fn validate_and_decode(
+    /// Validate a record's framing (magic, version, key, length,
+    /// checksum) and decode its payload. Compaction uses this to decide
+    /// whether a record is worth keeping.
+    pub(crate) fn validate_and_decode(
         path: &Path,
         bytes: &[u8],
         fingerprint: Fingerprint,
@@ -249,8 +307,11 @@ impl SweepStore {
         })
     }
 
-    /// Persist `result` under `fingerprint`, atomically (write to a
-    /// temporary sibling, then rename into place).
+    /// Persist `result` under `fingerprint`, atomically: write to a
+    /// uniquely named temporary sibling (pid + per-process sequence, so
+    /// concurrent writers of the same key never share a tmp file),
+    /// `sync_all`, then rename into place. Readers racing the rename see
+    /// either the old complete record or the new one — never torn bytes.
     pub fn store(
         &mut self,
         fingerprint: Fingerprint,
@@ -266,13 +327,27 @@ impl SweepStore {
         w.put_u64(checksum64(&payload));
         let record = w.into_bytes();
 
-        let path = self.record_path(fingerprint);
-        let tmp = self.dir.join(format!("{}.tmp", fingerprint.to_hex()));
-        fs::write(&tmp, &record).map_err(|source| StoreError::Io {
-            path: tmp.clone(),
+        let hex = fingerprint.to_hex();
+        let shard = self.dir.join(&hex[..2]);
+        fs::create_dir_all(&shard).map_err(|source| StoreError::Io {
+            path: shard.clone(),
             source,
         })?;
-        fs::rename(&tmp, &path).map_err(|source| StoreError::Io { path, source })?;
+        let path = self.record_path(fingerprint);
+        let tmp = shard.join(format!(
+            "{hex}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        let io_err = |path: &Path| {
+            let path = path.to_path_buf();
+            move |source| StoreError::Io { path, source }
+        };
+        let mut file = fs::File::create(&tmp).map_err(io_err(&tmp))?;
+        file.write_all(&record).map_err(io_err(&tmp))?;
+        file.sync_all().map_err(io_err(&tmp))?;
+        drop(file);
+        fs::rename(&tmp, &path).map_err(io_err(&path))?;
         self.stats.bytes_written += record.len() as u64;
         Ok(())
     }
@@ -341,6 +416,50 @@ mod tests {
         fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(matches!(store.load(fp), Err(StoreError::Corrupt { .. })));
         assert_eq!(store.stats().corrupt, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn records_land_in_two_hex_shard_dirs() {
+        let dir = tmp_dir("sharded");
+        let mut store = SweepStore::open(&dir).unwrap();
+        let exp = Experiment::new(Workload::ft_test(2), DvsStrategy::StaticMhz(1000));
+        let fp = fingerprint_experiment(&exp);
+        store.store(fp, &exp.run()).unwrap();
+        let path = store.record_path(fp);
+        assert!(path.exists());
+        let shard = path
+            .parent()
+            .unwrap()
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap();
+        assert_eq!(shard, &fp.to_hex()[..2]);
+        assert_eq!(store.record_count().unwrap(), 1);
+        // No stray tmp files survive a successful store.
+        assert!(fs::read_dir(path.parent().unwrap()).unwrap().all(|e| e
+            .unwrap()
+            .path()
+            .extension()
+            .is_some_and(|x| x == "run")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_flat_records_are_read_through() {
+        let dir = tmp_dir("legacy");
+        let mut store = SweepStore::open(&dir).unwrap();
+        let exp = Experiment::new(Workload::ft_test(2), DvsStrategy::StaticMhz(1200));
+        let fp = fingerprint_experiment(&exp);
+        let result = exp.run();
+        store.store(fp, &result).unwrap();
+        // Demote the record to the pre-sharding flat location.
+        fs::rename(store.record_path(fp), store.legacy_record_path(fp)).unwrap();
+        assert!(store.contains(fp), "contains must probe the legacy path");
+        assert_eq!(store.record_count().unwrap(), 1);
+        assert_eq!(store.load(fp).unwrap(), Some(result));
+        assert_eq!(store.stats().hits, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

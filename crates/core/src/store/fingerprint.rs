@@ -89,6 +89,18 @@ impl Fingerprint {
         out
     }
 
+    /// Parse the 32-hex-digit form produced by [`Fingerprint::to_hex`]
+    /// (a record's file stem). `None` for anything else — compaction
+    /// uses this to tell record files from strays.
+    pub fn from_hex(hex: &str) -> Option<Self> {
+        if hex.len() != 32 || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+            return None;
+        }
+        let lo = u64::from_str_radix(hex.get(..16)?, 16).ok()?;
+        let hi = u64::from_str_radix(hex.get(16..)?, 16).ok()?;
+        Some(Fingerprint { lo, hi })
+    }
+
     /// Rebuild from [`Fingerprint::to_bytes`] output.
     pub fn from_bytes(bytes: [u8; 16]) -> Self {
         let mut lo = [0u8; 8];
@@ -482,6 +494,9 @@ mod tests {
         let fp = fingerprint_experiment(&experiment());
         assert_eq!(fp.to_hex().len(), 32);
         assert_eq!(Fingerprint::from_bytes(fp.to_bytes()), fp);
+        assert_eq!(Fingerprint::from_hex(&fp.to_hex()), Some(fp));
+        assert_eq!(Fingerprint::from_hex("not-a-key"), None);
+        assert_eq!(Fingerprint::from_hex(&fp.to_hex()[..31]), None);
     }
 
     #[test]

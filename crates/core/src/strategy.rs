@@ -92,6 +92,58 @@ impl DvsStrategy {
         }
     }
 
+    /// Parse a CLI/wire strategy name: `static-<mhz>`, `dynamic-<mhz>`,
+    /// the three kernel governors, and `cap-<watts>[-uniform|-redist]`
+    /// (redistribute being the default policy). The single name
+    /// registry — the CLI and the sweep-service protocol (which carries
+    /// strategies by name) both resolve through it.
+    pub fn parse_name(name: &str) -> Result<DvsStrategy, String> {
+        if let Some(mhz) = name.strip_prefix("static-") {
+            let mhz: u32 = mhz
+                .parse()
+                .map_err(|_| format!("bad frequency in '{name}'"))?;
+            return Ok(DvsStrategy::StaticMhz(mhz));
+        }
+        if let Some(mhz) = name.strip_prefix("dynamic-") {
+            let mhz: u32 = mhz
+                .parse()
+                .map_err(|_| format!("bad frequency in '{name}'"))?;
+            return Ok(DvsStrategy::DynamicBaseMhz(mhz));
+        }
+        if let Some(spec) = name.strip_prefix("cap-") {
+            let (watts, policy) = match spec.split_once('-') {
+                None => (spec, CapPolicy::Redistribute),
+                Some((watts, "redist")) => (watts, CapPolicy::Redistribute),
+                Some((watts, "uniform")) => (watts, CapPolicy::Uniform),
+                Some((_, other)) => {
+                    return Err(format!("unknown cap policy '{other}' in '{name}'"))
+                }
+            };
+            let watts: u32 = watts
+                .parse()
+                .map_err(|_| format!("bad watt budget in '{name}'"))?;
+            return Ok(DvsStrategy::PowerCap { watts, policy });
+        }
+        match name {
+            "cpuspeed" => Ok(DvsStrategy::Cpuspeed),
+            "ondemand" => Ok(DvsStrategy::OnDemand),
+            "conservative" => Ok(DvsStrategy::Conservative),
+            other => Err(format!("unknown strategy '{other}' (try `pwrperf list`)")),
+        }
+    }
+
+    /// Known strategy name patterns (for `pwrperf list` and error hints).
+    pub fn names() -> &'static [&'static str] {
+        &[
+            "static-<mhz>",
+            "dynamic-<mhz>",
+            "cpuspeed",
+            "ondemand",
+            "conservative",
+            "cap-<watts>[-uniform|-redist]",
+        ]
+    }
+
     /// Report label (matches the paper's figure legends). Frequencies are
     /// ladder-resolved first so the label names the point the run
     /// actually executed at.
@@ -119,6 +171,39 @@ mod tests {
         (0..n)
             .map(|i| Node::new(i, NodeConfig::inspiron_8600()))
             .collect()
+    }
+
+    #[test]
+    fn names_parse_including_power_caps() {
+        assert_eq!(
+            DvsStrategy::parse_name("static-800"),
+            Ok(DvsStrategy::StaticMhz(800))
+        );
+        assert_eq!(
+            DvsStrategy::parse_name("dynamic-1400"),
+            Ok(DvsStrategy::DynamicBaseMhz(1400))
+        );
+        assert_eq!(
+            DvsStrategy::parse_name("cpuspeed"),
+            Ok(DvsStrategy::Cpuspeed)
+        );
+        assert_eq!(
+            DvsStrategy::parse_name("cap-80"),
+            Ok(DvsStrategy::PowerCap {
+                watts: 80,
+                policy: CapPolicy::Redistribute
+            })
+        );
+        assert_eq!(
+            DvsStrategy::parse_name("cap-100-uniform"),
+            Ok(DvsStrategy::PowerCap {
+                watts: 100,
+                policy: CapPolicy::Uniform
+            })
+        );
+        assert!(DvsStrategy::parse_name("cap-80-bogus").is_err());
+        assert!(DvsStrategy::parse_name("static-fast").is_err());
+        assert!(DvsStrategy::parse_name("warp-speed").is_err());
     }
 
     #[test]

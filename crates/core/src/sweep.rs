@@ -50,6 +50,10 @@ pub struct SweepJob {
     pub fingerprint: Fingerprint,
     /// Whether a record existed when the plan was made.
     pub cached: bool,
+    /// `Some(i)` when an earlier job `i` in the same grid has the same
+    /// fingerprint: this job never loads or executes anything itself —
+    /// its slot is filled from job `i`'s result.
+    pub duplicate_of: Option<usize>,
 }
 
 /// The cached/uncached partition of a sweep (what `--dry-run` prints).
@@ -60,14 +64,29 @@ pub struct SweepPlan {
 }
 
 impl SweepPlan {
-    /// Jobs already present in the store.
+    /// Unique jobs already present in the store.
     pub fn hits(&self) -> usize {
-        self.jobs.iter().filter(|j| j.cached).count()
+        self.jobs
+            .iter()
+            .filter(|j| j.cached && j.duplicate_of.is_none())
+            .count()
     }
 
-    /// Jobs that would execute.
+    /// Unique jobs that would execute.
     pub fn misses(&self) -> usize {
-        self.jobs.len() - self.hits()
+        self.jobs
+            .iter()
+            .filter(|j| !j.cached && j.duplicate_of.is_none())
+            .count()
+    }
+
+    /// Jobs whose fingerprint repeats an earlier grid cell (they ride on
+    /// that cell's result; `hits + misses + duplicates == jobs`).
+    pub fn duplicates(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.duplicate_of.is_some())
+            .count()
     }
 }
 
@@ -90,6 +109,10 @@ pub struct SweepReport {
     pub bytes_read: u64,
     /// Record bytes written to the store.
     pub bytes_written: u64,
+    /// Grid cells whose fingerprint repeated an earlier cell: each was
+    /// served from the earlier cell's result — never loaded, executed,
+    /// or counted as a hit or miss.
+    pub duplicate_jobs: u64,
 }
 
 impl SweepReport {
@@ -104,18 +127,25 @@ impl SweepReport {
         m.counter_add("sweep.corrupt_records", self.corrupt_records);
         m.counter_add("sweep.bytes_read", self.bytes_read);
         m.counter_add("sweep.bytes_written", self.bytes_written);
+        m.counter_add("sweep.duplicate_jobs", self.duplicate_jobs);
         m
     }
 
     /// One-line human summary.
     pub fn render_text(&self) -> String {
+        let duplicates = if self.duplicate_jobs > 0 {
+            format!(", {} duplicates", self.duplicate_jobs)
+        } else {
+            String::new()
+        };
         format!(
-            "{} jobs: {} cache hits, {} misses ({} engine runs, {} corrupt records), {} B read, {} B written",
+            "{} jobs: {} cache hits, {} misses ({} engine runs, {} corrupt records{}), {} B read, {} B written",
             self.jobs,
             self.cache_hits,
             self.cache_misses,
             self.engine_runs,
             self.corrupt_records,
+            duplicates,
             self.bytes_read,
             self.bytes_written,
         )
@@ -204,6 +234,27 @@ pub struct BestPoint {
     pub best_mhz: Option<u32>,
 }
 
+/// For each position, the index of the *earlier* position holding the
+/// same fingerprint (`None` for first occurrences). Two grid cells can
+/// collide legitimately — a duplicated axis entry, or two requests that
+/// ladder-resolve to the same operating point — and running the engine
+/// for both would double-count misses and waste the duplicate's run.
+pub(crate) fn duplicate_map(fingerprints: &[Fingerprint]) -> Vec<Option<usize>> {
+    let mut first_seen: std::collections::BTreeMap<Fingerprint, usize> =
+        std::collections::BTreeMap::new();
+    fingerprints
+        .iter()
+        .enumerate()
+        .map(|(i, &fp)| match first_seen.get(&fp) {
+            Some(&primary) => Some(primary),
+            None => {
+                first_seen.insert(fp, i);
+                None
+            }
+        })
+        .collect()
+}
+
 impl Sweep {
     /// The full grid: every workload under every strategy and fault
     /// spec. An empty `fault_specs` means "one clean run per cell".
@@ -271,20 +322,29 @@ impl Sweep {
     }
 
     /// Partition the grid against `store` without executing anything.
+    /// Jobs repeating an earlier cell's fingerprint (a duplicated axis
+    /// entry, or two requests resolving to the same operating point) are
+    /// marked [`SweepJob::duplicate_of`] so they are neither loaded nor
+    /// executed twice.
     pub fn plan(&self, store: &SweepStore) -> SweepPlan {
-        let jobs = self
-            .experiments()
+        let experiments = self.experiments();
+        let fingerprints: Vec<Fingerprint> =
+            experiments.iter().map(fingerprint_experiment).collect();
+        let duplicate_of = duplicate_map(&fingerprints);
+        let jobs = experiments
             .into_iter()
+            .zip(fingerprints)
+            .zip(duplicate_of)
             .enumerate()
-            .map(|(index, experiment)| {
-                let fingerprint = fingerprint_experiment(&experiment);
-                SweepJob {
+            .map(
+                |(index, ((experiment, fingerprint), duplicate_of))| SweepJob {
                     index,
                     cached: store.contains(fingerprint),
                     experiment,
                     fingerprint,
-                }
-            })
+                    duplicate_of,
+                },
+            )
             .collect();
         SweepPlan { jobs }
     }
@@ -304,11 +364,20 @@ impl Sweep {
         let experiments = self.experiments();
         let fingerprints: Vec<Fingerprint> =
             experiments.iter().map(fingerprint_experiment).collect();
+        let duplicate_of = duplicate_map(&fingerprints);
+        let duplicate_jobs = duplicate_of.iter().filter(|d| d.is_some()).count() as u64;
         let before = store.stats();
 
+        // Only primary cells (the first occurrence of each fingerprint)
+        // touch the store or the engine; duplicates are filled from
+        // their primary afterwards.
         let mut slots: Vec<Option<RunResult>> = Vec::with_capacity(experiments.len());
         let mut miss_indices: Vec<usize> = Vec::new();
         for (i, &fp) in fingerprints.iter().enumerate() {
+            if duplicate_of.get(i).is_some_and(|d| d.is_some()) {
+                slots.push(None);
+                continue;
+            }
             match store.load(fp) {
                 Ok(Some(result)) => slots.push(Some(result)),
                 Ok(None) | Err(_) => {
@@ -329,6 +398,11 @@ impl Sweep {
             store.store(fingerprints[i], &result)?;
             slots[i] = Some(result);
         }
+        for (i, dup) in duplicate_of.iter().enumerate() {
+            if let Some(primary) = dup {
+                slots[i] = slots.get(*primary).cloned().flatten();
+            }
+        }
 
         let results: Vec<RunResult> = slots.into_iter().flatten().collect();
         assert_eq!(
@@ -345,22 +419,53 @@ impl Sweep {
             corrupt_records: after.corrupt - before.corrupt,
             bytes_read: after.bytes_read - before.bytes_read,
             bytes_written: after.bytes_written - before.bytes_written,
+            duplicate_jobs,
         };
         Ok(SweepOutcome { results, report })
     }
 
     /// Run the whole grid with no cache involved (the CLI `--no-cache`
-    /// path). Every job is an engine run.
+    /// path). Every *unique* job is an engine run; duplicated grid cells
+    /// share their primary's result.
     pub fn run_uncached(&self, workers: Option<usize>) -> SweepOutcome {
         let experiments = self.experiments();
         let jobs = experiments.len() as u64;
-        let results = crate::runner::run_batch_with(experiments, workers);
+        let fingerprints: Vec<Fingerprint> =
+            experiments.iter().map(fingerprint_experiment).collect();
+        let duplicate_of = duplicate_map(&fingerprints);
+        let duplicate_jobs = duplicate_of.iter().filter(|d| d.is_some()).count() as u64;
+
+        let primary_indices: Vec<usize> = duplicate_of
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let to_run: Vec<Experiment> = primary_indices
+            .iter()
+            .map(|&i| experiments[i].clone())
+            .collect();
+        let engine_runs = to_run.len() as u64;
+        let fresh = crate::runner::run_batch_with(to_run, workers);
+
+        let mut slots: Vec<Option<RunResult>> = vec![None; experiments.len()];
+        for (&i, result) in primary_indices.iter().zip(fresh) {
+            slots[i] = Some(result);
+        }
+        for (i, dup) in duplicate_of.iter().enumerate() {
+            if let Some(primary) = dup {
+                slots[i] = slots.get(*primary).cloned().flatten();
+            }
+        }
+        let results: Vec<RunResult> = slots.into_iter().flatten().collect();
+        assert_eq!(results.len(), jobs as usize, "every sweep slot filled");
         SweepOutcome {
             results,
             report: SweepReport {
                 jobs,
-                cache_misses: jobs,
-                engine_runs: jobs,
+                cache_misses: engine_runs,
+                engine_runs,
+                duplicate_jobs,
                 ..SweepReport::default()
             },
         }
@@ -563,12 +668,73 @@ mod tests {
             corrupt_records: 1,
             bytes_read: 100,
             bytes_written: 50,
+            duplicate_jobs: 0,
         };
         let m = report.metrics();
         assert_eq!(m.counter("sweep.cache_hits"), Some(3));
         assert_eq!(m.counter("sweep.cache_misses"), Some(2));
         assert_eq!(m.counter("sweep.bytes_read"), Some(100));
-        assert!(report.render_text().contains("3 cache hits"));
+        assert_eq!(m.counter("sweep.duplicate_jobs"), Some(0));
+        let text = report.render_text();
+        assert!(text.contains("3 cache hits"));
+        assert!(!text.contains("duplicates"), "quiet when there are none");
+        let with_dups = SweepReport {
+            duplicate_jobs: 2,
+            ..report
+        };
+        assert!(with_dups.render_text().contains("2 duplicates"));
+    }
+
+    #[test]
+    fn duplicated_grid_cells_execute_once() {
+        // The dedupe regression: a duplicated axis entry (here both a
+        // literal repeat and a request that ladder-resolves onto another
+        // cell's operating point) must not run the engine twice or
+        // double-count misses.
+        let dir = tmp_dir("dedupe");
+        let mut store = SweepStore::open(&dir).unwrap();
+        let sweep = Sweep::grid(
+            vec![Workload::ft_test(2)],
+            vec![
+                DvsStrategy::StaticMhz(1400),
+                DvsStrategy::StaticMhz(1400), // literal duplicate
+                DvsStrategy::StaticMhz(5000), // clamps to 1400: same key
+                DvsStrategy::StaticMhz(600),
+            ],
+            Vec::new(),
+            Vec::new(),
+        );
+
+        let plan = sweep.plan(&store);
+        assert_eq!(
+            (plan.hits(), plan.misses(), plan.duplicates()),
+            (0, 2, 2),
+            "only unique fingerprints count as misses"
+        );
+
+        let cold = sweep.run(&mut store, Some(1)).unwrap();
+        assert_eq!(cold.report.jobs, 4);
+        assert_eq!(cold.report.engine_runs, 2, "one run per unique key");
+        assert_eq!(cold.report.cache_misses, 2);
+        assert_eq!(cold.report.duplicate_jobs, 2);
+        assert_eq!(cold.results.len(), 4);
+        assert_eq!(cold.results[0], cold.results[1]);
+        assert_eq!(cold.results[0], cold.results[2]);
+        assert_ne!(cold.results[0], cold.results[3]);
+
+        // Warm pass: two unique hits, still zero engine work.
+        let warm = sweep.run(&mut store, Some(1)).unwrap();
+        assert_eq!(warm.report.engine_runs, 0);
+        assert_eq!(warm.report.cache_hits, 2);
+        assert_eq!(warm.report.duplicate_jobs, 2);
+        assert_eq!(warm.results, cold.results);
+
+        // The uncached path dedupes identically.
+        let uncached = sweep.run_uncached(Some(1));
+        assert_eq!(uncached.report.engine_runs, 2);
+        assert_eq!(uncached.report.duplicate_jobs, 2);
+        assert_eq!(uncached.results, cold.results);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

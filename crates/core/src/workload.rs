@@ -141,6 +141,77 @@ impl Workload {
         }
     }
 
+    /// Parse a CLI/wire workload name (`ft-test4`, `ft-scale-1024`,
+    /// `mem-micro`, ...). This is the single name registry: the CLI and
+    /// the sweep-service protocol — which carries workloads by name so a
+    /// client and daemon agree on fingerprints by construction — both
+    /// resolve through it.
+    pub fn parse_name(name: &str) -> Result<Workload, String> {
+        // `ft-scale-<ranks>`: one class-C FT iteration on a large
+        // power-of-two rank count (the scale benchmark family).
+        if let Some(ranks) = name.strip_prefix("ft-scale-") {
+            let ranks: usize = ranks
+                .parse()
+                .map_err(|_| format!("bad rank count in '{name}'"))?;
+            if !ranks.is_power_of_two() {
+                return Err(format!("'{name}': FT needs a power-of-two rank count"));
+            }
+            return Ok(Workload::ft_scale(ranks));
+        }
+        let w = match name {
+            "ft-a8" => Workload::Ft {
+                class: FtClass::A,
+                ranks: 8,
+            },
+            "ft-b8" => Workload::ft_b8(),
+            "ft-c8" => Workload::ft_c8(),
+            "ft-test4" => Workload::ft_test(4),
+            "cg-a8" => Workload::Cg {
+                class: CgClass::A,
+                ranks: 8,
+            },
+            "cg-b8" => Workload::cg_b8(),
+            "mg-a8" => Workload::Mg {
+                class: MgClass::A,
+                ranks: 8,
+            },
+            "mg-b8" => Workload::mg_b8(),
+            "transpose" => Workload::transpose_paper(),
+            "swim" => Workload::Swim,
+            "mgrid" => Workload::Mgrid,
+            "mem-micro" => Workload::MemoryMicro(MicroConfig::default()),
+            "cpu-micro" => Workload::CpuMicro(MicroConfig { passes: 400_000 }),
+            "comm-256k" => Workload::Comm(CommMicroConfig::paper_256k()),
+            "comm-4k" => Workload::Comm(CommMicroConfig::paper_4k_strided()),
+            other => return Err(format!("unknown workload '{other}' (try `pwrperf list`)")),
+        };
+        Ok(w)
+    }
+
+    /// Known workload names (for `pwrperf list` and error hints).
+    pub fn names() -> &'static [&'static str] {
+        &[
+            "ft-a8",
+            "ft-b8",
+            "ft-c8",
+            "ft-test4",
+            "ft-scale-256",
+            "ft-scale-1024",
+            "ft-scale-4096",
+            "cg-a8",
+            "cg-b8",
+            "mg-a8",
+            "mg-b8",
+            "transpose",
+            "swim",
+            "mgrid",
+            "mem-micro",
+            "cpu-micro",
+            "comm-256k",
+            "comm-4k",
+        ]
+    }
+
     /// Build per-rank programs, with dynamic-DVS instrumentation when the
     /// strategy calls for it (ignored by workloads the paper never
     /// instrumented).
@@ -211,6 +282,19 @@ mod tests {
         let plain = Workload::ft_test(2).programs(false);
         let inst = Workload::ft_test(2).programs(true);
         assert!(inst[0].len() > plain[0].len());
+    }
+
+    #[test]
+    fn every_listed_name_parses() {
+        for name in Workload::names() {
+            assert!(Workload::parse_name(name).is_ok(), "{name}");
+        }
+        assert!(Workload::parse_name("ft-scale-512").is_ok());
+        assert!(
+            Workload::parse_name("ft-scale-100").is_err(),
+            "not a power of two"
+        );
+        assert!(Workload::parse_name("no-such-workload").is_err());
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Sweep-service benchmark: a real `pwrperfd` on a loopback TCP socket,
+//! a cold drain of a `BENCH_SERVICE_JOBS`-cell grid (default 10 000,
+//! built on the fault-seed axis so every cell is a distinct engine
+//! run), then the warm paths the daemon exists for: a re-submission of
+//! the same grid answered entirely from the store (zero engine
+//! executions, bit-identical results) and store-only aggregation
+//! queries.
+//!
+//! Asserts the PR's acceptance criterion — warm-store answers execute
+//! nothing and replay the cold bytes — and emits the numbers as a JSON
+//! report on stdout; `scripts/bench.sh service` captures it into
+//! `BENCH_PR10.json`:
+//!
+//! ```sh
+//! cargo run --release --example bench_service
+//! ```
+
+use std::time::Instant;
+
+use pwrperf::{Client, Server, ServerConfig, SweepSpec, SweepStore};
+
+const STRATEGIES: [&str; 5] = [
+    "static-1400",
+    "static-1200",
+    "static-1000",
+    "static-800",
+    "static-600",
+];
+
+fn main() {
+    let target_jobs: usize = std::env::var("BENCH_SERVICE_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let seeds = target_jobs.div_ceil(STRATEGIES.len()).max(1);
+    let spec = SweepSpec {
+        workloads: vec!["cpu-micro".to_string()],
+        strategies: STRATEGIES.iter().map(|s| s.to_string()).collect(),
+        deltas: vec![0.0, 0.2],
+        fault_specs: (0..seeds).map(|i| format!("seed:{i}")).collect(),
+        ..SweepSpec::default()
+    };
+    let jobs = seeds * STRATEGIES.len();
+
+    let dir = std::env::temp_dir().join(format!("pwrperf-bench-service-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = SweepStore::open(&dir).expect("open store");
+    let server =
+        Server::bind_tcp(store, ServerConfig::default(), "127.0.0.1:0").expect("bind daemon");
+    let addr = server.tcp_addr().expect("tcp addr").to_string();
+    let daemon = std::thread::spawn(move || server.serve().expect("serve"));
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    // Cold: every cell is a miss and executes exactly once.
+    let t0 = Instant::now();
+    let cold = client.submit_sweep(&spec).expect("cold sweep");
+    let cold_s = t0.elapsed().as_secs_f64();
+    assert_eq!(cold.report.jobs as usize, jobs);
+    assert_eq!(cold.report.engine_runs as usize, jobs, "cold = all misses");
+
+    // Warm: the same grid again, answered entirely from the store.
+    let t0 = Instant::now();
+    let warm = client.submit_sweep(&spec).expect("warm sweep");
+    let warm_s = t0.elapsed().as_secs_f64();
+    assert_eq!(warm.report.engine_runs, 0, "warm store executes nothing");
+    assert_eq!(warm.results, cold.results, "warm replay is bit-identical");
+
+    // Full-grid aggregation: the whole wED2P table from the store alone.
+    let t0 = Instant::now();
+    let full = client.query(&spec).expect("full query");
+    let full_query_s = t0.elapsed().as_secs_f64();
+    assert_eq!(full.rows as usize, jobs);
+    assert_eq!(full.missing, 0);
+
+    // Small-grid query rate: the interactive case — one figure's worth
+    // of cells out of a warm store, over and over.
+    let small = SweepSpec {
+        fault_specs: (0..seeds.min(4)).map(|i| format!("seed:{i}")).collect(),
+        ..spec.clone()
+    };
+    let rounds = 100u32;
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        let reply = client.query(&small).expect("small query");
+        assert_eq!(reply.missing, 0);
+    }
+    let small_query_s = t0.elapsed().as_secs_f64();
+
+    let status = client.status().expect("status");
+    let engine_runs = status.counter("service.engine_runs").unwrap_or(0);
+    assert_eq!(engine_runs as usize, jobs, "queries never execute");
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon join");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!("{{");
+    println!("  \"workload\": \"cpu-micro\",");
+    println!("  \"jobs\": {jobs},");
+    println!("  \"strategies\": {},", STRATEGIES.len());
+    println!("  \"fault_seeds\": {seeds},");
+    println!("  \"cold_sweep\": {{");
+    println!("    \"wall_s\": {cold_s:.3},");
+    println!("    \"jobs_per_sec\": {:.1}", jobs as f64 / cold_s);
+    println!("  }},");
+    println!("  \"warm_sweep\": {{");
+    println!("    \"wall_s\": {warm_s:.3},");
+    println!("    \"jobs_per_sec\": {:.1},", jobs as f64 / warm_s);
+    println!("    \"engine_runs\": 0,");
+    println!("    \"bit_identical\": true,");
+    println!("    \"speedup_vs_cold\": {:.2}", cold_s / warm_s);
+    println!("  }},");
+    println!("  \"full_grid_query\": {{");
+    println!("    \"rows\": {jobs},");
+    println!("    \"wall_s\": {full_query_s:.3}");
+    println!("  }},");
+    println!("  \"small_grid_query\": {{");
+    println!(
+        "    \"rows_per_query\": {},",
+        seeds.min(4) * STRATEGIES.len()
+    );
+    println!("    \"rounds\": {rounds},");
+    println!(
+        "    \"queries_per_sec\": {:.1}",
+        f64::from(rounds) / small_query_s
+    );
+    println!("  }},");
+    println!("  \"warm_store_executes_nothing\": true");
+    println!("}}");
+}

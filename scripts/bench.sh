@@ -24,6 +24,7 @@
 # Usage: scripts/bench.sh [output.json]    (default BENCH_PR9.json)
 #        scripts/bench.sh scale [output.json]   (default BENCH_PR6.json)
 #        scripts/bench.sh cap [output.json]     (default BENCH_PR8.json)
+#        scripts/bench.sh service [output.json] (default BENCH_PR10.json)
 #
 # The `scale` mode runs examples/bench_scale.rs instead: one class-C FT
 # iteration at 256/1024/4096 ranks on an oversubscribed fat-tree, each
@@ -35,6 +36,11 @@
 # asserting the cap held and that the redistribute policy beats the
 # best cap-feasible uniform static on weighted ED^2P.
 #
+# The `service` mode runs examples/bench_service.rs: a pwrperfd daemon
+# on loopback TCP draining a BENCH_SERVICE_JOBS-cell grid (default
+# 10000) cold, then the warm re-sweep and store-only query paths,
+# asserting zero warm engine executions and bit-identical replay.
+#
 # Runs are sequential on an otherwise idle machine; prefer the median
 # over the mean, and compare medians across trees measured back-to-back.
 set -euo pipefail
@@ -44,6 +50,13 @@ if [[ "${1:-}" == "cap" ]]; then
   OUT="${2:-BENCH_PR8.json}"
   cargo build --release -q --example bench_powercap
   ./target/release/examples/bench_powercap | tee "$OUT"
+  exit 0
+fi
+
+if [[ "${1:-}" == "service" ]]; then
+  OUT="${2:-BENCH_PR10.json}"
+  cargo build --release -q --example bench_service
+  ./target/release/examples/bench_service | tee "$OUT"
   exit 0
 fi
 

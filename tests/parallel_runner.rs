@@ -99,6 +99,7 @@ fn checked_batch_isolates_a_panicking_slot() {
     let policy = BatchPolicy {
         workers: Some(2),
         retries: 1,
+        ..BatchPolicy::default()
     };
     let outcomes = run_batch_checked_with(experiments, policy);
     assert_eq!(outcomes.len(), 5);
@@ -133,6 +134,7 @@ fn checked_batch_with_no_failures_matches_unchecked() {
         BatchPolicy {
             workers: Some(2),
             retries: 0,
+            ..BatchPolicy::default()
         },
     );
     let plain = run_batch_with(batch_for(&w), Some(2));

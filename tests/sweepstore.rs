@@ -363,7 +363,9 @@ proptest! {
 
         let dir = tmp_dir(&format!("corrupt-{pos}-{flip}"));
         let mut store = SweepStore::open(&dir).unwrap();
-        std::fs::write(store.record_path(*fp), &corrupted).unwrap();
+        let path = store.record_path(*fp);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, &corrupted).unwrap();
         let outcome = store.load(*fp);
         prop_assert!(
             matches!(
@@ -386,7 +388,9 @@ proptest! {
 
         let dir = tmp_dir(&format!("trunc-{keep}"));
         let mut store = SweepStore::open(&dir).unwrap();
-        std::fs::write(store.record_path(*fp), &bytes[..keep]).unwrap();
+        let path = store.record_path(*fp);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, &bytes[..keep]).unwrap();
         prop_assert!(matches!(
             store.load(*fp),
             Err(StoreError::Corrupt { .. })
@@ -484,5 +488,67 @@ fn sweep_heals_corrupt_records() {
     assert_eq!(warm.report.engine_runs, 0);
     assert_eq!(warm.report.corrupt_records, 0);
     assert_eq!(warm.results, cold.results);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression for the tmp-file write race: all writers used the same
+/// `<hex>.tmp` sibling, so two concurrent `store()` calls for one
+/// fingerprint could interleave create/write/rename and a concurrent
+/// reader could observe a torn record. With unique tmp names
+/// (pid + per-process counter) and `sync_all` before the atomic rename,
+/// N threads hammering put/get on one fingerprint must never observe a
+/// corrupt record.
+#[test]
+fn concurrent_put_get_on_one_fingerprint_never_tears() {
+    let dir = tmp_dir("hammer");
+    let exp = Experiment::new(Workload::ft_test(2), DvsStrategy::StaticMhz(800));
+    let fp = fingerprint_experiment(&exp);
+    let result = exp.run();
+    // Seed once so readers always have something to find.
+    SweepStore::open(&dir).unwrap().store(fp, &result).unwrap();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for writer in 0..4 {
+            let dir = &dir;
+            let result = &result;
+            handles.push(scope.spawn(move || {
+                let mut store = SweepStore::open(dir).unwrap();
+                for _ in 0..25 {
+                    store.store(fp, result).unwrap();
+                    let _ = writer;
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let dir = &dir;
+            let result = &result;
+            handles.push(scope.spawn(move || {
+                let mut store = SweepStore::open(dir).unwrap();
+                for _ in 0..50 {
+                    match store.load(fp) {
+                        Ok(Some(seen)) => assert_eq!(&seen, result, "torn record observed"),
+                        Ok(None) => panic!("record vanished mid-rename"),
+                        Err(e) => panic!("reader saw a corrupt record: {e}"),
+                    }
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    });
+
+    // No tmp droppings left behind, and the record still loads clean.
+    let strays: Vec<_> = std::fs::read_dir(dir.join(&fp.to_hex()[..2]))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
+        .collect();
+    assert!(strays.is_empty(), "stale tmp files: {strays:?}");
+    assert_eq!(
+        SweepStore::open(&dir).unwrap().load(fp).unwrap(),
+        Some(result)
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
